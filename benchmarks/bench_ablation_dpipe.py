@@ -1,0 +1,41 @@
+"""DPipe ablation: which scheduling mechanism buys what, where.
+
+The paper attributes cloud gains to pipelining + vector-op offloading
+and edge gains to DP array load-balancing (Section 6.2).  This
+benchmark isolates the two mechanisms.
+"""
+
+from repro.experiments.ablations import DPIPE_VARIANTS, dpipe_ablation
+from repro.metrics.tables import format_table
+
+
+def test_dpipe_ablation(benchmark, emit):
+    data = benchmark.pedantic(
+        dpipe_ablation, rounds=1, iterations=1,
+        kwargs={"seq_len": 65536},
+    )
+    rows = []
+    for arch, variants in data.items():
+        base = variants["static"]
+        for name in DPIPE_VARIANTS:
+            rows.append(
+                [arch, name, variants[name],
+                 base / variants[name]]
+            )
+    table = format_table(
+        ["arch", "variant", "per-layer seconds",
+         "speedup vs static"],
+        rows,
+        title=(
+            "DPipe ablation (Llama3, 64K): full vs no-pipeline vs "
+            "no-DP-assignment vs static"
+        ),
+    )
+    emit("ablation_dpipe", table)
+    for arch, variants in data.items():
+        assert variants["full"] <= min(variants.values()) + 1e-12
+        assert variants["static"] >= max(variants.values()) - 1e-12
+        # Both mechanisms contribute on their own: adding either one
+        # to the static schedule speeds it up.
+        assert variants["no-pipeline"] < variants["static"]
+        assert variants["no-dp-assign"] < variants["static"]

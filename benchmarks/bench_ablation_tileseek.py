@@ -1,0 +1,40 @@
+"""TileSeek ablation: MCTS vs random vs exhaustive search.
+
+Shows search quality (DRAM traffic of the chosen tiling) against
+evaluation budget -- the paper's argument for MCTS over naive
+exploration of the fusion-expanded tiling space.
+"""
+
+from repro.experiments.ablations import tileseek_ablation
+from repro.metrics.tables import format_table
+
+
+def test_tileseek_ablation(benchmark, emit):
+    data = benchmark.pedantic(
+        tileseek_ablation, rounds=1, iterations=1,
+        kwargs={"model": "llama3", "seq_len": 65536,
+                "arch_name": "edge", "iterations": 400},
+    )
+    optimum = data["exhaustive"]["dram_words"]
+    rows = [
+        [name,
+         stats["evaluations"],
+         stats["dram_words"],
+         stats["dram_words"] / optimum]
+        for name, stats in data.items()
+    ]
+    table = format_table(
+        ["searcher", "evaluations", "dram words",
+         "vs exhaustive optimum"],
+        rows,
+        title=(
+            "TileSeek ablation (Llama3, 64K, edge): search quality "
+            "vs evaluation budget"
+        ),
+    )
+    emit("ablation_tileseek", table)
+    assert data["mcts"]["dram_words"] <= optimum * 1.1
+    assert (
+        data["mcts"]["evaluations"]
+        < 0.05 * data["exhaustive"]["evaluations"]
+    )

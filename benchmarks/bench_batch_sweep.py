@@ -1,0 +1,40 @@
+"""Batch-size tiling sweep (Section 3.1's deferred ``b`` discussion).
+
+Not a paper figure; an ablation showing TileSeek adapting the ``B``
+tiling factor as the batch grows while keeping the fused working set
+feasible.
+"""
+
+from repro.experiments.batch_sweep import batch_sweep
+from repro.metrics.tables import format_table
+
+
+def test_batch_sweep(benchmark, emit):
+    data = benchmark.pedantic(
+        batch_sweep, rounds=1, iterations=1,
+        kwargs={"model": "llama3", "seq_len": 16384},
+    )
+    rows = [
+        [batch,
+         stats["tile_b"],
+         stats["tile_p"],
+         stats["kv_passes"],
+         stats["latency_s"],
+         stats["speedup_vs_fusemax"]]
+        for batch, stats in data.items()
+    ]
+    table = format_table(
+        ["batch", "TileSeek b", "TileSeek p", "kv passes",
+         "TF latency (s)", "speedup vs FuseMax"],
+        rows,
+        title="Batch-size tiling sweep (Llama3 @ 16K, cloud)",
+    )
+    emit("batch_sweep", table)
+    # TransFusion keeps its advantage at every batch size, and the
+    # chosen batch tile never exceeds the workload batch.
+    for batch, stats in data.items():
+        assert stats["speedup_vs_fusemax"] > 1.0
+        assert stats["tile_b"] <= batch
+    # Latency grows monotonically with batch (more work).
+    latencies = [data[b]["latency_s"] for b in sorted(data)]
+    assert latencies == sorted(latencies)

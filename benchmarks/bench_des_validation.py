@@ -1,0 +1,64 @@
+"""Cross-validation: analytical pipeline model vs discrete-event
+execution.
+
+The paper composes per-Einsum Timeloop results with overlap heuristics
+(Section 6.1); our planner does the same analytically.  This benchmark
+executes 64 epochs of each sub-layer in the event-driven simulator
+(with double-buffered two-epoch staging and the cross-epoch state
+dependencies modeled exactly) and reports the deviation of the
+analytical steady-state period -- the error bar on every latency
+number in the reproduction.
+"""
+
+from repro.arch.spec import named_architecture
+from repro.dpipe.latency import build_latency_table
+from repro.dpipe.planner import plan_cascade
+from repro.einsum.builders import SUBLAYER_BUILDERS
+from repro.metrics.tables import format_table
+from repro.model.config import named_model
+from repro.sim.des import simulate_epochs
+from repro.sim.mapping import inner_tile_extents
+
+EPOCHS = 64
+
+
+def validation_rows():
+    model = named_model("llama3")
+    rows = []
+    for arch_name in ("cloud", "edge"):
+        arch = named_architecture(arch_name)
+        extents = model.extents()
+        extents.update({"p": 65536, "m0": 65536, "m1": 1})
+        for layer, builder in SUBLAYER_BUILDERS.items():
+            cascade = builder()
+            tile = inner_tile_extents(layer, extents,
+                                      arch.array_2d)
+            table = build_latency_table(cascade, layer, tile, arch)
+            plan = plan_cascade(cascade, layer, tile, arch,
+                                n_epochs=EPOCHS)
+            sim = simulate_epochs(cascade, table, EPOCHS,
+                                  max_in_flight=2)
+            rows.append([
+                arch_name, layer,
+                plan.total_seconds,
+                sim.makespan,
+                sim.makespan / plan.total_seconds,
+            ])
+    return rows
+
+
+def test_des_validation(benchmark, emit):
+    rows = benchmark.pedantic(validation_rows, rounds=1,
+                              iterations=1)
+    table = format_table(
+        ["arch", "layer", "analytical (s)", "simulated (s)",
+         "sim / analytical"],
+        rows,
+        title=(
+            f"Analytical vs discrete-event makespan over {EPOCHS} "
+            "epochs (Llama3 @ 64K)"
+        ),
+    )
+    emit("des_validation", table)
+    for row in rows:
+        assert 0.85 <= row[4] <= 1.15, row

@@ -1,0 +1,45 @@
+"""Figure 8: end-to-end speedup over Unfused.
+
+Regenerates (a) the Llama3 sequence-length sweep on cloud and edge and
+(b) the model-wise comparison at 64K, printing one row per bar group.
+"""
+
+from repro.experiments.fig08_speedup import EXECUTORS, fig8a, fig8b
+from repro.metrics.tables import format_table
+
+
+def _rows_from_nested(nested, key_header):
+    rows = []
+    for arch, per_key in nested.items():
+        for key, speedups in per_key.items():
+            rows.append(
+                [arch, key]
+                + [speedups[name] for name in EXECUTORS]
+            )
+    return rows
+
+
+def test_fig8a_llama3_sequence_sweep(benchmark, emit):
+    data = benchmark.pedantic(fig8a, rounds=1, iterations=1)
+    table = format_table(
+        ["arch", "seq_len"] + list(EXECUTORS),
+        _rows_from_nested(data, "seq_len"),
+        title="Figure 8a: Llama3 speedup over Unfused (1K-1M)",
+    )
+    emit("fig08a_speedup", table)
+    for per_seq in data.values():
+        for speedups in per_seq.values():
+            assert speedups["transfusion"] >= speedups["fusemax"]
+
+
+def test_fig8b_modelwise_at_64k(benchmark, emit):
+    data = benchmark.pedantic(fig8b, rounds=1, iterations=1)
+    table = format_table(
+        ["arch", "model"] + list(EXECUTORS),
+        _rows_from_nested(data, "model"),
+        title="Figure 8b: model-wise speedup over Unfused at 64K",
+    )
+    emit("fig08b_speedup_models", table)
+    for per_model in data.values():
+        for speedups in per_model.values():
+            assert speedups["transfusion"] > 1.0

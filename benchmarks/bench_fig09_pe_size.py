@@ -1,0 +1,48 @@
+"""Figure 9: edge 2D PE size sensitivity (32x32, 64x64)."""
+
+from repro.experiments.fig08_speedup import EXECUTORS
+from repro.experiments.fig09_pe_size import fig9a, fig9b
+from repro.metrics.tables import format_table
+
+
+def test_fig9a_llama3_pe_size_sweep(benchmark, emit):
+    data = benchmark.pedantic(fig9a, rounds=1, iterations=1)
+    rows = [
+        [variant, seq] + [speedups[name] for name in EXECUTORS]
+        for variant, per_seq in data.items()
+        for seq, speedups in per_seq.items()
+    ]
+    table = format_table(
+        ["edge variant", "seq_len"] + list(EXECUTORS),
+        rows,
+        title=(
+            "Figure 9a: Llama3 speedup over Unfused under 32x32 and "
+            "64x64 edge PE arrays"
+        ),
+    )
+    emit("fig09a_pe_size", table)
+    for per_seq in data.values():
+        for speedups in per_seq.values():
+            assert speedups["transfusion"] > speedups["fusemax"]
+
+
+def test_fig9b_modelwise_pe_size(benchmark, emit):
+    data = benchmark.pedantic(fig9b, rounds=1, iterations=1)
+    rows = [
+        [variant, model]
+        + [speedups[name] for name in EXECUTORS]
+        for variant, per_model in data.items()
+        for model, speedups in per_model.items()
+    ]
+    table = format_table(
+        ["edge variant", "model"] + list(EXECUTORS),
+        rows,
+        title=(
+            "Figure 9b: model-wise speedup at 64K under 32x32 and "
+            "64x64 edge PE arrays"
+        ),
+    )
+    emit("fig09b_pe_size_models", table)
+    for per_model in data.values():
+        for speedups in per_model.values():
+            assert speedups["transfusion"] > 1.0

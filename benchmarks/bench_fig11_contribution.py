@@ -1,0 +1,33 @@
+"""Figure 11: layer-wise speedup contributions of TransFusion over
+FuseMax (Eq. 47-48)."""
+
+from repro.experiments.fig11_contribution import fig11
+from repro.metrics.tables import format_table
+
+PHASES = ("qkv", "mha", "layernorm", "ffn")
+
+
+def test_fig11_contribution_breakdown(benchmark, emit):
+    data = benchmark.pedantic(fig11, rounds=1, iterations=1)
+    rows = [
+        [arch, seq] + [contribs[p] for p in PHASES]
+        for arch, per_seq in data.items()
+        for seq, contribs in per_seq.items()
+    ]
+    table = format_table(
+        ["arch", "seq_len"] + list(PHASES),
+        rows,
+        title=(
+            "Figure 11: speedup contribution of each layer, "
+            "TransFusion over FuseMax (Llama3)"
+        ),
+    )
+    emit("fig11_contribution", table)
+    for arch, per_seq in data.items():
+        seqs = sorted(per_seq)
+        # Short sequences: fusion-driven LayerNorm/FFN gains dominate;
+        # long sequences: the quadratic MHA term takes over.
+        assert (
+            per_seq[seqs[-1]]["mha"] > per_seq[seqs[0]]["mha"]
+        )
+        assert abs(sum(per_seq[seqs[0]].values()) - 1.0) < 1e-9

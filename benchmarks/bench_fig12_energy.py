@@ -1,0 +1,45 @@
+"""Figure 12: energy consumption normalized to Unfused (lower is
+better)."""
+
+from repro.experiments.fig08_speedup import EXECUTORS
+from repro.experiments.fig12_energy import fig12a, fig12b
+from repro.metrics.tables import format_table
+
+
+def test_fig12a_llama3_energy_sweep(benchmark, emit):
+    data = benchmark.pedantic(fig12a, rounds=1, iterations=1)
+    rows = [
+        [arch, seq] + [ratios[name] for name in EXECUTORS]
+        for arch, per_seq in data.items()
+        for seq, ratios in per_seq.items()
+    ]
+    table = format_table(
+        ["arch", "seq_len"] + list(EXECUTORS),
+        rows,
+        title=(
+            "Figure 12a: energy over Unfused, Llama3 (1K-1M); "
+            "lower is better"
+        ),
+    )
+    emit("fig12a_energy", table)
+    for per_seq in data.values():
+        for ratios in per_seq.values():
+            assert ratios["transfusion"] < 1.0
+            assert ratios["transfusion"] < ratios["fusemax"]
+
+
+def test_fig12b_modelwise_energy(benchmark, emit):
+    data = benchmark.pedantic(fig12b, rounds=1, iterations=1)
+    rows = [
+        [arch, model] + [ratios[name] for name in EXECUTORS]
+        for arch, per_model in data.items()
+        for model, ratios in per_model.items()
+    ]
+    table = format_table(
+        ["arch", "model"] + list(EXECUTORS),
+        rows,
+        title=(
+            "Figure 12b: energy over Unfused at 64K; lower is better"
+        ),
+    )
+    emit("fig12b_energy_models", table)

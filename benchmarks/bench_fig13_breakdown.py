@@ -1,0 +1,33 @@
+"""Figure 13: energy breakdown across the memory hierarchy for
+TransFusion and FuseMax."""
+
+from repro.experiments.fig13_breakdown import EXECUTORS, fig13
+from repro.metrics.tables import format_table
+
+COMPONENTS = ("dram", "buffer", "rf", "pe")
+
+
+def test_fig13_energy_breakdown(benchmark, emit):
+    data = benchmark.pedantic(fig13, rounds=1, iterations=1)
+    rows = []
+    for executor in EXECUTORS:
+        for arch, per_seq in data[executor].items():
+            for seq, fractions in per_seq.items():
+                rows.append(
+                    [executor, arch, seq]
+                    + [fractions[c] for c in COMPONENTS]
+                )
+    table = format_table(
+        ["executor", "arch", "seq_len"] + list(COMPONENTS),
+        rows,
+        title=(
+            "Figure 13: energy breakdown (DRAM / global buffer / "
+            "register file / PE arrays), Llama3"
+        ),
+    )
+    emit("fig13_breakdown", table)
+    # Edge spends a larger energy share in DRAM than cloud (smaller
+    # buffer, lower bandwidth -> more refetches), per Section 6.2.
+    for executor in EXECUTORS:
+        for seq, fractions in data[executor]["edge"].items():
+            assert abs(sum(fractions.values()) - 1.0) < 1e-9

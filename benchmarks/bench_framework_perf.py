@@ -1,0 +1,79 @@
+"""Performance of the framework itself (multi-round timings).
+
+The paper's workflow runs TileSeek + DPipe per (model, sequence,
+architecture) point; a practical reproduction must keep those searches
+fast.  These benchmarks time the hot paths with real repetition so
+regressions in the schedulers or the evaluator show up as timing
+drift, not just wrong results.
+"""
+
+import numpy as np
+
+from repro.arch.spec import cloud_architecture
+from repro.dpipe.planner import plan_cascade
+from repro.einsum.builders import attention_cascade
+from repro.einsum.evaluator import evaluate_cascade
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.sim.mapping import inner_tile_extents
+from repro.tileseek.search import TileSeek
+
+
+def test_dpipe_planning_speed(benchmark):
+    arch = cloud_architecture()
+    model = named_model("llama3")
+    extents = model.extents()
+    extents.update({"p": 65536, "m0": 65536, "m1": 1})
+    cascade = attention_cascade()
+    tile = inner_tile_extents("mha", extents, arch.array_2d)
+
+    plan = benchmark(
+        plan_cascade, cascade, "mha", tile, arch, 4096
+    )
+    assert plan.total_seconds > 0
+    # Planning one layer must stay well under a second.
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_tileseek_search_speed(benchmark):
+    arch = cloud_architecture()
+    workload = Workload(named_model("llama3"), seq_len=65536,
+                        batch=64)
+
+    def search():
+        return TileSeek(iterations=400, seed=0).search(
+            workload, arch
+        )
+
+    result = benchmark(search)
+    assert result.feasible
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_cascade_evaluator_speed(benchmark):
+    rng = np.random.default_rng(0)
+    extents = {"h": 4, "e": 32, "f": 32, "p": 64, "m1": 8,
+               "m0": 32}
+    inputs = {
+        "Q": rng.normal(size=(4, 32, 64)),
+        "BK": rng.normal(size=(4, 32, 8, 32)),
+        "BV": rng.normal(size=(4, 32, 8, 32)),
+    }
+    cascade = attention_cascade()
+
+    out = benchmark(evaluate_cascade, cascade, inputs, extents)
+    assert np.all(np.isfinite(out["AV"]))
+
+
+def test_full_executor_run_speed(benchmark):
+    from repro.baselines.registry import named_executor
+
+    arch = cloud_architecture()
+    workload = Workload(named_model("llama3"), seq_len=65536,
+                        batch=64)
+    executor = named_executor("transfusion")
+    executor.run(workload, arch)  # warm the tiling cache
+
+    report = benchmark(executor.run, workload, arch)
+    assert report.latency_seconds(arch) > 0
+    assert benchmark.stats["mean"] < 1.0

@@ -1,0 +1,135 @@
+"""Memory-system sensitivity sweeps (extension study).
+
+Complements Figure 9's compute-capability sweep with bandwidth and
+buffer-capacity sweeps: bandwidth decides how much fusion's traffic
+savings matter, and buffer capacity bounds the Q tile (hence the K/V
+reload count TileSeek can achieve).
+"""
+
+from repro.experiments.sensitivity import (
+    bandwidth_sensitivity,
+    buffer_sensitivity,
+)
+from repro.metrics.tables import format_table
+
+
+def test_bandwidth_sensitivity(benchmark, emit):
+    data = benchmark.pedantic(
+        bandwidth_sensitivity, rounds=1, iterations=1,
+        kwargs={"seq_len": 16384},
+    )
+    rows = [
+        [factor, stats["tf_latency_s"], stats["speedup"]]
+        for factor, stats in data.items()
+    ]
+    table = format_table(
+        ["DRAM BW factor", "TF latency (s)",
+         "speedup vs FuseMax"],
+        rows,
+        title=(
+            "Bandwidth sensitivity (Llama3 @ 16K, cloud): "
+            "TransFusion vs FuseMax"
+        ),
+    )
+    emit("sensitivity_bandwidth", table)
+    # TransFusion never loses, and latency falls (weakly) as
+    # bandwidth grows.
+    latencies = [data[f]["tf_latency_s"] for f in sorted(data)]
+    assert latencies == sorted(latencies, reverse=True)
+    for stats in data.values():
+        assert stats["speedup"] >= 1.0
+
+
+def test_buffer_sensitivity(benchmark, emit):
+    data = benchmark.pedantic(
+        buffer_sensitivity, rounds=1, iterations=1,
+        kwargs={"seq_len": 16384},
+    )
+    rows = [
+        [factor, stats["q_tile"], stats["dram_words"],
+         stats["speedup"]]
+        for factor, stats in data.items()
+    ]
+    table = format_table(
+        ["buffer factor", "TileSeek q-tile", "TF DRAM words",
+         "speedup vs FuseMax"],
+        rows,
+        title=(
+            "Buffer-capacity sensitivity (Llama3 @ 16K, cloud): "
+            "bigger buffers -> bigger Q tiles -> less K/V traffic"
+        ),
+    )
+    emit("sensitivity_buffer", table)
+    factors = sorted(data)
+    q_tiles = [data[f]["q_tile"] for f in factors]
+    words = [data[f]["dram_words"] for f in factors]
+    assert q_tiles == sorted(q_tiles)
+    assert words == sorted(words, reverse=True)
+
+
+def test_precision_sensitivity(benchmark, emit):
+    from repro.experiments.sensitivity import precision_sensitivity
+
+    data = benchmark.pedantic(
+        precision_sensitivity, rounds=1, iterations=1,
+        kwargs={"seq_len": 16384},
+    )
+    rows = [
+        [f"{w * 8}-bit", stats["q_tile"], stats["dram_seconds"],
+         stats["latency_s"]]
+        for w, stats in sorted(data.items())
+    ]
+    table = format_table(
+        ["precision", "TileSeek q-tile", "DRAM time (s)",
+         "TF latency (s)"],
+        rows,
+        title=(
+            "Datapath-precision sensitivity (Llama3 @ 16K, cloud): "
+            "narrower words double the effective buffer"
+        ),
+    )
+    emit("sensitivity_precision", table)
+    words = sorted(data)
+    assert data[words[0]]["dram_seconds"] <= (
+        data[words[-1]]["dram_seconds"]
+    )
+
+
+def test_interlayer_overlap_headroom(benchmark, emit):
+    from repro.baselines.registry import named_executor
+    from repro.core.executor import TransFusionExecutor
+    from repro.arch.spec import named_architecture
+    from repro.model.config import named_model
+    from repro.model.workload import Workload
+    from repro.sim.layer_pipeline import interlayer_overlap_headroom
+
+    def measure():
+        rows = []
+        for arch_name in ("cloud", "edge"):
+            arch = named_architecture(arch_name)
+            workload = Workload(named_model("llama3"),
+                                seq_len=65536, batch=64)
+            q_tile = TransFusionExecutor().tiling(
+                workload, arch
+            ).config.p
+            for name in ("fusemax", "transfusion"):
+                result = interlayer_overlap_headroom(
+                    named_executor(name), workload, arch, q_tile
+                )
+                rows.append([arch_name, name,
+                             result.overlap_headroom])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["arch", "executor", "cross-phase overlap headroom"],
+        rows,
+        title=(
+            "Inter-layer pipelining headroom (Llama3 @ 64K): what a "
+            "whole-layer scheduler could still win over the additive "
+            "phase model"
+        ),
+    )
+    emit("sensitivity_interlayer_overlap", table)
+    for row in rows:
+        assert 1.0 <= row[2] < 1.05  # <=2% in practice

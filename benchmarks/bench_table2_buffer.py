@@ -1,0 +1,78 @@
+"""Table 2: per-module on-chip buffer requirements.
+
+Regenerates the Table-2 rows for representative tile configurations on
+both architectures and checks the feasibility frontier TileSeek
+operates against.
+"""
+
+from repro.arch.spec import named_architecture
+from repro.metrics.tables import format_table
+from repro.model.config import named_model
+from repro.tileseek.buffer_model import (
+    FUSED_MODULES,
+    TilingConfig,
+    fused_buffer_requirement,
+    intra_tile_p_prime,
+    layer_buffer_requirement,
+    max_feasible_q_tile,
+)
+
+
+def table2_rows():
+    model = named_model("llama3")
+    rows = []
+    for arch_name in ("cloud", "edge"):
+        arch = named_architecture(arch_name)
+        rows_2d = arch.array_2d.rows
+        p = max_feasible_q_tile(
+            model, 65536, arch.buffer_words,
+            m0=arch.array_2d.cols, rows=rows_2d,
+        )
+        cfg = TilingConfig(
+            b=1, d=16, m1=1, m0=arch.array_2d.cols, p=p, s=16,
+            p_prime=intra_tile_p_prime(p, rows_2d),
+        )
+        for module in FUSED_MODULES:
+            words = layer_buffer_requirement(module, cfg, model)
+            rows.append(
+                [arch_name, module, p, words,
+                 words / arch.buffer_words]
+            )
+    return rows
+
+
+def test_table2_buffer_requirements(benchmark, emit):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["arch", "module", "q tile (tokens)", "buffer words",
+         "fraction of buffer"],
+        rows,
+        title=(
+            "Table 2: per-module buffer requirements at the maximal "
+            "feasible Q tile (Llama3)"
+        ),
+    )
+    emit("table2_buffer", table)
+    # At the feasibility frontier the binding module uses (nearly)
+    # the whole buffer, and nothing exceeds it.
+    for arch_name in ("cloud", "edge"):
+        fractions = [
+            r[4] for r in rows if r[0] == arch_name
+        ]
+        assert max(fractions) <= 1.0
+        assert max(fractions) > 0.8
+
+
+def test_table2_fused_requirement_is_max(benchmark):
+    model = named_model("llama3")
+    cfg = TilingConfig(b=1, d=64, m1=2, m0=256, p=256, s=256,
+                       p_prime=1)
+
+    def check():
+        return fused_buffer_requirement(cfg, model)
+
+    total = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert total == max(
+        layer_buffer_requirement(m, cfg, model)
+        for m in FUSED_MODULES
+    )

@@ -1,0 +1,33 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Each benchmark regenerates one paper table/figure: it runs the
+experiment generator under ``pytest-benchmark`` timing, prints the
+series as an aligned table, and archives the table under
+``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a rendered table and archive it as ``<name>.txt``."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

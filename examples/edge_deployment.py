@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Edge-deployment exploration (the Figure 9 scenario).
+
+Evaluates BERT-Base on the three edge variants (16x16, 32x32, 64x64
+2D PE arrays) and shows how TransFusion's mechanisms shift: on small
+edge arrays the 1D array rivals the 2D array, so DPipe's per-op
+min-completion rule (Eq. 45) load-balances GEMMs across both.
+
+Run:
+    python examples/edge_deployment.py
+"""
+
+from repro import Workload, named_model
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import edge_architecture
+from repro.baselines.registry import named_executor
+from repro.core.executor import TransFusionExecutor
+from repro.metrics.tables import format_table
+
+
+def main() -> None:
+    model = named_model("bert")
+    workload = Workload(model, seq_len=16384, batch=64)
+
+    rows = []
+    for pe_size in (16, 32, 64):
+        arch = edge_architecture(pe_size)
+        fusemax = named_executor("fusemax").run(workload, arch)
+        tf_exec = TransFusionExecutor()
+        transfusion = tf_exec.run(workload, arch)
+        util = transfusion.utilization(arch)
+        tiling = tf_exec.tiling(workload, arch)
+        rows.append([
+            f"{pe_size}x{pe_size}",
+            arch.buffer.capacity_bytes // (1 << 20),
+            fusemax.latency_seconds(arch),
+            transfusion.latency_seconds(arch),
+            fusemax.latency_seconds(arch)
+            / transfusion.latency_seconds(arch),
+            util[PEArrayKind.ARRAY_1D],
+            tiling.config.p,
+        ])
+
+    print(format_table(
+        ["edge 2D PE", "buffer (MB)", "FuseMax (s)",
+         "TransFusion (s)", "speedup", "TF 1D util",
+         "TileSeek q-tile"],
+        rows,
+        title="BERT @ 16K on edge variants, per Transformer layer",
+    ))
+    print()
+    print(
+        "The 1D-array utilization stays high under TransFusion -- "
+        "DPipe shifts GEMM\nwork onto the vector array whenever that "
+        "finishes an op earlier (Eq. 45),\nwhich is exactly the "
+        "paper's explanation for the edge speedups."
+    )
+
+
+if __name__ == "__main__":
+    main()

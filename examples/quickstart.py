@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: compile a Transformer layer with TransFusion.
+
+Compiles Llama3-8B at a 64K context on the cloud architecture, prints
+the headline plan summary, and compares against the paper's baselines.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    TransFusion,
+    Workload,
+    cloud_architecture,
+    compare_executors,
+    named_model,
+)
+from repro.arch.pe import PEArrayKind
+from repro.metrics.tables import format_table
+
+
+def main() -> None:
+    arch = cloud_architecture()
+    workload = Workload(named_model("llama3"), seq_len=65536,
+                        batch=64)
+
+    # --- Compile: TileSeek outer tiling + DPipe schedules ----------
+    tf = TransFusion(arch)
+    plan = tf.compile(workload)
+    summary = plan.summary(arch)
+
+    print(f"Workload: {plan.workload} on {plan.architecture}")
+    print(f"TileSeek outer tiling: {plan.tiling.config}")
+    print(
+        "  K/V reload passes:"
+        f" {plan.tiling.assessment.kv_passes},"
+        f" weight passes: {plan.tiling.assessment.weight_passes}"
+    )
+    print(
+        "  buffer required:"
+        f" {summary['buffer_words_required'] / 2**19:.2f} MiB of"
+        f" {arch.buffer.capacity_bytes / 2**20:.0f} MiB"
+    )
+    for layer in plan.layers:
+        tag = "pipelined" if layer.pipelined else "sequential"
+        print(
+            f"  {layer.layer:10s} {tag:10s} epochs="
+            f"{layer.plan.n_epochs:>9,d} "
+            f"time={layer.plan.total_seconds * 1e3:9.2f} ms"
+        )
+    print(
+        f"Per-layer latency: {summary['latency_s'] * 1e3:.1f} ms, "
+        f"energy: {summary['energy_pj'] / 1e12:.2f} J"
+    )
+
+    # --- Compare against the paper's baselines ---------------------
+    reports = compare_executors(workload, arch)
+    base = reports["unfused"].latency_seconds(arch)
+    rows = []
+    for name, report in reports.items():
+        util = report.utilization(arch)
+        energy = report.energy(arch)
+        rows.append([
+            name,
+            report.latency_seconds(arch),
+            base / report.latency_seconds(arch),
+            util[PEArrayKind.ARRAY_2D],
+            util[PEArrayKind.ARRAY_1D],
+            energy.total_pj / 1e12,
+        ])
+    print()
+    print(format_table(
+        ["executor", "latency (s)", "speedup", "2D util",
+         "1D util", "energy (J)"],
+        rows,
+        title="Llama3 @ 64K on cloud, per Transformer layer",
+    ))
+
+
+if __name__ == "__main__":
+    main()

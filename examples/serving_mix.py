@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""A serving-mix scenario: heterogeneous prompts plus generation.
+
+The paper's introduction motivates deployment "both in cloud
+infrastructure and edge devices"; real deployments see a *mix* of
+request lengths plus a generation phase.  This example prices a
+synthetic serving trace -- a bucketed long-tail prompt-length
+distribution and a fixed number of generated tokens per request --
+under each dataflow, combining the prefill model (where TransFusion
+wins) and the decode model (where attention-only fusion wins), as a
+deployment study would.
+
+Run:
+    python examples/serving_mix.py
+"""
+
+from repro import Workload, cloud_architecture, named_model
+from repro.baselines.registry import named_executor
+from repro.experiments.decode import decode_workload
+from repro.metrics.tables import format_table
+
+#: Synthetic long-tail prompt mix: (prompt tokens, share of requests).
+PROMPT_MIX = (
+    (1024, 0.50),
+    (4096, 0.30),
+    (16384, 0.15),
+    (65536, 0.05),
+)
+
+GENERATED_TOKENS = 256
+REQUESTS = 1024
+BATCH = 16
+MODEL = "llama3-gqa"  # the production shapes
+
+
+def main() -> None:
+    arch = cloud_architecture()
+    model = named_model(MODEL)
+    layers = model.layers
+    executors = ("unfused", "fusemax", "transfusion")
+
+    rows = []
+    for name in executors:
+        runner = named_executor(name)
+        prefill_total = 0.0
+        decode_total = 0.0
+        for prompt, share in PROMPT_MIX:
+            n_requests = REQUESTS * share
+            batches = n_requests / BATCH
+            prefill = runner.run(
+                Workload(model, seq_len=prompt, batch=BATCH,
+                         causal=True),
+                arch,
+            )
+            prefill_total += (
+                batches * prefill.latency_seconds(arch) * layers
+            )
+            # Decode each generated token against the growing cache;
+            # price it at the mean context (prompt + G/2).
+            step = runner.run(
+                decode_workload(
+                    MODEL, prompt + GENERATED_TOKENS // 2, BATCH
+                ),
+                arch,
+            )
+            decode_total += (
+                batches
+                * GENERATED_TOKENS
+                * step.latency_seconds(arch)
+                * layers
+            )
+        rows.append([
+            name,
+            prefill_total,
+            decode_total,
+            prefill_total + decode_total,
+        ])
+    base = rows[0][3]
+    for row in rows:
+        row.append(base / row[3])
+
+    print(format_table(
+        ["executor", "prefill (s)", "decode (s)", "total (s)",
+         "speedup"],
+        rows,
+        title=(
+            f"Serving {REQUESTS} requests ({MODEL}, {layers} "
+            f"layers, {GENERATED_TOKENS} generated tokens each) "
+            "on cloud"
+        ),
+    ))
+    print()
+    best_prefill = min(rows, key=lambda r: r[1])
+    best_decode = min(rows, key=lambda r: r[2])
+    hybrid = best_prefill[1] + best_decode[2]
+    print(
+        f"Best per-phase dataflows: {best_prefill[0]} prefill + "
+        f"{best_decode[0]} decode -> {hybrid:.0f} s "
+        f"({base / hybrid:.2f}x over Unfused)."
+    )
+    if best_decode[0] == "transfusion":
+        print(
+            "With GQA's 4x-smaller K/V residency, the fused tile "
+            "batches enough decode\ntokens per weight pass that "
+            "end-to-end fusion wins the generation loop too\n"
+            "(unlike the dense-MHA decode study in "
+            "benchmarks/bench_decode.py)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate the entire evaluation in one command.
+
+Runs the full test suite, every per-figure benchmark harness (tables
+archived under ``benchmarks/results/``), and prints the headline
+paper-vs-measured summary at the end.
+
+Usage:
+    python scripts/reproduce_all.py [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run(args: list) -> int:
+    print(f"$ {' '.join(args)}", flush=True)
+    return subprocess.call(args, cwd=REPO)
+
+
+def headline() -> None:
+    from repro.experiments.fig08_speedup import fig8a
+    from repro.experiments.fig10_utilization import fig10a
+    from repro.metrics.speedup import geomean
+    from repro.metrics.tables import format_table
+
+    data = fig8a()
+    rows = []
+    paper = {
+        ("cloud", "fusemax"): 1.6, ("cloud", "fusemax+lf"): 1.3,
+        ("cloud", "flat"): 7.0, ("edge", "fusemax"): 2.2,
+        ("edge", "fusemax+lf"): 1.8, ("edge", "flat"): 3.2,
+    }
+    for arch, per_seq in data.items():
+        for name in ("fusemax", "fusemax+lf", "flat"):
+            measured = geomean(
+                per_seq[s]["transfusion"] / per_seq[s][name]
+                for s in per_seq
+            )
+            rows.append([
+                arch, f"TransFusion / {name}",
+                paper[(arch, name)], measured,
+            ])
+    util = fig10a()
+    tf_util = sum(u["transfusion"]["2d"] for u in util.values())
+    tf_util /= len(util)
+    rows.append(["cloud", "TransFusion 2D utilization", 0.58,
+                 tf_util])
+    print()
+    print(format_table(
+        ["arch", "quantity", "paper", "measured"],
+        rows,
+        title="Headline reproduction summary (geomean, Llama3 "
+              "1K-1M)",
+    ))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="only run the benchmark harnesses")
+    args = parser.parse_args()
+    if not args.skip_tests:
+        rc = run([sys.executable, "-m", "pytest", "tests/"])
+        if rc:
+            return rc
+    rc = run([
+        sys.executable, "-m", "pytest", "benchmarks/",
+        "--benchmark-only", "-q",
+    ])
+    if rc:
+        return rc
+    headline()
+    print(
+        "\nPer-figure tables archived under benchmarks/results/; "
+        "see EXPERIMENTS.md for the\npaper-vs-measured index."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

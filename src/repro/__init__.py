@@ -1,0 +1,58 @@
+"""TransFusion reproduction: end-to-end Transformer acceleration.
+
+This package reproduces the MICRO 2025 paper *TransFusion: End-to-End
+Transformer Acceleration via Graph Fusion and Pipelining* (Zhang, Amaral,
+Niu).  It provides:
+
+* :mod:`repro.einsum` -- an Extended-Einsum IR with cascades and a NumPy
+  evaluator (Cascades 1-4 of the paper).
+* :mod:`repro.graph` -- computation DAGs, bipartition enumeration and
+  topological-order enumeration used by DPipe.
+* :mod:`repro.arch` -- parametric cloud/edge spatial-accelerator models
+  (Table 3 of the paper).
+* :mod:`repro.sim` -- an analytical Timeloop/Accelergy-like latency and
+  energy model (Eq. 40-42).
+* :mod:`repro.dpipe` -- the DPipe DAG-pipelining DP scheduler (Eq. 43-46).
+* :mod:`repro.tileseek` -- the TileSeek MCTS outer-tiling search with the
+  Table-2 buffer model.
+* :mod:`repro.baselines` -- Unfused, FLAT, FuseMax and FuseMax+LayerFuse
+  executors.
+* :mod:`repro.core` -- the TransFusion executor and public entry points.
+* :mod:`repro.metrics`, :mod:`repro.experiments` -- evaluation metrics and
+  per-figure experiment generators.
+"""
+
+from repro.arch.spec import (
+    ArchitectureSpec,
+    cloud_architecture,
+    edge_architecture,
+)
+from repro.model.config import ModelConfig, named_model
+from repro.model.workload import Workload
+
+
+def __getattr__(name: str):
+    """Lazily expose the core entry points.
+
+    ``repro.core`` pulls in every subsystem (scheduler, search, cost
+    model); deferring the import keeps ``import repro`` cheap for users
+    who only need the IR or the architecture models.
+    """
+    if name in ("TransFusion", "compare_executors"):
+        from repro.core import framework
+
+        return getattr(framework, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "ArchitectureSpec",
+    "ModelConfig",
+    "TransFusion",
+    "Workload",
+    "cloud_architecture",
+    "compare_executors",
+    "edge_architecture",
+    "named_model",
+]
+
+__version__ = "1.0.0"

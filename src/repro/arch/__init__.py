@@ -1,0 +1,28 @@
+"""Parametric spatial-accelerator architecture models.
+
+Implements the cloud/edge architecture template of Figure 1 and
+Table 3: off-chip DRAM, a shared on-chip global buffer, and two compute
+arrays -- a 2D PE array for matrix-dense work and a 1D PE array for
+streaming/vector work.
+"""
+
+from repro.arch.energy import EnergyModel
+from repro.arch.memory import MemoryLevel
+from repro.arch.pe import PEArray, PEArrayKind
+from repro.arch.spec import (
+    ArchitectureSpec,
+    cloud_architecture,
+    edge_architecture,
+    named_architecture,
+)
+
+__all__ = [
+    "ArchitectureSpec",
+    "EnergyModel",
+    "MemoryLevel",
+    "PEArray",
+    "PEArrayKind",
+    "cloud_architecture",
+    "edge_architecture",
+    "named_architecture",
+]

@@ -1,0 +1,86 @@
+"""Accelergy-style per-access energy model (45 nm technology node).
+
+The paper estimates energy with Accelergy [51] at 45 nm and reports the
+breakdown across DRAM, global buffer, register file and PE arrays
+(Figure 13).  This model reproduces that accounting analytically:
+every access class has a per-event energy, and executors report event
+counts.
+
+The constants follow widely used 45 nm figures (Horowitz, ISSCC'14, and
+the Accelergy technology tables): a DRAM word access costs two orders
+of magnitude more than an on-chip SRAM access, and SRAM access energy
+grows roughly with the square root of capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def sram_pj_per_word(capacity_bytes: int, word_bytes: int = 2) -> float:
+    """Per-word SRAM access energy, scaled by capacity.
+
+    Uses the standard ``E ~ sqrt(capacity)`` SRAM scaling anchored at
+    ~5 pJ per 16-bit word for a 1 MiB array at 45 nm.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    mib = capacity_bytes / float(1 << 20)
+    per_16bit = 5.0 * math.sqrt(mib)
+    return per_16bit * (word_bytes / 2.0)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in picojoules.
+
+    Attributes:
+        dram_pj_per_word: One word moved across the DRAM interface.
+        buffer_pj_per_word: One word read/written in the global buffer.
+        rf_pj_per_word: One register-file access.
+        pe_2d_pj_per_op: One MAC on the 2D array.
+        pe_1d_pj_per_op: One vector op on the 1D array.
+    """
+
+    dram_pj_per_word: float = 320.0
+    buffer_pj_per_word: float = 10.0
+    rf_pj_per_word: float = 0.25
+    pe_2d_pj_per_op: float = 2.2
+    pe_1d_pj_per_op: float = 1.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dram_pj_per_word",
+            "buffer_pj_per_word",
+            "rf_pj_per_word",
+            "pe_2d_pj_per_op",
+            "pe_1d_pj_per_op",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def dram_energy_pj(self, words: float) -> float:
+        """Energy for ``words`` DRAM transfers."""
+        return words * self.dram_pj_per_word
+
+    def buffer_energy_pj(self, words: float) -> float:
+        """Energy for ``words`` global-buffer accesses."""
+        return words * self.buffer_pj_per_word
+
+    def rf_energy_pj(self, words: float) -> float:
+        """Energy for ``words`` register-file accesses."""
+        return words * self.rf_pj_per_word
+
+    def pe_energy_pj(self, ops_2d: float, ops_1d: float) -> float:
+        """Energy for compute on both PE arrays."""
+        return ops_2d * self.pe_2d_pj_per_op + ops_1d * self.pe_1d_pj_per_op
+
+
+def energy_model_for_buffer(
+    buffer_bytes: int, word_bytes: int = 2
+) -> EnergyModel:
+    """An :class:`EnergyModel` whose buffer energy tracks buffer size."""
+    return EnergyModel(
+        buffer_pj_per_word=sram_pj_per_word(buffer_bytes, word_bytes)
+    )

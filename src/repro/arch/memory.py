@@ -1,0 +1,57 @@
+"""Memory-hierarchy levels.
+
+Three levels matter to the paper's evaluation (Figure 13): off-chip
+DRAM, the shared on-chip global buffer, and per-PE register files.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemoryLevelKind(enum.Enum):
+    """Position in the hierarchy, outermost first."""
+
+    DRAM = "dram"
+    GLOBAL_BUFFER = "global_buffer"
+    REGISTER_FILE = "register_file"
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy.
+
+    Attributes:
+        kind: Which level this is.
+        capacity_bytes: Usable capacity (0 = effectively unbounded,
+            used for DRAM).
+        bandwidth_bytes_per_s: Sustained bandwidth to the next level
+            down (DRAM -> buffer for DRAM; buffer -> PEs for the
+            buffer).
+    """
+
+    kind: MemoryLevelKind
+    capacity_bytes: int
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def unbounded(self) -> bool:
+        """Whether this level models no capacity limit."""
+        return self.capacity_bytes == 0
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` fits in this level."""
+        return self.unbounded or nbytes <= self.capacity_bytes
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this level's interface."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return nbytes / self.bandwidth_bytes_per_s

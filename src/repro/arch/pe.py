@@ -1,0 +1,68 @@
+"""Processing-element array models.
+
+The evaluation architecture (Figure 1) pairs a 2D PE array (systolic,
+matrix-dense work) with a 1D PE array (streaming/vector work).  DPipe's
+DP rule (Eq. 45) chooses, per Einsum op, whichever array finishes it
+earliest, so both arrays must be able to *price* any op kind -- with an
+efficiency penalty when the op is a poor fit (e.g. a cross-PE reduction
+on a systolic 2D array).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PEArrayKind(enum.Enum):
+    """Which compute array an op runs on."""
+
+    ARRAY_2D = "2d"
+    ARRAY_1D = "1d"
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """One compute array.
+
+    Attributes:
+        kind: 2D or 1D.
+        rows: Row count (1 for a 1D array).
+        cols: Column count (lane count for a 1D array).
+        reduction_efficiency: Throughput factor in (0, 1] applied when
+            the array executes an op whose reduction must cross PEs in a
+            way the array does not natively support.  A systolic 2D
+            array accumulates GEMM reductions at full rate but pays this
+            factor for tree-reductions of map/reduce Einsums; a 1D array
+            reduces within each lane at full rate but pays it when a
+            GEMM's spatial reduction exceeds the lane-local accumulator.
+        map_efficiency: Throughput factor for pure element-wise map ops.
+            1.0 on the 1D array; slightly below 1.0 on the 2D array to
+            model operand staging through the systolic fabric.
+    """
+
+    kind: PEArrayKind
+    rows: int
+    cols: int
+    reduction_efficiency: float = 1.0
+    map_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("PE array dims must be positive")
+        if not 0.0 < self.reduction_efficiency <= 1.0:
+            raise ValueError("reduction_efficiency must be in (0, 1]")
+        if not 0.0 < self.map_efficiency <= 1.0:
+            raise ValueError("map_efficiency must be in (0, 1]")
+        if self.kind is PEArrayKind.ARRAY_1D and self.rows != 1:
+            raise ValueError("a 1D array has exactly one row")
+
+    @property
+    def num_pes(self) -> int:
+        """Total processing elements in the array."""
+        return self.rows * self.cols
+
+    def __str__(self) -> str:
+        if self.kind is PEArrayKind.ARRAY_1D:
+            return f"1D[{self.cols}]"
+        return f"2D[{self.rows}x{self.cols}]"

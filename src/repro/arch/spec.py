@@ -1,0 +1,186 @@
+"""Architecture specifications and the Table 3 presets.
+
+====== ========== ========== ============== =========
+name   2D PE      1D PE      on-chip buffer DRAM BW
+====== ========== ========== ============== =========
+cloud  256 x 256  256        16 MB          400 GB/s
+edge   16 x 16    256        5 MB           30 GB/s
+edge32 32 x 32    256        5 MB           30 GB/s
+edge64 64 x 64    256        8 MB           30 GB/s
+====== ========== ========== ============== =========
+
+``edge32`` / ``edge64`` are the Section 6.2 "Generalization across
+Computational Capability" variants (the 64 x 64 configuration raises
+the buffer to 8 MB, as stated in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.arch.energy import EnergyModel, energy_model_for_buffer
+from repro.arch.memory import MemoryLevel, MemoryLevelKind
+from repro.arch.pe import PEArray, PEArrayKind
+
+GB = 1_000_000_000
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A complete accelerator model (Figure 1).
+
+    Attributes:
+        name: Preset name or user label.
+        array_2d: The 2D (matrix) PE array.
+        array_1d: The 1D (vector) PE array.
+        buffer: Shared on-chip global buffer.
+        dram: Off-chip memory interface.
+        clock_hz: PE clock frequency (``f_clk`` in Eq. 42).
+        word_bytes: Datapath word size (2 = fp16/bf16).
+        energy: Per-event energy model.
+    """
+
+    name: str
+    array_2d: PEArray
+    array_1d: PEArray
+    buffer: MemoryLevel
+    dram: MemoryLevel
+    clock_hz: float = 1.0e9
+    word_bytes: int = 2
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+        if self.array_2d.kind is not PEArrayKind.ARRAY_2D:
+            raise ValueError("array_2d must be a 2D PE array")
+        if self.array_1d.kind is not PEArrayKind.ARRAY_1D:
+            raise ValueError("array_1d must be a 1D PE array")
+        if self.buffer.kind is not MemoryLevelKind.GLOBAL_BUFFER:
+            raise ValueError("buffer must be a GLOBAL_BUFFER level")
+        if self.dram.kind is not MemoryLevelKind.DRAM:
+            raise ValueError("dram must be a DRAM level")
+
+    @property
+    def buffer_words(self) -> int:
+        """Global-buffer capacity in words."""
+        return self.buffer.capacity_bytes // self.word_bytes
+
+    def array(self, kind: PEArrayKind) -> PEArray:
+        """Look up a PE array by kind."""
+        if kind is PEArrayKind.ARRAY_2D:
+            return self.array_2d
+        return self.array_1d
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert PE cycles to wall-clock seconds (Eq. 42)."""
+        return cycles / self.clock_hz
+
+    def dram_seconds(self, words: float) -> float:
+        """Time to move ``words`` across the DRAM interface."""
+        return self.dram.transfer_seconds(words * self.word_bytes)
+
+    def with_2d_array(self, rows: int, cols: int) -> "ArchitectureSpec":
+        """A copy of this spec with a resized 2D array.
+
+        The wavefront efficiencies are recomputed for the new row
+        count (see the preset constructor for the rationale).
+        """
+        return replace(
+            self,
+            name=f"{self.name}-{rows}x{cols}",
+            array_2d=replace(
+                self.array_2d,
+                rows=rows,
+                cols=cols,
+                map_efficiency=1.0 / rows,
+                reduction_efficiency=1.0 / (2 * rows),
+            ),
+        )
+
+
+def _make_spec(
+    name: str,
+    pe_2d: int,
+    lanes_1d: int,
+    buffer_mb: float,
+    dram_gb_s: float,
+) -> ArchitectureSpec:
+    buffer_bytes = int(buffer_mb * MB)
+    return ArchitectureSpec(
+        name=name,
+        array_2d=PEArray(
+            kind=PEArrayKind.ARRAY_2D,
+            rows=pe_2d,
+            cols=pe_2d,
+            # A systolic array executes non-GEMM Einsums one wavefront
+            # row at a time: map ops activate one row per cycle
+            # (1/rows), and cross-PE reductions need a second wavefront
+            # to combine partials (1/(2*rows)).  This makes the 2D
+            # array's *vector* throughput comparable to a 1D array with
+            # `cols` lanes -- the physical reason DPipe's offloading
+            # helps but cannot trivialize the 1D bottleneck.
+            reduction_efficiency=1.0 / (2 * pe_2d),
+            map_efficiency=1.0 / pe_2d,
+        ),
+        array_1d=PEArray(
+            kind=PEArrayKind.ARRAY_1D,
+            rows=1,
+            cols=lanes_1d,
+            reduction_efficiency=1.0,
+            map_efficiency=1.0,
+        ),
+        buffer=MemoryLevel(
+            kind=MemoryLevelKind.GLOBAL_BUFFER,
+            capacity_bytes=buffer_bytes,
+            # On-chip buffers sustain far more bandwidth than DRAM; the
+            # factor keeps buffer transfers off the critical path unless
+            # tiles thrash.
+            bandwidth_bytes_per_s=dram_gb_s * GB * 32.0,
+        ),
+        dram=MemoryLevel(
+            kind=MemoryLevelKind.DRAM,
+            capacity_bytes=0,
+            bandwidth_bytes_per_s=dram_gb_s * GB,
+        ),
+        energy=energy_model_for_buffer(buffer_bytes),
+    )
+
+
+def cloud_architecture() -> ArchitectureSpec:
+    """The Table 3 cloud (TPU-v2/v3-like) architecture."""
+    return _make_spec("cloud", 256, 256, 16.0, 400.0)
+
+
+def edge_architecture(pe_size: int = 16) -> ArchitectureSpec:
+    """The Table 3 edge architecture (optionally resized per Fig. 9).
+
+    Args:
+        pe_size: 2D array side: 16 (default), 32, or 64.  The 64 x 64
+            variant uses an 8 MB buffer per Section 6.2.
+    """
+    if pe_size not in (16, 32, 64):
+        raise ValueError("edge 2D PE size must be 16, 32 or 64")
+    buffer_mb = 8.0 if pe_size == 64 else 5.0
+    return _make_spec(f"edge{pe_size if pe_size != 16 else ''}",
+                      pe_size, 256, buffer_mb, 30.0)
+
+
+def named_architecture(name: str) -> ArchitectureSpec:
+    """Look up a preset by name: cloud / edge / edge32 / edge64."""
+    presets: Dict[str, ArchitectureSpec] = {
+        "cloud": cloud_architecture(),
+        "edge": edge_architecture(16),
+        "edge32": edge_architecture(32),
+        "edge64": edge_architecture(64),
+    }
+    if name not in presets:
+        raise KeyError(
+            f"unknown architecture {name!r}; choose from "
+            f"{sorted(presets)}"
+        )
+    return presets[name]

@@ -1,0 +1,89 @@
+"""Technology-node scaling for the energy model.
+
+The paper builds its Accelergy models at the 45 nm node (Section 6.1).
+Accelergy's technology tables let the same architecture be priced at
+other nodes; this module provides that knob.  Scaling follows the
+standard practice: logic (PE) energy scales roughly with the square of
+the feature-size ratio, on-chip SRAM slightly sub-quadratically, and
+DRAM *interface* energy improves much more slowly because it is
+dominated by off-chip I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.arch.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Energy scale factors relative to the 45 nm baseline.
+
+    Attributes:
+        name: Node label (e.g. ``"22nm"``).
+        feature_nm: Feature size in nanometres.
+        logic_scale: Multiplier on per-op PE energy.
+        sram_scale: Multiplier on buffer/register access energy.
+        dram_scale: Multiplier on DRAM interface energy.
+    """
+
+    name: str
+    feature_nm: float
+    logic_scale: float
+    sram_scale: float
+    dram_scale: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("feature_nm", "logic_scale", "sram_scale",
+                           "dram_scale"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def apply(self, model: EnergyModel) -> EnergyModel:
+        """An :class:`EnergyModel` scaled from 45 nm to this node."""
+        return replace(
+            model,
+            dram_pj_per_word=model.dram_pj_per_word
+            * self.dram_scale,
+            buffer_pj_per_word=model.buffer_pj_per_word
+            * self.sram_scale,
+            rf_pj_per_word=model.rf_pj_per_word * self.sram_scale,
+            pe_2d_pj_per_op=model.pe_2d_pj_per_op
+            * self.logic_scale,
+            pe_1d_pj_per_op=model.pe_1d_pj_per_op
+            * self.logic_scale,
+        )
+
+
+def _node(name: str, nm: float) -> TechnologyNode:
+    ratio = nm / 45.0
+    return TechnologyNode(
+        name=name,
+        feature_nm=nm,
+        logic_scale=ratio ** 2,
+        sram_scale=ratio ** 1.6,
+        dram_scale=max(ratio ** 0.5, 0.35),
+    )
+
+
+#: Available nodes; 45 nm is the identity (the paper's baseline).
+TECHNOLOGY_NODES: Dict[str, TechnologyNode] = {
+    "45nm": TechnologyNode("45nm", 45.0, 1.0, 1.0, 1.0),
+    "22nm": _node("22nm", 22.0),
+    "14nm": _node("14nm", 14.0),
+    "7nm": _node("7nm", 7.0),
+}
+
+
+def scaled_energy_model(
+    model: EnergyModel, node: str
+) -> EnergyModel:
+    """Scale a 45 nm energy model to another technology node."""
+    if node not in TECHNOLOGY_NODES:
+        raise KeyError(
+            f"unknown node {node!r}; choose from "
+            f"{sorted(TECHNOLOGY_NODES)}"
+        )
+    return TECHNOLOGY_NODES[node].apply(model)

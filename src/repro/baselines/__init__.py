@@ -1,0 +1,26 @@
+"""Executors: TransFusion and the Section 6.1 baselines.
+
+All executors share one cost model (:mod:`repro.sim`); they differ only
+in *dataflow* -- fusion scope (which intermediates hit DRAM), schedule
+(serialized vs statically pipelined vs DPipe) and tiling policy
+(heuristic vs TileSeek).  That mirrors the paper's methodology, where
+every design is evaluated with the same Timeloop/Accelergy setup.
+"""
+
+from repro.baselines.base import ExecutorBase, SUBLAYERS
+from repro.baselines.flat import FlatExecutor
+from repro.baselines.fusemax import FuseMaxExecutor
+from repro.baselines.fusemax_layerfuse import FuseMaxLayerFuseExecutor
+from repro.baselines.registry import EXECUTORS, named_executor
+from repro.baselines.unfused import UnfusedExecutor
+
+__all__ = [
+    "EXECUTORS",
+    "ExecutorBase",
+    "FlatExecutor",
+    "FuseMaxExecutor",
+    "FuseMaxLayerFuseExecutor",
+    "SUBLAYERS",
+    "UnfusedExecutor",
+    "named_executor",
+]

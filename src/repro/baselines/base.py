@@ -1,0 +1,355 @@
+"""Shared executor machinery.
+
+An executor turns ``(workload, architecture)`` into a
+:class:`~repro.sim.stats.RunReport` with one phase per sub-layer
+(QKV, MHA, Add & LayerNorm, FFN).  This base class provides:
+
+* per-sub-layer cascades and problem extents,
+* inner-tile sizing and epoch counting,
+* static schedules (serialized or 2D/1D-pipelined) over a cascade,
+* buffer/register access accounting (with optional register
+  retention, FuseMax's key mechanism), and
+* the heuristic outer Q-tile used by non-TileSeek dataflows.
+
+Subclasses implement :meth:`build_phases` by composing these pieces
+with their dataflow's DRAM-traffic profile.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+from repro.einsum.builders import (
+    attention_cascade,
+    ffn_cascade,
+    layernorm_cascade,
+    qkv_cascade,
+)
+from repro.einsum.cascade import Cascade
+from repro.einsum.operation import EinsumOp
+from repro.model.config import ModelConfig
+from repro.model.workload import Workload
+from repro.sim.latency import op_cycles
+from repro.sim.mapping import inner_tile_extents, layer_mapping
+from repro.sim.stats import PhaseStats, RunReport
+
+#: Sub-layer phases of one Transformer layer, in dataflow order.
+#: ``layernorm`` statistics are scaled x2 (one Add & LayerNorm after
+#: MHA and one after FFN, as in Figure 3's encoder layer).
+SUBLAYERS: Tuple[str, ...] = ("qkv", "mha", "layernorm", "ffn")
+
+#: Op name -> PE array kind; ``None`` entries fall back to the default
+#: (GEMM-like on 2D, map/reduce on 1D).
+Assignment = Callable[[EinsumOp], PEArrayKind]
+
+
+def default_assignment(op: EinsumOp) -> PEArrayKind:
+    """Table-1 style static assignment: contractions on 2D, rest on 1D."""
+    if op.is_gemm_like:
+        return PEArrayKind.ARRAY_2D
+    return PEArrayKind.ARRAY_1D
+
+
+class ExecutorBase(abc.ABC):
+    """Base class for all executors (baselines and TransFusion)."""
+
+    #: Human-readable executor name (set by subclasses).
+    name: str = "base"
+
+    # ------------------------------------------------------------------
+    # Cascades and extents
+    # ------------------------------------------------------------------
+    def cascades(
+        self, model: ModelConfig, masked: bool = False
+    ) -> Dict[str, Cascade]:
+        """The four sub-layer cascades for a model.
+
+        Args:
+            model: Shape configuration (selects the FFN activation).
+            masked: Use the masked-attention variant of Cascade 1
+                (decoder self-attention).
+        """
+        return {
+            "qkv": qkv_cascade(
+                kv_cost_fraction=model.kv_fraction
+            ),
+            "mha": attention_cascade(masked=masked),
+            "layernorm": layernorm_cascade(),
+            "ffn": ffn_cascade(model.activation),
+        }
+
+    def layer_extents(
+        self, workload: Workload, layer: str
+    ) -> Dict[str, int]:
+        """Full-problem extents for one sub-layer's cascade dims.
+
+        The key/value sequence is treated as a flat ``m0`` of length
+        ``M`` (= ``P`` for self-attention) with ``m1 = 1``; the
+        scheduler's epoch count (not the recurrence) covers the outer
+        ``m1`` iteration.
+        """
+        model = workload.model
+        extents = model.extents()
+        m0 = workload.kv_len
+        if layer == "qkv":
+            # The QKV cascade's KV side only projects the tokens this
+            # step produces (all of them for prefill, the new ones
+            # for decode against a persistent cache).
+            m0 = workload.kv_projected_len
+        extents.update(
+            {"p": workload.seq_len, "m0": m0, "m1": 1}
+        )
+        return extents
+
+    def inner_tile(
+        self,
+        workload: Workload,
+        layer: str,
+        arch: ArchitectureSpec,
+    ) -> Dict[str, int]:
+        """Inner-tile extents for one sub-layer on the 2D array.
+
+        Token-parallel layers (QKV, LayerNorm, FFN) share weights
+        across the batch, so batch elements flatten into the PE rows
+        -- essential for short-``P`` workloads like autoregressive
+        decode, where a single step still fills the array with ``B``
+        token rows.  MHA rows stay per batch element (each element
+        attends its own K/V cache).
+        """
+        tile = inner_tile_extents(
+            layer, self.layer_extents(workload, layer), arch.array_2d
+        )
+        if layer != "mha":
+            rows = arch.array_2d.rows
+            tokens = workload.batch * workload.seq_len
+            tile["p"] = min(rows, tokens)
+            if layer == "qkv" and "m0" in tile:
+                kv_tokens = (
+                    workload.batch * workload.kv_projected_len
+                )
+                tile["m0"] = min(rows, kv_tokens)
+        return tile
+
+    def epoch_count(
+        self,
+        workload: Workload,
+        layer: str,
+        tile: Mapping[str, int],
+    ) -> int:
+        """Number of inner-tile epochs covering the whole problem.
+
+        Row and column tiles multiply.  MHA iterates per batch element
+        (distinct K/V caches); the token-parallel layers iterate over
+        the batch-flattened token pool.  In QKV the ``p`` and ``m0``
+        row tilings advance in lockstep over the same token pool, so
+        only the longer one counts.
+        """
+        problem = self.layer_extents(workload, layer)
+        mapping = layer_mapping(layer)
+        if layer == "mha":
+            count = workload.batch
+            for dim in mapping.row_dims + mapping.col_dims:
+                if dim in problem:
+                    count *= math.ceil(problem[dim] / tile[dim])
+            return count
+        q_tokens = workload.batch * workload.seq_len
+        count = math.ceil(q_tokens / tile["p"])
+        if layer == "qkv":
+            kv_tokens = workload.batch * workload.kv_projected_len
+            count = max(count, math.ceil(kv_tokens / tile["m0"]))
+        for dim in mapping.col_dims:
+            if dim in problem and dim != "m0":
+                count *= math.ceil(problem[dim] / tile[dim])
+        return count
+
+    # ------------------------------------------------------------------
+    # Static schedules
+    # ------------------------------------------------------------------
+    def static_schedule(
+        self,
+        cascade: Cascade,
+        layer: str,
+        tile: Mapping[str, int],
+        arch: ArchitectureSpec,
+        n_epochs: int,
+        pipelined: bool,
+        assignment: Assignment = default_assignment,
+        vector_pass_factor: float = 1.0,
+    ) -> PhaseStats:
+        """Schedule a cascade with a fixed op-to-array assignment.
+
+        Args:
+            cascade: The sub-layer cascade.
+            layer: Sub-layer kind (selects the Table-1 mapping).
+            tile: Inner-tile extents (one epoch's work).
+            arch: Target architecture.
+            n_epochs: Epochs covering the full problem.
+            pipelined: If True, the 2D and 1D stages of consecutive
+                epochs overlap (epoch time = max of per-array sums,
+                plus one fill); if False they serialize (sum).
+            assignment: Op -> array mapping.
+            vector_pass_factor: Multiplier on 1D work; 2-pass softmax
+                dataflows (FLAT) revisit score elements an extra time.
+
+        Returns:
+            A :class:`PhaseStats` without DRAM traffic (callers add
+            traffic per their fusion scope).
+        """
+        mapping = layer_mapping(layer)
+        seconds: Dict[PEArrayKind, float] = {
+            PEArrayKind.ARRAY_2D: 0.0,
+            PEArrayKind.ARRAY_1D: 0.0,
+        }
+        loads: Dict[PEArrayKind, float] = {
+            PEArrayKind.ARRAY_2D: 0.0,
+            PEArrayKind.ARRAY_1D: 0.0,
+        }
+        for op in cascade.all_ops:
+            kind = assignment(op)
+            array = arch.array(kind)
+            factor = (
+                vector_pass_factor
+                if kind is PEArrayKind.ARRAY_1D
+                else 1.0
+            )
+            cycles = op_cycles(op, tile, array, mapping) * factor
+            seconds[kind] += cycles / arch.clock_hz
+            loads[kind] += op.compute_load(tile) * factor
+        sum_2d = seconds[PEArrayKind.ARRAY_2D]
+        sum_1d = seconds[PEArrayKind.ARRAY_1D]
+        if pipelined:
+            epoch = max(sum_2d, sum_1d)
+            fill = min(sum_2d, sum_1d)
+            makespan = n_epochs * epoch + fill
+        else:
+            epoch = sum_2d + sum_1d
+            makespan = n_epochs * epoch
+        return PhaseStats(
+            name=layer,
+            compute_seconds=makespan,
+            busy_seconds={
+                PEArrayKind.ARRAY_2D: n_epochs * sum_2d,
+                PEArrayKind.ARRAY_1D: n_epochs * sum_1d,
+            },
+            ops_2d=n_epochs * loads[PEArrayKind.ARRAY_2D],
+            ops_1d=n_epochs * loads[PEArrayKind.ARRAY_1D],
+        )
+
+    # ------------------------------------------------------------------
+    # Access accounting
+    # ------------------------------------------------------------------
+    def add_access_counts(
+        self,
+        phase: PhaseStats,
+        cascade: Cascade,
+        tile: Mapping[str, int],
+        n_epochs: int,
+        register_retention: bool,
+    ) -> None:
+        """Fill in buffer/register access counts for a phase.
+
+        Every operand/result tile flows between the buffer and the PE
+        arrays once per epoch.  With *register retention* (FuseMax's
+        expanded PE register files, kept by TransFusion), tensors both
+        produced and consumed inside the cascade stay in registers, so
+        their traffic books to the register file instead of the buffer.
+        Register files additionally see two accesses per scalar op
+        (operand fetch + accumulate).
+        """
+        produced = {op.output.name for op in cascade.all_ops}
+        consumed = set()
+        for op in cascade.all_ops:
+            consumed.update(op.input_names())
+        buffer_words = 0.0
+        rf_words = 0.0
+        for op in cascade.all_ops:
+            for spec in list(op.inputs) + [op.output] + (
+                [op.bias] if op.bias is not None else []
+            ):
+                words = float(_tile_words(spec.dims, tile))
+                internal = (
+                    spec.name in produced and spec.name in consumed
+                )
+                if register_retention and internal:
+                    rf_words += words
+                else:
+                    buffer_words += words
+        total_load = phase.ops_2d + phase.ops_1d
+        phase.buffer_words += buffer_words * n_epochs
+        phase.rf_words += rf_words * n_epochs + 2.0 * total_load
+
+    # ------------------------------------------------------------------
+    # Heuristic outer tiling (non-TileSeek dataflows)
+    # ------------------------------------------------------------------
+    def heuristic_q_tile_tokens(
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        scope: str = "mha",
+    ) -> int:
+        """Largest feasible Q-tile under the Table-2 buffer model.
+
+        Any dataflow that keeps a Q tile resident across the ``m1``
+        loop is bound by the same physics TileSeek validates: the
+        fused modules' tile footprints must fit the buffer.  The scope
+        decides which modules constrain the tile:
+
+        * ``"mha"`` -- attention-only fusion (FLAT, FuseMax): only the
+          MHA row of Table 2 applies, leaving more headroom.
+        * ``"fused"`` -- end-to-end fusion (FuseMax+LayerFuse): every
+          module's tile must fit, so the binding row (usually
+          LayerNorm's staging term) caps the tile.
+
+        Non-searched factors take conservative minimal values
+        (``b = 1``, thin weight/hidden slices), which is the generous
+        assumption for a heuristic without TileSeek.
+        """
+        from repro.tileseek.buffer_model import (
+            FUSED_MODULES,
+            max_feasible_q_tile,
+        )
+
+        if scope not in ("mha", "fused"):
+            raise ValueError(f"unknown tiling scope {scope!r}")
+        modules = ("mha",) if scope == "mha" else FUSED_MODULES
+        return max_feasible_q_tile(
+            workload.model,
+            workload.seq_len,
+            arch.buffer_words,
+            m0=arch.array_2d.cols,
+            rows=arch.array_2d.rows,
+            modules=modules,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> RunReport:
+        """Evaluate one Transformer layer of ``workload`` on ``arch``."""
+        report = RunReport(
+            executor=self.name,
+            workload=workload.describe(),
+            architecture=arch.name,
+        )
+        report.phases = self.build_phases(workload, arch)
+        return report
+
+    @abc.abstractmethod
+    def build_phases(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> list:
+        """Produce the per-sub-layer :class:`PhaseStats` list."""
+
+
+def _tile_words(dims: Tuple[str, ...], tile: Mapping[str, int]) -> int:
+    """Words of one tensor tile under ``tile`` extents."""
+    words = 1
+    for dim in dims:
+        words *= int(tile[dim])
+    return words

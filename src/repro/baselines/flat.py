@@ -1,0 +1,50 @@
+"""The FLAT baseline (Kao et al., ASPLOS 2023; Section 6.1).
+
+FLAT fuses the attention layer only: for each block of Q rows, the
+``QK^T``, softmax and weighted-sum-with-V computations run on chip with
+the output written back to DRAM.  The row-wise granularity keeps
+buffer needs linear in the sequence length but strands 2D PE rows on
+large arrays, and its stages do not overlap.  All other sub-layers run
+unfused, exactly as in the Unfused baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines import phaselib
+from repro.baselines.base import ExecutorBase
+from repro.model.workload import Workload
+from repro.sim.stats import PhaseStats
+
+
+class FlatExecutor(ExecutorBase):
+    """Row-wise fused attention; everything else unfused.
+
+    Args:
+        q_rows: Q rows processed per fused pass (FLAT's row-streaming
+            granularity).  16 saturates the edge 2D array but occupies
+            only 1/16 of the cloud array's rows.
+    """
+
+    name = "flat"
+
+    def __init__(self, q_rows: int = 16) -> None:
+        if q_rows <= 0:
+            raise ValueError("q_rows must be positive")
+        self.q_rows = q_rows
+
+    def build_phases(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> List[PhaseStats]:
+        return [
+            phaselib.unfused_qkv_phase(self, workload, arch),
+            phaselib.flat_mha_phase(
+                self, workload, arch, q_rows=self.q_rows
+            ),
+            phaselib.unfused_layernorm_phase(
+                self, workload, arch
+            ).scaled(2.0),
+            phaselib.unfused_ffn_phase(self, workload, arch),
+        ]

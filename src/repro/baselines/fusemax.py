@@ -1,0 +1,37 @@
+"""The FuseMax baseline (Nayak et al., MICRO 2024; Section 6.1).
+
+FuseMax executes attention as the 12-operator 1-pass Einsum cascade
+(Einsum Cascade 1): the 2D and 1D PE arrays run in a statically
+pipelined, partially parallel fashion, intermediates are retained in
+the expanded per-PE register files, and no score matrix ever reaches
+DRAM.  QKV, Add & LayerNorm and FFN follow the same unfused flow as
+FLAT.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines import phaselib
+from repro.baselines.base import ExecutorBase
+from repro.model.workload import Workload
+from repro.sim.stats import PhaseStats
+
+
+class FuseMaxExecutor(ExecutorBase):
+    """1-pass pipelined attention; everything else unfused."""
+
+    name = "fusemax"
+
+    def build_phases(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> List[PhaseStats]:
+        return [
+            phaselib.unfused_qkv_phase(self, workload, arch),
+            phaselib.fusemax_mha_phase(self, workload, arch),
+            phaselib.unfused_layernorm_phase(
+                self, workload, arch
+            ).scaled(2.0),
+            phaselib.unfused_ffn_phase(self, workload, arch),
+        ]

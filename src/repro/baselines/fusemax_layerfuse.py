@@ -1,0 +1,56 @@
+"""FuseMax + LayerFuse: the paper's ablation baseline (Section 6.1).
+
+Extends FuseMax with TransFusion-style inter-layer fusion: QKV, MHA,
+Add & LayerNorm and FFN all execute within one on-chip computation
+flow, so only the layer input, streamed weights, the K/V spill/reload
+and the final output touch DRAM.  Crucially it does *not* use DPipe:
+outside the original intra-attention pipeline, sub-layers execute
+sequentially with static op-to-array assignment, and outer tiling uses
+the buffer-half heuristic rather than TileSeek.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines import phaselib
+from repro.baselines.base import ExecutorBase
+from repro.model.workload import Workload
+from repro.sim.stats import PhaseStats
+
+
+class FuseMaxLayerFuseExecutor(ExecutorBase):
+    """End-to-end fusion without DPipe pipelining or TileSeek tiling."""
+
+    name = "fusemax+lf"
+
+    def build_phases(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> List[PhaseStats]:
+        mha = phaselib.fusemax_mha_phase(self, workload, arch)
+        # Layer fusion: Q arrives on chip, so drop the Q read and the
+        # AV write from the FuseMax MHA traffic (keep the K/V reload).
+        q_tile = self.heuristic_q_tile_tokens(
+            workload, arch, scope="fused"
+        )
+        traffic = phaselib.fused_mha_traffic(workload, arch, q_tile)
+        mha.dram_words = traffic["kv_words"]
+        # Weights re-stream once per resident token group over the
+        # flat batch-token pool -- the same accounting TileSeek uses.
+        weight_passes = max(1, math.ceil(
+            workload.batch * workload.seq_len / q_tile
+        ))
+        return [
+            phaselib.fused_qkv_phase(
+                self, workload, arch, weight_passes=weight_passes
+            ),
+            mha,
+            phaselib.fused_layernorm_phase(
+                self, workload, arch
+            ).scaled(2.0),
+            phaselib.fused_ffn_phase(
+                self, workload, arch, weight_passes=weight_passes
+            ),
+        ]

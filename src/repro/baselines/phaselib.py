@@ -1,0 +1,280 @@
+"""Reusable per-sub-layer phase builders.
+
+The Section 6.1 baselines share most of their structure: Unfused, FLAT
+and FuseMax all run QKV / LayerNorm / FFN the same unfused way and only
+disagree inside MHA; FuseMax+LayerFuse reuses FuseMax's MHA but fuses
+the rest.  Each builder returns one :class:`PhaseStats`, complete with
+compute schedule, DRAM traffic and access counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines.base import ExecutorBase
+from repro.model.workload import Workload
+from repro.sim.stats import PhaseStats
+from repro.sim.traffic import (
+    gemm_traffic_streamed,
+    kv_reload_traffic,
+    spill_words,
+    unfused_attention_spills,
+)
+
+
+def _layer_cascade(exe: ExecutorBase, workload: Workload, layer: str):
+    return exe.cascades(
+        workload.model, masked=workload.causal
+    )[layer]
+
+
+def _schedule(
+    exe: ExecutorBase,
+    workload: Workload,
+    arch: ArchitectureSpec,
+    layer: str,
+    pipelined: bool,
+    retention: bool,
+    vector_pass_factor: float = 1.0,
+    p_rows_cap: int = 0,
+) -> PhaseStats:
+    """Common tile -> epochs -> schedule -> access-count pipeline.
+
+    Args:
+        p_rows_cap: If non-zero, cap the sequence-tile rows (models
+            FLAT's row-wise streaming granularity).
+    """
+    cascade = _layer_cascade(exe, workload, layer)
+    tile = exe.inner_tile(workload, layer, arch)
+    if p_rows_cap:
+        tile["p"] = min(tile["p"], p_rows_cap)
+    n_epochs = exe.epoch_count(workload, layer, tile)
+    phase = exe.static_schedule(
+        cascade,
+        layer,
+        tile,
+        arch,
+        n_epochs,
+        pipelined=pipelined,
+        vector_pass_factor=vector_pass_factor,
+    )
+    exe.add_access_counts(phase, cascade, tile, n_epochs, retention)
+    return phase
+
+
+# ----------------------------------------------------------------------
+# Unfused sub-layer phases (Unfused / FLAT / FuseMax outside MHA)
+# ----------------------------------------------------------------------
+def unfused_qkv_phase(
+    exe: ExecutorBase, workload: Workload, arch: ArchitectureSpec
+) -> PhaseStats:
+    """QKV as three standalone streamed GEMM kernels.
+
+    Inputs and weights stage through DRAM; the projected Q/K/V spill
+    back to DRAM for the next kernel.  DRAM traffic serializes with
+    compute (no cross-kernel double buffering).
+    """
+    phase = _schedule(exe, workload, arch, "qkv",
+                      pipelined=False, retention=False)
+    model = workload.model
+    m = workload.batch * workload.seq_len
+    kv_m = workload.batch * workload.kv_projected_len
+    d = model.d_model
+    kv_out = model.effective_kv_heads * model.e_head
+    phase.dram_words = gemm_traffic_streamed(
+        m, d, d, arch.buffer_words
+    ) + 2.0 * gemm_traffic_streamed(
+        kv_m, kv_out, d, arch.buffer_words
+    )
+    phase.overlap_dram = False
+    return phase
+
+
+def unfused_mha_phase(
+    exe: ExecutorBase, workload: Workload, arch: ArchitectureSpec
+) -> PhaseStats:
+    """Attention with materialized scores.
+
+    ``QK^T``, softmax and ``A x V`` run as separate kernels; the
+    ``B*H*P^2`` score matrix round-trips DRAM twice (Section 6.1,
+    "Unfused").  Vector work uses a full two-pass softmax.
+    """
+    phase = _schedule(
+        exe, workload, arch, "mha",
+        pipelined=False, retention=False, vector_pass_factor=1.5,
+    )
+    if workload.causal:
+        # The causal mask halves the live score work on average.
+        phase = phase.scaled(workload.attention_work_fraction)
+    a = workload.activation_words
+    phase.dram_words = (
+        a  # Q read
+        + workload.kv_words  # K and V reads (full M-length cache)
+        + unfused_attention_spills(workload)
+    )
+    phase.overlap_dram = False
+    return phase
+
+
+def unfused_layernorm_phase(
+    exe: ExecutorBase, workload: Workload, arch: ArchitectureSpec
+) -> PhaseStats:
+    """Add & LayerNorm as a standalone vector kernel (counted twice
+    per layer by the caller via :meth:`PhaseStats.scaled`)."""
+    phase = _schedule(exe, workload, arch, "layernorm",
+                      pipelined=False, retention=False)
+    phase.dram_words = 3.0 * workload.activation_words
+    phase.overlap_dram = False
+    return phase
+
+
+def unfused_ffn_phase(
+    exe: ExecutorBase, workload: Workload, arch: ArchitectureSpec
+) -> PhaseStats:
+    """FFN as two streamed GEMMs with the activation in between.
+
+    The ``B*P*S`` hidden tensor spills to DRAM between the kernels.
+    """
+    phase = _schedule(exe, workload, arch, "ffn",
+                      pipelined=False, retention=False)
+    m = workload.batch * workload.seq_len
+    d = workload.model.d_model
+    s = workload.model.ffn_hidden
+    hidden = float(m) * s
+    phase.dram_words = (
+        gemm_traffic_streamed(m, s, d, arch.buffer_words)
+        + gemm_traffic_streamed(m, d, s, arch.buffer_words)
+        + spill_words(hidden)
+    )
+    phase.overlap_dram = False
+    return phase
+
+
+# ----------------------------------------------------------------------
+# Fused MHA variants
+# ----------------------------------------------------------------------
+def flat_mha_phase(
+    exe: ExecutorBase,
+    workload: Workload,
+    arch: ArchitectureSpec,
+    q_rows: int = 16,
+) -> PhaseStats:
+    """FLAT's row-wise fused attention.
+
+    One small block of Q rows streams through ``QK^T`` -> softmax ->
+    ``A x V`` entirely on chip (no score spill), but the stages
+    serialize and the row granularity strands most 2D PE rows on large
+    arrays -- the source of FLAT's low cloud utilization (Figure 10).
+    Softmax is two-pass (extra max sweep before the exp/sum sweep).
+    """
+    phase = _schedule(
+        exe, workload, arch, "mha",
+        pipelined=False, retention=False,
+        vector_pass_factor=1.5, p_rows_cap=q_rows,
+    )
+    if workload.causal:
+        # The causal mask halves the live score work on average.
+        phase = phase.scaled(workload.attention_work_fraction)
+    a = workload.activation_words
+    q_tile = exe.heuristic_q_tile_tokens(workload, arch)
+    kv_words, _ = kv_reload_traffic(workload, arch, q_tile)
+    phase.dram_words = 2.0 * a + kv_words
+    phase.overlap_dram = True
+    return phase
+
+
+def fusemax_mha_phase(
+    exe: ExecutorBase, workload: Workload, arch: ArchitectureSpec
+) -> PhaseStats:
+    """FuseMax's 1-pass pipelined attention (Einsum Cascade 1).
+
+    The 2D (GEMM) and 1D (softmax) stages of consecutive epochs
+    overlap, intermediates are retained in the expanded PE register
+    files, and the softmax is single-pass.
+    """
+    phase = _schedule(
+        exe, workload, arch, "mha",
+        pipelined=True, retention=True,
+    )
+    if workload.causal:
+        # The causal mask halves the live score work on average.
+        phase = phase.scaled(workload.attention_work_fraction)
+    a = workload.activation_words
+    q_tile = exe.heuristic_q_tile_tokens(workload, arch)
+    kv_words, _ = kv_reload_traffic(workload, arch, q_tile)
+    phase.dram_words = 2.0 * a + kv_words
+    phase.overlap_dram = True
+    return phase
+
+
+# ----------------------------------------------------------------------
+# Layer-fused sub-layer phases (FuseMax+LayerFuse; TransFusion adds
+# DPipe and TileSeek on top)
+# ----------------------------------------------------------------------
+def fused_qkv_phase(
+    exe: ExecutorBase,
+    workload: Workload,
+    arch: ArchitectureSpec,
+    weight_passes: int,
+) -> PhaseStats:
+    """QKV with on-chip forwarding: only the layer input and streamed
+    weights touch DRAM (K/V spill is booked to the MHA phase's reload
+    model).
+
+    Args:
+        weight_passes: How often the full weight set re-streams -- one
+            pass per resident token group, i.e. ``ceil(B*P / (b*p))``
+            under the executor's outer tiling.
+    """
+    phase = _schedule(exe, workload, arch, "qkv",
+                      pipelined=False, retention=True)
+    model = workload.model
+    weights = (
+        model.d_model * model.e_head
+        * (model.heads + 2 * model.effective_kv_heads)
+        * weight_passes
+    )
+    phase.dram_words = workload.activation_words + weights
+    phase.overlap_dram = True
+    return phase
+
+
+def fused_layernorm_phase(
+    exe: ExecutorBase, workload: Workload, arch: ArchitectureSpec
+) -> PhaseStats:
+    """Add & LayerNorm on live on-chip activations: zero DRAM traffic."""
+    phase = _schedule(exe, workload, arch, "layernorm",
+                      pipelined=False, retention=True)
+    phase.dram_words = 0.0
+    phase.overlap_dram = True
+    return phase
+
+
+def fused_ffn_phase(
+    exe: ExecutorBase,
+    workload: Workload,
+    arch: ArchitectureSpec,
+    weight_passes: int,
+) -> PhaseStats:
+    """FFN with on-chip hidden tensor; weights stream once per resident
+    token group, and the layer output writes back once."""
+    phase = _schedule(exe, workload, arch, "ffn",
+                      pipelined=False, retention=True)
+    d = workload.model.d_model
+    s = workload.model.ffn_hidden
+    weights = 2.0 * d * s * weight_passes
+    phase.dram_words = weights + workload.activation_words
+    phase.overlap_dram = True
+    return phase
+
+
+def fused_mha_traffic(
+    workload: Workload,
+    arch: ArchitectureSpec,
+    q_tile_tokens: int,
+) -> Dict[str, float]:
+    """DRAM traffic of a layer-fused MHA: only the K/V spill/reload
+    (Q arrives on chip from the fused QKV phase)."""
+    kv_words, passes = kv_reload_traffic(workload, arch, q_tile_tokens)
+    return {"kv_words": kv_words, "passes": float(passes)}

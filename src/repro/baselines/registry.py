@@ -1,0 +1,42 @@
+"""Executor registry.
+
+Maps the names used throughout the evaluation (figures, benchmarks,
+examples) to executor factories.  ``transfusion`` resolves lazily to
+avoid a circular import with :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines.base import ExecutorBase
+from repro.baselines.flat import FlatExecutor
+from repro.baselines.fusemax import FuseMaxExecutor
+from repro.baselines.fusemax_layerfuse import FuseMaxLayerFuseExecutor
+from repro.baselines.unfused import UnfusedExecutor
+
+
+def _transfusion_factory() -> ExecutorBase:
+    from repro.core.executor import TransFusionExecutor
+
+    return TransFusionExecutor()
+
+
+#: Executor name -> zero-argument factory.
+EXECUTORS: Dict[str, Callable[[], ExecutorBase]] = {
+    "unfused": UnfusedExecutor,
+    "flat": FlatExecutor,
+    "fusemax": FuseMaxExecutor,
+    "fusemax+lf": FuseMaxLayerFuseExecutor,
+    "transfusion": _transfusion_factory,
+}
+
+
+def named_executor(name: str) -> ExecutorBase:
+    """Instantiate an executor by registry name."""
+    key = name.lower()
+    if key not in EXECUTORS:
+        raise KeyError(
+            f"unknown executor {name!r}; choose from {sorted(EXECUTORS)}"
+        )
+    return EXECUTORS[key]()

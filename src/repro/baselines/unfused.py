@@ -1,0 +1,36 @@
+"""The Unfused baseline (Section 6.1).
+
+Every sub-layer runs as standalone kernels with all intermediate
+results -- including the quadratic attention-score matrices -- written
+to off-chip memory between phases.  QKV and the attention GEMMs run on
+the 2D array, softmax and Add & LayerNorm on the 1D array, FFN linears
+on the 2D array with activations on the 1D array.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines import phaselib
+from repro.baselines.base import ExecutorBase
+from repro.model.workload import Workload
+from repro.sim.stats import PhaseStats
+
+
+class UnfusedExecutor(ExecutorBase):
+    """Sequential kernel-by-kernel execution with DRAM staging."""
+
+    name = "unfused"
+
+    def build_phases(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> List[PhaseStats]:
+        return [
+            phaselib.unfused_qkv_phase(self, workload, arch),
+            phaselib.unfused_mha_phase(self, workload, arch),
+            phaselib.unfused_layernorm_phase(
+                self, workload, arch
+            ).scaled(2.0),
+            phaselib.unfused_ffn_phase(self, workload, arch),
+        ]

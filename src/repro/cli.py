@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``
+    Run every executor on one workload and print speedups,
+    utilization and energy.
+``compile``
+    Compile a workload with TransFusion and print the plan (TileSeek
+    tiling, per-layer DPipe schedules, residency).
+``inspect``
+    Render the DPipe pipeline window of one sub-layer as an ASCII
+    Gantt chart.
+``stack``
+    Price an encoder/decoder stack under the main executors.
+``decode``
+    Per-step autoregressive-decode cost across context lengths.
+``figures``
+    Regenerate one of the paper's figures as a table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import named_architecture
+from repro.core.framework import DEFAULT_EXECUTORS, compare_executors
+from repro.metrics.tables import format_table
+from repro.model.config import MODEL_ZOO, named_model
+from repro.model.workload import Workload
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="llama3", choices=sorted(MODEL_ZOO),
+        help="model shape preset",
+    )
+    parser.add_argument(
+        "--arch", default="cloud",
+        choices=("cloud", "edge", "edge32", "edge64"),
+        help="architecture preset (Table 3)",
+    )
+    parser.add_argument("--seq", type=int, default=65536,
+                        help="sequence length P")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="batch size B")
+    parser.add_argument("--causal", action="store_true",
+                        help="causally masked self-attention")
+
+
+def _workload_from(args: argparse.Namespace) -> Workload:
+    return Workload(
+        named_model(args.model),
+        seq_len=args.seq,
+        batch=args.batch,
+        causal=args.causal,
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run every executor on one workload and print a comparison."""
+    arch = named_architecture(args.arch)
+    workload = _workload_from(args)
+    reports = compare_executors(workload, arch,
+                                executors=DEFAULT_EXECUTORS)
+    base = reports["unfused"].latency_seconds(arch)
+    rows = []
+    for name, report in reports.items():
+        util = report.utilization(arch)
+        rows.append([
+            name,
+            report.latency_seconds(arch),
+            base / report.latency_seconds(arch),
+            util[PEArrayKind.ARRAY_2D],
+            util[PEArrayKind.ARRAY_1D],
+            report.energy(arch).total_pj / 1e12,
+        ])
+    print(format_table(
+        ["executor", "latency (s)", "speedup", "2D util", "1D util",
+         "energy (J)"],
+        rows,
+        title=f"{workload.describe()} on {arch.name}, per layer",
+    ))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile one workload with TransFusion and print the plan."""
+    from repro.core.framework import TransFusion
+
+    arch = named_architecture(args.arch)
+    workload = _workload_from(args)
+    plan = TransFusion(arch).compile(workload)
+    print(f"workload: {plan.workload} on {plan.architecture}")
+    print(f"tiling:   {plan.tiling.config}")
+    assessment = plan.tiling.assessment
+    print(
+        f"          kv passes {assessment.kv_passes}, weight passes "
+        f"{assessment.weight_passes}, buffer "
+        f"{assessment.buffer_words_required:.3e} / "
+        f"{arch.buffer_words:.3e} words"
+    )
+    for layer in plan.layers:
+        state = "pipelined" if layer.pipelined else "sequential"
+        print(
+            f"  {layer.layer:10s} {state:10s}"
+            f" epochs={layer.plan.n_epochs:>11,d}"
+            f" total={layer.plan.total_seconds:.4e}s"
+        )
+    summary = plan.summary(arch)
+    print(
+        f"per-layer latency {summary['latency_s']:.4e}s, energy "
+        f"{summary['energy_pj'] / 1e12:.3f} J, DRAM "
+        f"{summary['dram_words']:.3e} words"
+    )
+    if args.out:
+        from repro.core.serialize import save_plan
+
+        path = save_plan(plan, arch, args.out)
+        print(f"plan written to {path}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Render one sub-layer's DPipe schedule as an ASCII Gantt."""
+    from repro.dpipe.latency import build_latency_table
+    from repro.dpipe.pipeline import ROOT, best_window_schedule
+    from repro.dpipe.planner import plan_cascade
+    from repro.dpipe.visualize import render_gantt, schedule_timeline
+    from repro.core.executor import TransFusionExecutor
+    from repro.graph.dag import ComputationDAG
+
+    arch = named_architecture(args.arch)
+    workload = _workload_from(args)
+    executor = TransFusionExecutor()
+    cascade = executor.cascades(
+        workload.model, masked=workload.causal
+    )[args.layer]
+    tile = executor.inner_tile(workload, args.layer, arch)
+    n_epochs = executor.epoch_count(workload, args.layer, tile)
+    plan = plan_cascade(cascade, args.layer, tile, arch, n_epochs)
+    table = build_latency_table(cascade, args.layer, tile, arch)
+    print(
+        f"{args.layer} on {arch.name}: {n_epochs:,} epochs, "
+        f"steady-state period {plan.epoch_seconds:.3e}s, "
+        f"pipelined={plan.pipelined}"
+    )
+    if plan.bipartition is not None and plan.window_order:
+        dag = ComputationDAG.from_cascade(cascade)
+        window = best_window_schedule(
+            dag, plan.bipartition, table, max_orders=48
+        )
+        timeline = schedule_timeline(
+            window.schedule, table, zero_latency={ROOT}
+        )
+        print(render_gantt(timeline))
+    else:
+        from repro.dpipe.scheduler import dp_schedule
+
+        dag = ComputationDAG.from_cascade(cascade)
+        result = dp_schedule(
+            dag.topological_order(), dag.pred_map(), table
+        )
+        print(render_gantt(schedule_timeline(result, table)))
+    return 0
+
+
+def cmd_stack(args: argparse.Namespace) -> int:
+    """Price an encoder/decoder stack under the main executors."""
+    from repro.core.stack import StackConfig, estimate_stack
+
+    arch = named_architecture(args.arch)
+    stack = StackConfig(
+        named_model(args.model),
+        encoder_layers=args.encoder_layers,
+        decoder_layers=args.decoder_layers,
+        src_len=args.src or None,
+        tgt_len=args.tgt or None,
+        batch=args.batch,
+    )
+    rows = []
+    for executor in ("unfused", "fusemax", "transfusion"):
+        estimate = estimate_stack(stack, arch, executor)
+        blocks = estimate.block_latencies(arch)
+        rows.append(
+            [executor]
+            + [blocks.get(label, 0.0)
+               for label in ("encoder", "decoder.self",
+                             "decoder.cross")]
+            + [estimate.latency_seconds(arch),
+               estimate.energy_pj(arch) / 1e12]
+        )
+    print(format_table(
+        ["executor", "encoder (s)", "dec.self (s)",
+         "dec.cross (s)", "total (s)", "energy (J)"],
+        rows,
+        title=(
+            f"{args.model} stack ({args.encoder_layers} enc + "
+            f"{args.decoder_layers} dec) on {arch.name}"
+        ),
+    ))
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    """Print per-step decode latency across context lengths."""
+    from repro.experiments.decode import decode_sweep
+
+    contexts = tuple(args.contexts)
+    data = decode_sweep(
+        model=args.model,
+        contexts=contexts,
+        arch_name=args.arch,
+        batch=args.batch,
+    )
+    executors = ("unfused", "fusemax", "transfusion")
+    rows = [
+        [context] + [data[context][name] * 1e3
+                     for name in executors]
+        for context in contexts
+    ]
+    print(format_table(
+        ["context"] + [f"{n} (ms/step)" for n in executors],
+        rows,
+        title=(
+            f"Per-step decode latency, {args.model} B={args.batch} "
+            f"on {args.arch} (per layer)"
+        ),
+    ))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Re-run the benchmark harness for one paper figure."""
+    import subprocess
+
+    bench = {
+        "fig8": "bench_fig08_speedup.py",
+        "fig9": "bench_fig09_pe_size.py",
+        "fig10": "bench_fig10_utilization.py",
+        "fig11": "bench_fig11_contribution.py",
+        "fig12": "bench_fig12_energy.py",
+        "fig13": "bench_fig13_breakdown.py",
+        "table2": "bench_table2_buffer.py",
+    }[args.figure]
+    return subprocess.call([
+        sys.executable, "-m", "pytest", f"benchmarks/{bench}",
+        "--benchmark-only", "-q",
+    ])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "TransFusion reproduction: end-to-end Transformer "
+            "acceleration via graph fusion and pipelining"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="run all executors on one workload"
+    )
+    _add_workload_args(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    compile_cmd = sub.add_parser(
+        "compile", help="compile a workload with TransFusion"
+    )
+    _add_workload_args(compile_cmd)
+    compile_cmd.add_argument(
+        "--out", default="",
+        help="write the compiled plan as JSON to this path",
+    )
+    compile_cmd.set_defaults(fn=cmd_compile)
+
+    inspect = sub.add_parser(
+        "inspect", help="render a sub-layer's DPipe schedule"
+    )
+    _add_workload_args(inspect)
+    inspect.add_argument(
+        "--layer", default="mha",
+        choices=("qkv", "mha", "layernorm", "ffn"),
+    )
+    inspect.set_defaults(fn=cmd_inspect)
+
+    stack = sub.add_parser(
+        "stack", help="price an encoder/decoder stack"
+    )
+    stack.add_argument(
+        "--model", default="t5", choices=sorted(MODEL_ZOO)
+    )
+    stack.add_argument("--arch", default="cloud",
+                       choices=("cloud", "edge", "edge32",
+                                "edge64"))
+    stack.add_argument("--encoder-layers", type=int, default=6)
+    stack.add_argument("--decoder-layers", type=int, default=6)
+    stack.add_argument("--src", type=int, default=16384,
+                       help="encoder (source) sequence length")
+    stack.add_argument("--tgt", type=int, default=4096,
+                       help="decoder (target) sequence length")
+    stack.add_argument("--batch", type=int, default=16)
+    stack.set_defaults(fn=cmd_stack)
+
+    decode = sub.add_parser(
+        "decode", help="per-step decode cost vs context length"
+    )
+    decode.add_argument(
+        "--model", default="llama3", choices=sorted(MODEL_ZOO)
+    )
+    decode.add_argument("--arch", default="cloud",
+                        choices=("cloud", "edge", "edge32",
+                                 "edge64"))
+    decode.add_argument("--batch", type=int, default=64)
+    decode.add_argument(
+        "--contexts", type=int, nargs="+",
+        default=[1024, 8192, 65536],
+    )
+    decode.set_defaults(fn=cmd_decode)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate a paper figure's table"
+    )
+    figures.add_argument(
+        "figure",
+        choices=("fig8", "fig9", "fig10", "fig11", "fig12",
+                 "fig13", "table2"),
+    )
+    figures.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

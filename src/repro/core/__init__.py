@@ -1,0 +1,28 @@
+"""TransFusion core: the end-to-end fused executor and public API.
+
+Combines the three contributions:
+
+* inter-layer fusion (Section 3.2) -- activations propagate on chip;
+  only weights, the K/V spill and the layer boundary touch DRAM,
+* intra-layer pipelining via DPipe (Section 4), and
+* outer tiling via TileSeek (Section 5).
+"""
+
+from repro.core.executor import TransFusionExecutor
+from repro.core.framework import TransFusion, compare_executors
+from repro.core.interlayer import InterLayerPlan, build_interlayer_plan
+from repro.core.plan import CompiledLayer, CompiledPlan
+from repro.core.stack import StackConfig, StackEstimate, estimate_stack
+
+__all__ = [
+    "CompiledLayer",
+    "CompiledPlan",
+    "InterLayerPlan",
+    "StackConfig",
+    "StackEstimate",
+    "TransFusion",
+    "TransFusionExecutor",
+    "build_interlayer_plan",
+    "compare_executors",
+    "estimate_stack",
+]

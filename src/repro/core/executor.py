@@ -1,0 +1,163 @@
+"""The TransFusion executor.
+
+Combines all three mechanisms on top of the shared cost model:
+
+* **Inter-layer fusion** -- the DRAM traffic of every phase comes from
+  the TileSeek assessment of the fused dataflow (input, streamed
+  weights, K/V spill/reload, output); no intermediate activation ever
+  leaves the chip.
+* **DPipe** -- every sub-layer's compute schedule comes from the
+  bipartition + topological-order + DP search of Section 4, which also
+  decides per-op PE-array placement.
+* **TileSeek** -- the outer tiling factors minimizing DRAM energy
+  under the Table-2 buffer constraints.
+
+TileSeek results are memoized per (model, sequence, batch,
+architecture): the search is deterministic, and the evaluation sweeps
+revisit the same workloads many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines.base import ExecutorBase, SUBLAYERS
+from repro.dpipe.planner import DPipeOptions, DPipePlan, plan_cascade
+from repro.model.workload import Workload
+from repro.sim.stats import PhaseStats
+from repro.model.config import ModelConfig
+from repro.tileseek.evaluate import dram_traffic_words
+from repro.tileseek.search import TileSeek, TileSeekResult
+
+# The ModelConfig itself keys the cache (frozen dataclass): two models
+# with the same *name* but different shapes must not share tilings.
+_TilingKey = Tuple[ModelConfig, int, int, int, bool, str, int, int]
+_TILING_CACHE: Dict[_TilingKey, TileSeekResult] = {}
+
+
+class TransFusionExecutor(ExecutorBase):
+    """End-to-end fused, DPipe-pipelined, TileSeek-tiled execution.
+
+    Args:
+        dpipe_options: Search budget / ablation switches for DPipe.
+        tileseek_iterations: MCTS rounds per tiling search.
+        seed: Seed for the (deterministic) tiling search.
+    """
+
+    name = "transfusion"
+
+    def __init__(
+        self,
+        dpipe_options: DPipeOptions = DPipeOptions(),
+        tileseek_iterations: int = 400,
+        seed: int = 0,
+    ) -> None:
+        self.dpipe_options = dpipe_options
+        self.tileseek_iterations = tileseek_iterations
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # TileSeek integration
+    # ------------------------------------------------------------------
+    def tiling(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> TileSeekResult:
+        """The (memoized) TileSeek result for this workload."""
+        key: _TilingKey = (
+            workload.model,
+            workload.seq_len,
+            workload.batch,
+            workload.kv_len,
+            workload.causal,
+            arch.name,
+            self.tileseek_iterations,
+            self.seed,
+        )
+        if key not in _TILING_CACHE:
+            searcher = TileSeek(
+                iterations=self.tileseek_iterations, seed=self.seed
+            )
+            _TILING_CACHE[key] = searcher.search(workload, arch)
+        return _TILING_CACHE[key]
+
+    # ------------------------------------------------------------------
+    # DPipe integration
+    # ------------------------------------------------------------------
+    def layer_plan(
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        layer: str,
+    ) -> DPipePlan:
+        """DPipe plan for one sub-layer."""
+        cascade = self.cascades(
+            workload.model, masked=workload.causal
+        )[layer]
+        tile = self.inner_tile(workload, layer, arch)
+        n_epochs = self.epoch_count(workload, layer, tile)
+        return plan_cascade(
+            cascade, layer, tile, arch, n_epochs, self.dpipe_options
+        )
+
+    def _phase_from_plan(
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        layer: str,
+        plan: DPipePlan,
+    ) -> PhaseStats:
+        phase = PhaseStats(
+            name=layer,
+            compute_seconds=plan.total_seconds,
+            busy_seconds=dict(plan.busy_seconds),
+            ops_2d=plan.load_split[PEArrayKind.ARRAY_2D],
+            ops_1d=plan.load_split[PEArrayKind.ARRAY_1D],
+            overlap_dram=True,
+        )
+        cascade = self.cascades(
+            workload.model, masked=workload.causal
+        )[layer]
+        tile = self.inner_tile(workload, layer, arch)
+        self.add_access_counts(
+            phase, cascade, tile, plan.n_epochs, register_retention=True
+        )
+        return phase
+
+    # ------------------------------------------------------------------
+    # Phase construction
+    # ------------------------------------------------------------------
+    def build_phases(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> List[PhaseStats]:
+        tiling = self.tiling(workload, arch)
+        traffic = dram_traffic_words(
+            tiling.config, workload, arch.buffer_words
+        )
+        phases: List[PhaseStats] = []
+        for layer in SUBLAYERS:
+            plan = self.layer_plan(workload, arch, layer)
+            phase = self._phase_from_plan(workload, arch, layer, plan)
+            if layer == "qkv":
+                phase.dram_words = (
+                    workload.activation_words
+                    + traffic["qkv_weight_words"]
+                )
+            elif layer == "mha":
+                if workload.causal:
+                    # Causal mask: half the live score work.
+                    phase = phase.scaled(
+                        workload.attention_work_fraction
+                    )
+                phase.dram_words = traffic["kv_words"]
+            elif layer == "layernorm":
+                phase.dram_words = 0.0
+                phase = phase.scaled(2.0)
+            elif layer == "ffn":
+                phase.dram_words = (
+                    traffic["ffn_weight_words"]
+                    + workload.activation_words
+                )
+            phases.append(phase)
+        return phases

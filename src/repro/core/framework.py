@@ -1,0 +1,117 @@
+"""Public entry points: the :class:`TransFusion` framework facade.
+
+Typical use::
+
+    from repro import TransFusion, Workload, named_model
+    from repro import cloud_architecture
+
+    arch = cloud_architecture()
+    tf = TransFusion(arch)
+    plan = tf.compile(Workload(named_model("llama3"), seq_len=65536))
+    print(plan.summary(arch))
+
+``compare_executors`` runs the same workload under every registered
+dataflow and returns their reports -- the primitive behind all the
+paper-figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines.registry import named_executor
+from repro.core.executor import TransFusionExecutor
+from repro.core.interlayer import build_interlayer_plan
+from repro.core.plan import CompiledLayer, CompiledPlan
+from repro.dpipe.planner import DPipeOptions
+from repro.model.workload import Workload
+from repro.sim.stats import RunReport
+
+#: Executor names in the paper's presentation order.
+DEFAULT_EXECUTORS: Tuple[str, ...] = (
+    "unfused",
+    "flat",
+    "fusemax",
+    "fusemax+lf",
+    "transfusion",
+)
+
+
+class TransFusion:
+    """The TransFusion framework bound to one architecture.
+
+    Args:
+        arch: Target accelerator model.
+        dpipe_options: DPipe search budget / ablation switches.
+        tileseek_iterations: MCTS rounds per tiling search.
+        seed: Tiling-search seed (results are deterministic).
+    """
+
+    def __init__(
+        self,
+        arch: ArchitectureSpec,
+        dpipe_options: DPipeOptions = DPipeOptions(),
+        tileseek_iterations: int = 400,
+        seed: int = 0,
+    ) -> None:
+        self.arch = arch
+        self.executor = TransFusionExecutor(
+            dpipe_options=dpipe_options,
+            tileseek_iterations=tileseek_iterations,
+            seed=seed,
+        )
+
+    def compile(self, workload: Workload) -> CompiledPlan:
+        """Compile a workload into a full fused/tiled/pipelined plan."""
+        layers = tuple(
+            CompiledLayer(
+                layer=layer,
+                plan=self.executor.layer_plan(
+                    workload, self.arch, layer
+                ),
+            )
+            for layer in ("qkv", "mha", "layernorm", "ffn")
+        )
+        tiling = self.executor.tiling(workload, self.arch)
+        interlayer = build_interlayer_plan(
+            workload,
+            self.arch,
+            q_tile_tokens=tiling.config.p,
+            batch_tile=tiling.config.b,
+        )
+        report = self.executor.run(workload, self.arch)
+        return CompiledPlan(
+            workload=workload.describe(),
+            architecture=self.arch.name,
+            layers=layers,
+            tiling=tiling,
+            interlayer=interlayer,
+            report=report,
+        )
+
+    def estimate(self, workload: Workload) -> RunReport:
+        """Per-layer execution report without the full plan object."""
+        return self.executor.run(workload, self.arch)
+
+
+def compare_executors(
+    workload: Workload,
+    arch: ArchitectureSpec,
+    executors: Optional[Iterable[str]] = None,
+) -> Dict[str, RunReport]:
+    """Run one workload under several dataflows.
+
+    Args:
+        workload: The problem instance.
+        arch: Target architecture.
+        executors: Registry names; defaults to the paper's five.
+
+    Returns:
+        Executor name -> report, in the requested order.
+    """
+    names = tuple(executors) if executors else DEFAULT_EXECUTORS
+    return {
+        name: named_executor(name).run(workload, arch)
+        for name in names
+    }

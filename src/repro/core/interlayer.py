@@ -1,0 +1,153 @@
+"""Inter-layer fusion planning (Section 3.2).
+
+TransFusion keeps intermediate activations on chip and forwards them
+directly between sub-layers.  This module makes that residency plan
+explicit and checkable: for every tensor crossing a sub-layer boundary
+it records where the tensor lives (on-chip buffer vs DRAM) and why.
+
+Two tensors are special: ``BK`` and ``BV`` spill to off-chip memory by
+design, because every Q tile must re-read the *entire* key/value
+sequence (Figure 3) -- keeping them on chip is impossible once
+``2 * P * D`` exceeds the buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.model.workload import Workload
+
+
+class Residency(enum.Enum):
+    """Where a boundary tensor lives between producer and consumer."""
+
+    ON_CHIP = "on_chip"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class BoundaryTensor:
+    """A tensor crossing a sub-layer boundary in the fused dataflow."""
+
+    name: str
+    producer: str
+    consumer: str
+    words_per_tile: float
+    residency: Residency
+    reason: str
+
+
+@dataclass(frozen=True)
+class InterLayerPlan:
+    """The residency plan for one fused encoder layer."""
+
+    boundaries: Tuple[BoundaryTensor, ...]
+
+    def on_chip(self) -> List[BoundaryTensor]:
+        """Boundary tensors forwarded on chip."""
+        return [
+            b for b in self.boundaries
+            if b.residency is Residency.ON_CHIP
+        ]
+
+    def spilled(self) -> List[BoundaryTensor]:
+        """Boundary tensors staged through DRAM."""
+        return [
+            b for b in self.boundaries if b.residency is Residency.DRAM
+        ]
+
+    def spill_words_per_tile(self) -> float:
+        """Per-tile words spilled to DRAM."""
+        return sum(b.words_per_tile for b in self.spilled())
+
+
+def build_interlayer_plan(
+    workload: Workload,
+    arch: ArchitectureSpec,
+    q_tile_tokens: int,
+    batch_tile: int = 1,
+) -> InterLayerPlan:
+    """Derive the Section 3.2 residency plan for a tile configuration.
+
+    Args:
+        workload: The problem instance.
+        arch: Target architecture.
+        q_tile_tokens: Q-tile tokens per batch element (``P`` factor).
+        batch_tile: Batch elements per tile (``B`` factor).
+
+    Returns:
+        The boundary-tensor residency plan.
+    """
+    model = workload.model
+    tile_tokens = q_tile_tokens * batch_tile
+    act_tile = float(tile_tokens * model.d_model)
+    kv_full = 2.0 * workload.seq_len * model.d_model * batch_tile
+    kv_fits = kv_full <= 0.5 * arch.buffer_words
+    boundaries = (
+        BoundaryTensor(
+            name="Q",
+            producer="qkv",
+            consumer="mha",
+            words_per_tile=act_tile,
+            residency=Residency.ON_CHIP,
+            reason="Q tile is consumed immediately by the MHA loop",
+        ),
+        BoundaryTensor(
+            name="BK",
+            producer="qkv",
+            consumer="mha",
+            words_per_tile=kv_full / 2.0,
+            residency=(
+                Residency.ON_CHIP if kv_fits else Residency.DRAM
+            ),
+            reason=(
+                "full K sequence fits in the buffer"
+                if kv_fits
+                else "every Q tile re-reads the full K sequence "
+                "(exceeds buffer)"
+            ),
+        ),
+        BoundaryTensor(
+            name="BV",
+            producer="qkv",
+            consumer="mha",
+            words_per_tile=kv_full / 2.0,
+            residency=(
+                Residency.ON_CHIP if kv_fits else Residency.DRAM
+            ),
+            reason=(
+                "full V sequence fits in the buffer"
+                if kv_fits
+                else "every Q tile re-reads the full V sequence "
+                "(exceeds buffer)"
+            ),
+        ),
+        BoundaryTensor(
+            name="AV",
+            producer="mha",
+            consumer="layernorm",
+            words_per_tile=act_tile,
+            residency=Residency.ON_CHIP,
+            reason="shape-consistent [B,H,F,P] forwarding (Sec. 3.2)",
+        ),
+        BoundaryTensor(
+            name="NR",
+            producer="layernorm",
+            consumer="ffn",
+            words_per_tile=act_tile,
+            residency=Residency.ON_CHIP,
+            reason="shape-consistent [B,H,F,P] forwarding (Sec. 3.2)",
+        ),
+        BoundaryTensor(
+            name="FFN2",
+            producer="ffn",
+            consumer="layernorm",
+            words_per_tile=act_tile,
+            residency=Residency.ON_CHIP,
+            reason="residual add of the second Add & LayerNorm",
+        ),
+    )
+    return InterLayerPlan(boundaries=boundaries)

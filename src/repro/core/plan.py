@@ -1,0 +1,64 @@
+"""Compiled-plan data structures returned by the public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.core.interlayer import InterLayerPlan
+from repro.dpipe.planner import DPipePlan
+from repro.sim.stats import RunReport
+from repro.tileseek.search import TileSeekResult
+
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """One sub-layer's schedule within a compiled plan."""
+
+    layer: str
+    plan: DPipePlan
+
+    @property
+    def pipelined(self) -> bool:
+        return self.plan.pipelined
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A full TransFusion compilation result for one workload.
+
+    Attributes:
+        workload: Human-readable workload label.
+        architecture: Architecture name.
+        layers: Per-sub-layer DPipe schedules.
+        tiling: The TileSeek outer-tiling result.
+        interlayer: The Section 3.2 residency plan.
+        report: Per-layer execution statistics.
+    """
+
+    workload: str
+    architecture: str
+    layers: Tuple[CompiledLayer, ...]
+    tiling: TileSeekResult
+    interlayer: InterLayerPlan
+    report: RunReport
+
+    def layer_plan(self, layer: str) -> DPipePlan:
+        """Look up one sub-layer's DPipe plan."""
+        for compiled in self.layers:
+            if compiled.layer == layer:
+                return compiled.plan
+        raise KeyError(f"no plan for layer {layer!r}")
+
+    def summary(self, arch: ArchitectureSpec) -> Dict[str, float]:
+        """Headline numbers: latency, energy, DRAM traffic."""
+        energy = self.report.energy(arch)
+        return {
+            "latency_s": self.report.latency_seconds(arch),
+            "energy_pj": energy.total_pj,
+            "dram_words": self.report.dram_words(),
+            "buffer_words_required": (
+                self.tiling.assessment.buffer_words_required
+            ),
+        }

@@ -1,0 +1,99 @@
+"""Plan serialization: export compiled plans as JSON documents.
+
+A compiled plan is the artifact a downstream compiler or runtime would
+consume -- the outer tiling factors, each sub-layer's pipeline
+bipartition and op-to-array assignment hints, and the cost estimates.
+This module flattens :class:`~repro.core.plan.CompiledPlan` into a
+JSON-safe dictionary (and back to disk), so plans can be archived,
+diffed and shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.arch.spec import ArchitectureSpec
+from repro.core.plan import CompiledPlan
+
+
+def plan_to_dict(
+    plan: CompiledPlan, arch: ArchitectureSpec
+) -> Dict[str, Any]:
+    """Flatten a compiled plan into JSON-safe primitives."""
+    tiling = plan.tiling
+    document: Dict[str, Any] = {
+        "workload": plan.workload,
+        "architecture": plan.architecture,
+        "tiling": {
+            "factors": tiling.config.as_dict(),
+            "feasible": tiling.feasible,
+            "buffer_words_required": (
+                tiling.assessment.buffer_words_required
+            ),
+            "dram_words": tiling.assessment.dram_words,
+            "kv_passes": tiling.assessment.kv_passes,
+            "weight_passes": tiling.assessment.weight_passes,
+            "search_evaluations": tiling.stats.evaluations,
+        },
+        "layers": [],
+        "interlayer": [
+            {
+                "tensor": boundary.name,
+                "producer": boundary.producer,
+                "consumer": boundary.consumer,
+                "residency": boundary.residency.value,
+                "words_per_tile": boundary.words_per_tile,
+                "reason": boundary.reason,
+            }
+            for boundary in plan.interlayer.boundaries
+        ],
+        "summary": plan.summary(arch),
+    }
+    for compiled in plan.layers:
+        layer_plan = compiled.plan
+        entry: Dict[str, Any] = {
+            "layer": compiled.layer,
+            "pipelined": layer_plan.pipelined,
+            "n_epochs": layer_plan.n_epochs,
+            "epoch_seconds": layer_plan.epoch_seconds,
+            "total_seconds": layer_plan.total_seconds,
+            "busy_seconds": {
+                kind.value: seconds
+                for kind, seconds in layer_plan.busy_seconds.items()
+            },
+            "load_split": {
+                kind.value: load
+                for kind, load in layer_plan.load_split.items()
+            },
+        }
+        if layer_plan.bipartition is not None:
+            entry["bipartition"] = {
+                "first": sorted(layer_plan.bipartition.first),
+                "second": sorted(layer_plan.bipartition.second),
+            }
+        if layer_plan.window_order:
+            entry["window_order"] = list(layer_plan.window_order)
+        document["layers"].append(entry)
+    return document
+
+
+def save_plan(
+    plan: CompiledPlan,
+    arch: ArchitectureSpec,
+    path: Union[str, Path],
+) -> Path:
+    """Write a compiled plan to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(plan_to_dict(plan, arch), indent=2,
+                   sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def load_plan_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a plan document written by :func:`save_plan`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,187 @@
+"""Encoder/decoder stack composition (Section 3.2's model structures).
+
+TransFusion composes sub-layers by their shape-consistent
+``[B, H, F, P]`` interfaces, "supporting different model structures
+such as encoders, decoders, or hybrid configurations".  This module
+models the three structures at stack granularity:
+
+* **encoder layer** -- dense self-attention + FFN (the layer every
+  executor prices directly),
+* **decoder layer** -- *masked* self-attention, a cross-attention
+  block reading the encoder memory, and the FFN,
+* **stacks** -- N encoder layers, M decoder layers, or both.
+
+Cross-attention reuses the same cascades with a key/value length
+``M != P``; masked self-attention uses Cascade 1's masked variant and
+halves the live score work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines.base import ExecutorBase
+from repro.baselines.registry import named_executor
+from repro.model.config import ModelConfig
+from repro.model.workload import Workload
+from repro.sim.stats import RunReport
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """A full Transformer stack.
+
+    Attributes:
+        model: Shared shape configuration.
+        encoder_layers: Encoder layer count (0 = decoder-only).
+        decoder_layers: Decoder layer count (0 = encoder-only).
+        src_len: Encoder (source) sequence length; required whenever
+            encoder or cross-attention layers exist.
+        tgt_len: Decoder (target) sequence length; required whenever
+            decoder layers exist.
+        batch: Batch size.
+    """
+
+    model: ModelConfig
+    encoder_layers: int = 0
+    decoder_layers: int = 0
+    src_len: Optional[int] = None
+    tgt_len: Optional[int] = None
+    batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.encoder_layers < 0 or self.decoder_layers < 0:
+            raise ValueError("layer counts must be >= 0")
+        if self.encoder_layers + self.decoder_layers == 0:
+            raise ValueError("stack needs at least one layer")
+        if self.encoder_layers and not self.src_len:
+            raise ValueError("encoder layers require src_len")
+        if self.decoder_layers and not self.tgt_len:
+            raise ValueError("decoder layers require tgt_len")
+        if self.decoder_layers and self.encoder_layers \
+                and not self.src_len:
+            raise ValueError("cross-attention requires src_len")
+
+    # ------------------------------------------------------------------
+    # Per-block workloads
+    # ------------------------------------------------------------------
+    def encoder_workload(self) -> Workload:
+        """Dense self-attention workload of one encoder layer."""
+        return Workload(self.model, seq_len=self.src_len,
+                        batch=self.batch)
+
+    def decoder_self_workload(self) -> Workload:
+        """Masked self-attention workload of one decoder layer."""
+        return Workload(self.model, seq_len=self.tgt_len,
+                        batch=self.batch, causal=True)
+
+    def cross_attention_workload(self) -> Workload:
+        """Cross-attention workload (decoder queries over encoder
+        memory); only defined for hybrid stacks."""
+        if not self.encoder_layers:
+            raise ValueError(
+                "decoder-only stacks have no cross-attention"
+            )
+        return Workload(
+            self.model,
+            seq_len=self.tgt_len,
+            batch=self.batch,
+            kv_seq_len=self.src_len,
+        )
+
+
+@dataclass
+class StackEstimate:
+    """Latency/energy estimate for a whole stack under one executor.
+
+    Attributes:
+        executor: Executor registry name.
+        blocks: Per-block (label, layer count, report) entries.
+    """
+
+    executor: str
+    architecture: str
+    blocks: List[Tuple[str, int, RunReport]] = field(
+        default_factory=list
+    )
+
+    def latency_seconds(self, arch: ArchitectureSpec) -> float:
+        """Total stack latency (layers execute sequentially)."""
+        return sum(
+            count * report.latency_seconds(arch)
+            for _, count, report in self.blocks
+        )
+
+    def energy_pj(self, arch: ArchitectureSpec) -> float:
+        """Total stack energy."""
+        return sum(
+            count * report.energy(arch).total_pj
+            for _, count, report in self.blocks
+        )
+
+    def block_latencies(
+        self, arch: ArchitectureSpec
+    ) -> Dict[str, float]:
+        """Block label -> total latency contribution."""
+        return {
+            label: count * report.latency_seconds(arch)
+            for label, count, report in self.blocks
+        }
+
+
+def estimate_stack(
+    stack: StackConfig,
+    arch: ArchitectureSpec,
+    executor: str = "transfusion",
+) -> StackEstimate:
+    """Price a full encoder/decoder stack under one executor.
+
+    Decoder layers are modeled as one masked self-attention layer plus
+    (in hybrid stacks) the attention-side phases of a cross-attention
+    block reading the encoder memory; the decoder FFN is already part
+    of the self-attention layer's report.
+
+    Args:
+        stack: The stack structure.
+        arch: Target architecture.
+        executor: Executor registry name.
+
+    Returns:
+        The per-block composition with stack totals.
+    """
+    runner: ExecutorBase = named_executor(executor)
+    estimate = StackEstimate(executor=executor,
+                             architecture=arch.name)
+    if stack.encoder_layers:
+        report = runner.run(stack.encoder_workload(), arch)
+        estimate.blocks.append(
+            ("encoder", stack.encoder_layers, report)
+        )
+    if stack.decoder_layers:
+        self_report = runner.run(stack.decoder_self_workload(), arch)
+        estimate.blocks.append(
+            ("decoder.self", stack.decoder_layers, self_report)
+        )
+        if stack.encoder_layers:
+            cross_full = runner.run(
+                stack.cross_attention_workload(), arch
+            )
+            # Cross-attention adds the K/V projections of the memory
+            # and the attention itself; LayerNorm rides along, but the
+            # FFN belongs to the self-attention layer's report.
+            cross = RunReport(
+                executor=cross_full.executor,
+                workload=cross_full.workload + " (cross)",
+                architecture=cross_full.architecture,
+                phases=[
+                    phase
+                    for phase in cross_full.phases
+                    if phase.name in ("qkv", "mha", "layernorm")
+                ],
+            )
+            estimate.blocks.append(
+                ("decoder.cross", stack.decoder_layers, cross)
+            )
+    return estimate

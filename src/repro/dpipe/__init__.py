@@ -1,0 +1,27 @@
+"""DPipe: the DAG-pipelining dynamic-programming scheduler (Section 4).
+
+DPipe turns an Einsum-cascade DAG into a latency-aware pipelined
+schedule in three steps:
+
+1. enumerate valid DAG bipartitions (:mod:`repro.graph.partition`),
+2. interleave consecutive epochs of the two subgraphs under a virtual
+   root and enumerate topological orderings (Section 4.1), and
+3. score every candidate with the earliest-finish DP of Eq. 43-46,
+   which also picks, per op, whichever PE array completes it first --
+   the mechanism behind DPipe's load balancing across the 2D and 1D
+   arrays.
+"""
+
+from repro.dpipe.latency import LatencyTable, build_latency_table
+from repro.dpipe.planner import DPipeOptions, DPipePlan, plan_cascade
+from repro.dpipe.scheduler import ScheduleResult, dp_schedule
+
+__all__ = [
+    "DPipeOptions",
+    "DPipePlan",
+    "LatencyTable",
+    "ScheduleResult",
+    "build_latency_table",
+    "dp_schedule",
+    "plan_cascade",
+]

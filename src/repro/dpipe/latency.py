@@ -1,0 +1,59 @@
+"""Per-op, per-array latency tables for the DP scheduler (Section 4.2).
+
+The DP rule (Eq. 45) compares each op's completion time on the 1D and
+2D arrays, so it needs ``Latency[op][pe]`` for both.  Latencies come
+from the shared Eq. 40-42 model; the array-fit efficiency inside
+:func:`repro.sim.latency.op_cycles` prices mismatched placements
+(GEMMs on the narrow 1D array, vector work on the systolic 2D array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+from repro.einsum.cascade import Cascade
+from repro.sim.latency import op_cycles
+from repro.sim.mapping import layer_mapping
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Seconds and compute loads per (op, PE array).
+
+    Attributes:
+        seconds: ``(op name, array kind) -> latency seconds``.
+        loads: ``op name -> Eq. 40 compute load`` (array independent).
+    """
+
+    seconds: Mapping[Tuple[str, PEArrayKind], float]
+    loads: Mapping[str, float]
+
+    def latency(self, op_name: str, kind: PEArrayKind) -> float:
+        """Latency of one op on one array."""
+        return self.seconds[(op_name, kind)]
+
+    def load(self, op_name: str) -> float:
+        """Scalar-op count of one op execution."""
+        return self.loads[op_name]
+
+
+def build_latency_table(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+) -> LatencyTable:
+    """Price every cascade op on both PE arrays at tile granularity."""
+    mapping = layer_mapping(layer)
+    seconds: Dict[Tuple[str, PEArrayKind], float] = {}
+    loads: Dict[str, float] = {}
+    for op in cascade.all_ops:
+        loads[op.name] = op.compute_load(tile)
+        for kind in (PEArrayKind.ARRAY_2D, PEArrayKind.ARRAY_1D):
+            array = arch.array(kind)
+            cycles = op_cycles(op, tile, array, mapping)
+            seconds[(op.name, kind)] = cycles / arch.clock_hz
+    return LatencyTable(seconds=seconds, loads=loads)

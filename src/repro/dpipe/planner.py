@@ -1,0 +1,332 @@
+"""The DPipe planner: bipartition search + DP scheduling per layer.
+
+``plan_cascade`` is DPipe's top-level entry: given a sub-layer cascade,
+an inner tile and an epoch count it
+
+1. DP-schedules a single epoch (array load balancing without
+   pipelining) as the fallback plan,
+2. enumerates valid bipartitions, DP-schedules each epoch-interleaved
+   window over up to ``max_orders`` topological orders, and
+3. returns the plan with the smallest end-to-end makespan
+   ``t_G1 + (n_epochs - 1) * t_window + t_G2``.
+
+The returned plan carries busy time and compute-load splits per PE
+array so executors can report utilization and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+from repro.dpipe.latency import LatencyTable, build_latency_table
+from repro.dpipe.pipeline import (
+    WindowSchedule,
+    best_window_schedule,
+    subgraph_makespan,
+)
+from repro.dpipe.scheduler import ARRAYS, ScheduleResult, dp_schedule
+from repro.einsum.cascade import Cascade
+from repro.graph.dag import ComputationDAG
+from repro.graph.partition import Bipartition, enumerate_bipartitions
+from repro.graph.toposort import all_topological_orders
+
+
+@dataclass(frozen=True)
+class DPipeOptions:
+    """Search-budget knobs for the planner.
+
+    Attributes:
+        max_bipartitions: Cap on bipartitions evaluated per layer.
+        max_orders: Cap on topological orders DP-evaluated per window.
+        enable_pipelining: If False, only the single-epoch DP runs
+            (used by the DPipe ablation benchmark).
+        enable_dp_assignment: If False, ops are pinned to their natural
+            array (GEMMs on 2D, vector on 1D) instead of Eq. 45's
+            min-completion choice (second ablation axis).
+        objective: What candidate schedules compete on --
+            ``"latency"`` (the paper's), ``"energy"`` (compute energy
+            of the load split; offloading vector work to the 2D array
+            costs more pJ/op), or ``"edp"`` (energy-delay product).
+    """
+
+    max_bipartitions: int = 32
+    max_orders: int = 48
+    enable_pipelining: bool = True
+    enable_dp_assignment: bool = True
+    objective: str = "latency"
+
+    def __post_init__(self) -> None:
+        if self.max_bipartitions <= 0 or self.max_orders <= 0:
+            raise ValueError("search caps must be positive")
+        if self.objective not in ("latency", "energy", "edp"):
+            raise ValueError(
+                f"unknown objective {self.objective!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DPipePlan:
+    """A complete DPipe schedule for one sub-layer.
+
+    Attributes:
+        layer: Sub-layer kind.
+        n_epochs: Inner-tile epochs covering the problem.
+        epoch_seconds: Steady-state seconds per epoch.
+        total_seconds: End-to-end makespan across all epochs.
+        busy_seconds: Busy time per array, totalled over all epochs.
+        load_split: Compute load (scalar ops) per array, totalled.
+        bipartition: The winning bipartition (None = unpipelined).
+        window_order: The winning topological order of the window.
+        pipelined: Whether epoch interleaving beat the fallback.
+    """
+
+    layer: str
+    n_epochs: int
+    epoch_seconds: float
+    total_seconds: float
+    busy_seconds: Mapping[PEArrayKind, float]
+    load_split: Mapping[PEArrayKind, float]
+    bipartition: Optional[Bipartition] = None
+    window_order: Tuple[str, ...] = field(default_factory=tuple)
+    pipelined: bool = False
+
+
+def _pinned_table(
+    cascade: Cascade, table: LatencyTable
+) -> LatencyTable:
+    """Forbid cross-array placement: natural array keeps its latency,
+    the other becomes prohibitively slow (ablation mode)."""
+    seconds: Dict[Tuple[str, PEArrayKind], float] = {}
+    for op in cascade.all_ops:
+        natural = (
+            PEArrayKind.ARRAY_2D
+            if op.is_gemm_like
+            else PEArrayKind.ARRAY_1D
+        )
+        for kind in ARRAYS:
+            base = table.latency(op.name, kind)
+            seconds[(op.name, kind)] = (
+                base if kind is natural else base * 1e9
+            )
+    return LatencyTable(seconds=seconds, loads=dict(table.loads))
+
+
+def _best_single_epoch(
+    dag: ComputationDAG,
+    table: LatencyTable,
+    max_orders: int,
+) -> ScheduleResult:
+    """Best single-epoch DP schedule over enumerated topo orders."""
+    preds = dag.pred_map()
+    best: Optional[ScheduleResult] = None
+    for order in all_topological_orders(dag, limit=max_orders):
+        result = dp_schedule(order, preds, table)
+        if best is None or result.makespan < best.makespan:
+            best = result
+    assert best is not None
+    return best
+
+
+def _static_pipeline_plan(
+    cascade: Cascade,
+    layer: str,
+    table: LatencyTable,
+    n_epochs: int,
+) -> DPipePlan:
+    """The FuseMax-style static pipeline as a schedule candidate.
+
+    Ops keep their natural arrays and the two per-array stages of
+    consecutive epochs fully overlap in steady state: epoch period =
+    max of the per-array latency sums, plus one fill.  This schedule
+    is a member of DPipe's search space (a source/sink bipartition
+    with stage-ordered interleaving); enumerating it explicitly
+    guarantees the capped window search never returns anything worse.
+    """
+    sums: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    loads: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    for op in cascade.all_ops:
+        natural = (
+            PEArrayKind.ARRAY_2D
+            if op.is_gemm_like
+            else PEArrayKind.ARRAY_1D
+        )
+        sums[natural] += table.latency(op.name, natural)
+        loads[natural] += table.load(op.name)
+    period = max(sums.values())
+    fill = min(sums.values())
+    return DPipePlan(
+        layer=layer,
+        n_epochs=n_epochs,
+        epoch_seconds=period,
+        total_seconds=n_epochs * period + fill,
+        busy_seconds={
+            kind: n_epochs * sums[kind] for kind in ARRAYS
+        },
+        load_split={
+            kind: n_epochs * loads[kind] for kind in ARRAYS
+        },
+        pipelined=True,
+    )
+
+
+def _paired_window_plan(
+    cascade: Cascade,
+    dag: ComputationDAG,
+    layer: str,
+    table: LatencyTable,
+    n_epochs: int,
+    single: ScheduleResult,
+    max_orders: int,
+) -> Optional[DPipePlan]:
+    """Epoch overlap for DAGs regardless of bipartition validity.
+
+    Prices two *whole* consecutive epochs as one DP problem (joined by
+    the cross-epoch state edges) and takes half the pair makespan as
+    the steady-state period.  This captures overlap the bipartition
+    window cannot express -- e.g. QKV's three independent projections
+    spreading over both PE arrays *and* two epochs.
+    """
+    from repro.dpipe.pipeline import (
+        ROOT,
+        build_paired_window,
+    )
+
+    if n_epochs < 2:
+        return None
+    window = build_paired_window(dag, cascade)
+    preds = window.pred_map()
+    best: Optional[ScheduleResult] = None
+    for order in all_topological_orders(window, limit=max_orders):
+        result = dp_schedule(order, preds, table,
+                             zero_latency={ROOT})
+        if best is None or result.makespan < best.makespan:
+            best = result
+    assert best is not None
+    period = best.makespan / 2.0
+    total = single.makespan + (n_epochs - 1) * period
+    # The pair carries two epochs of work: halve its busy/load totals
+    # to get the per-epoch split.
+    split = best.load_split(table)
+    return DPipePlan(
+        layer=layer,
+        n_epochs=n_epochs,
+        epoch_seconds=period,
+        total_seconds=total,
+        busy_seconds={
+            kind: n_epochs * best.busy_seconds[kind] / 2.0
+            for kind in ARRAYS
+        },
+        load_split={
+            kind: n_epochs * load / 2.0
+            for kind, load in split.items()
+        },
+        pipelined=True,
+    )
+
+
+def plan_cascade(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    n_epochs: int,
+    options: DPipeOptions = DPipeOptions(),
+) -> DPipePlan:
+    """Produce the best DPipe schedule for one sub-layer.
+
+    Args:
+        cascade: The sub-layer's Einsum cascade.
+        layer: Sub-layer kind (Table-1 mapping selection).
+        tile: Inner-tile extents (one epoch's work).
+        arch: Target architecture.
+        n_epochs: Epochs needed to cover the full problem.
+        options: Search budget / ablation switches.
+
+    Returns:
+        The minimum-makespan plan found.
+    """
+    if n_epochs <= 0:
+        raise ValueError("n_epochs must be positive")
+    dag = ComputationDAG.from_cascade(cascade)
+    table = build_latency_table(cascade, layer, tile, arch)
+    if not options.enable_dp_assignment:
+        table = _pinned_table(cascade, table)
+
+    def compute_energy_pj(plan: DPipePlan) -> float:
+        return arch.energy.pe_energy_pj(
+            plan.load_split[PEArrayKind.ARRAY_2D],
+            plan.load_split[PEArrayKind.ARRAY_1D],
+        )
+
+    def score(plan: DPipePlan) -> float:
+        if options.objective == "latency":
+            return plan.total_seconds
+        if options.objective == "energy":
+            return compute_energy_pj(plan)
+        return plan.total_seconds * compute_energy_pj(plan)  # edp
+
+    single = _best_single_epoch(dag, table, options.max_orders)
+    best_plan = DPipePlan(
+        layer=layer,
+        n_epochs=n_epochs,
+        epoch_seconds=single.makespan,
+        total_seconds=n_epochs * single.makespan,
+        busy_seconds={
+            kind: n_epochs * single.busy_seconds[kind]
+            for kind in ARRAYS
+        },
+        load_split={
+            kind: n_epochs * load
+            for kind, load in single.load_split(table).items()
+        },
+        pipelined=False,
+    )
+    if not options.enable_pipelining or n_epochs < 2:
+        return best_plan
+
+    candidates = [
+        _static_pipeline_plan(cascade, layer, table, n_epochs),
+    ]
+    paired = _paired_window_plan(
+        cascade, dag, layer, table, n_epochs, single,
+        options.max_orders,
+    )
+    if paired is not None:
+        candidates.append(paired)
+
+    bipartitions = enumerate_bipartitions(
+        dag, limit=options.max_bipartitions
+    )
+    for bipartition in bipartitions:
+        window = best_window_schedule(
+            dag, bipartition, table, options.max_orders
+        )
+        fill = subgraph_makespan(dag, bipartition.first, table)
+        drain = subgraph_makespan(dag, bipartition.second, table)
+        total = fill + (n_epochs - 1) * window.period_seconds + drain
+        split = window.schedule.load_split(table)
+        candidates.append(DPipePlan(
+            layer=layer,
+            n_epochs=n_epochs,
+            epoch_seconds=window.period_seconds,
+            total_seconds=total,
+            busy_seconds={
+                kind: n_epochs
+                * window.schedule.busy_seconds[kind]
+                for kind in ARRAYS
+            },
+            load_split={
+                kind: n_epochs * load
+                for kind, load in split.items()
+            },
+            bipartition=bipartition,
+            window_order=window.order,
+            pipelined=True,
+        ))
+    for candidate in candidates:
+        if score(candidate) < score(best_plan):
+            best_plan = candidate
+    return best_plan

@@ -1,0 +1,107 @@
+"""Schedule introspection and ASCII Gantt rendering.
+
+DPipe's value is easiest to see on a timeline: which Einsum ran on
+which array, when, and where the overlap between epochs happens.
+These helpers reconstruct per-op intervals from a
+:class:`~repro.dpipe.scheduler.ScheduleResult` and render them as a
+text Gantt chart (used by ``examples/schedule_gantt.py`` and the
+``repro`` CLI's ``inspect`` command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.arch.pe import PEArrayKind
+from repro.dpipe.latency import LatencyTable
+from repro.dpipe.scheduler import ScheduleResult, _strip_epoch
+
+
+@dataclass(frozen=True)
+class OpInterval:
+    """One scheduled op's execution interval."""
+
+    name: str
+    array: PEArrayKind
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def schedule_timeline(
+    result: ScheduleResult,
+    table: LatencyTable,
+    zero_latency: Set[str] = frozenset(),
+) -> List[OpInterval]:
+    """Reconstruct per-op intervals from a DP schedule.
+
+    Args:
+        result: The DP schedule.
+        table: The latency table it was computed against.
+        zero_latency: Virtual nodes (ROOT) to omit.
+
+    Returns:
+        Intervals sorted by start time.
+    """
+    intervals: List[OpInterval] = []
+    for name, end in result.end_times.items():
+        if name in zero_latency:
+            continue
+        kind = result.assignment[name]
+        latency = table.latency(_strip_epoch(name), kind)
+        intervals.append(
+            OpInterval(name=name, array=kind,
+                       start=end - latency, end=end)
+        )
+    return sorted(intervals, key=lambda iv: (iv.start, iv.name))
+
+
+def render_gantt(
+    intervals: Sequence[OpInterval],
+    width: int = 64,
+) -> str:
+    """Render op intervals as an ASCII Gantt chart.
+
+    One row per op, ``#`` for 2D-array execution and ``=`` for the 1D
+    array, scaled to ``width`` columns over the schedule makespan.
+    """
+    if not intervals:
+        return "(empty schedule)"
+    if width < 8:
+        raise ValueError("width must be at least 8 columns")
+    makespan = max(iv.end for iv in intervals)
+    if makespan <= 0:
+        return "(zero-length schedule)"
+    name_width = max(len(iv.name) for iv in intervals)
+    lines = [
+        f"{'op'.ljust(name_width)} | array | 0 {'-' * (width - 4)} "
+        f"{makespan:.3e}s"
+    ]
+    for iv in intervals:
+        begin = int(round(iv.start / makespan * width))
+        finish = max(begin + 1, int(round(iv.end / makespan * width)))
+        finish = min(finish, width)
+        glyph = "#" if iv.array is PEArrayKind.ARRAY_2D else "="
+        bar = (
+            " " * begin
+            + glyph * (finish - begin)
+            + " " * (width - finish)
+        )
+        label = "2D" if iv.array is PEArrayKind.ARRAY_2D else "1D"
+        lines.append(f"{iv.name.ljust(name_width)} | {label}    |"
+                     f" {bar}")
+    return "\n".join(lines)
+
+
+def array_occupancy(
+    intervals: Sequence[OpInterval],
+) -> dict:
+    """Busy-time totals per array over a timeline."""
+    busy = {kind: 0.0 for kind in PEArrayKind}
+    for iv in intervals:
+        busy[iv.array] += iv.duration
+    return busy

@@ -1,0 +1,208 @@
+"""Cascades of Einsums.
+
+A :class:`Cascade` is an ordered sequence of Extended-Einsum operations
+whose intermediate results feed later operations (Section 2.4).  Cascades
+may be *recurrent*: Einsum Cascade 1 (1-pass attention) loops over the
+outer sequence tile ``m1``, carrying running state (``RM``, ``RD``,
+``RNV``) across iterations and finishing with an epilogue
+(``AV = RNV / RD``, Eq. 23).
+
+The cascade is the single source of truth consumed by
+
+* the NumPy evaluator (numerical correctness),
+* the DAG builder (DPipe bipartitioning and scheduling), and
+* the cost model (per-op compute loads, Eq. 40).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.einsum.operation import EinsumOp
+from repro.einsum.tensor import TensorSpec
+
+
+@dataclass(frozen=True)
+class StateSpec:
+    """Recurrent state carried across loop iterations of a cascade.
+
+    Attributes:
+        spec: Tensor spec of the state (dims exclude the loop dim).
+        init: Scalar initial value (e.g. ``-inf`` for a running max).
+        update_from: Name of the op output assigned to this state at the
+            end of each loop iteration (e.g. ``RM <- RMn``).
+    """
+
+    spec: TensorSpec
+    init: float
+    update_from: str
+
+
+@dataclass(frozen=True)
+class Cascade:
+    """An ordered, validated cascade of Einsum operations.
+
+    Attributes:
+        name: Cascade name (e.g. ``"mha_1pass"``).
+        ops: Loop-body operations in a valid evaluation order.  For
+            non-recurrent cascades these are simply all operations.
+        external_inputs: Tensors supplied from outside the cascade.
+        outputs: Names of tensors the cascade exposes as results.
+        loop_dim: Name of the recurrence dimension (``"m1"`` for 1-pass
+            attention) or ``None`` for straight-line cascades.
+        state: Recurrent state tensors by name.
+        epilogue: Operations evaluated once after the loop finishes
+            (may read final state values).
+    """
+
+    name: str
+    ops: Tuple[EinsumOp, ...]
+    external_inputs: Tuple[TensorSpec, ...]
+    outputs: Tuple[str, ...]
+    loop_dim: Optional[str] = None
+    state: Mapping[str, StateSpec] = field(default_factory=dict)
+    epilogue: Tuple[EinsumOp, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.loop_dim is None and self.state:
+            raise ValueError(
+                f"cascade {self.name!r}: state requires a loop_dim"
+            )
+        external = {t.name for t in self.external_inputs}
+        produced: set = set()
+        all_ops = list(self.ops) + list(self.epilogue)
+        names = [op.name for op in all_ops]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cascade {self.name!r}: duplicate op names")
+        out_names = [op.output.name for op in all_ops]
+        if len(set(out_names)) != len(out_names):
+            raise ValueError(
+                f"cascade {self.name!r}: duplicate output tensors"
+            )
+        clash = external & set(out_names)
+        if clash:
+            raise ValueError(
+                f"cascade {self.name!r}: ops overwrite external inputs "
+                f"{sorted(clash)}"
+            )
+        for op in self.ops:
+            for inp in op.input_names():
+                ok = (
+                    inp in external
+                    or inp in produced
+                    or inp in self.state
+                )
+                if not ok:
+                    raise ValueError(
+                        f"cascade {self.name!r}: op {op.name!r} reads "
+                        f"{inp!r} before it is available"
+                    )
+            produced.add(op.output.name)
+        for op in self.epilogue:
+            for inp in op.input_names():
+                if not (inp in external or inp in produced
+                        or inp in self.state):
+                    raise ValueError(
+                        f"cascade {self.name!r}: epilogue op {op.name!r} "
+                        f"reads unknown tensor {inp!r}"
+                    )
+            produced.add(op.output.name)
+        for state_name, sspec in self.state.items():
+            if sspec.update_from not in produced:
+                raise ValueError(
+                    f"cascade {self.name!r}: state {state_name!r} updates "
+                    f"from unproduced tensor {sspec.update_from!r}"
+                )
+        for out in self.outputs:
+            if out not in produced and out not in self.state:
+                raise ValueError(
+                    f"cascade {self.name!r}: declared output {out!r} is "
+                    "never produced"
+                )
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def all_ops(self) -> Tuple[EinsumOp, ...]:
+        """Loop-body plus epilogue ops, in evaluation order."""
+        return tuple(self.ops) + tuple(self.epilogue)
+
+    def op(self, name: str) -> EinsumOp:
+        """Look up an op by name."""
+        for candidate in self.all_ops:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"cascade {self.name!r} has no op {name!r}")
+
+    def producer_of(self, tensor_name: str) -> Optional[EinsumOp]:
+        """The op producing ``tensor_name``; state names resolve to the
+        op producing their ``update_from`` tensor."""
+        if tensor_name in self.state:
+            tensor_name = self.state[tensor_name].update_from
+        for candidate in self.all_ops:
+            if candidate.output.name == tensor_name:
+                return candidate
+        return None
+
+    def external_input(self, name: str) -> TensorSpec:
+        """Look up a declared external input spec by name."""
+        for spec in self.external_inputs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"cascade {self.name!r} has no input {name!r}")
+
+    def tensors(self) -> Dict[str, TensorSpec]:
+        """All tensor specs visible in the cascade, keyed by name."""
+        specs: Dict[str, TensorSpec] = {
+            t.name: t for t in self.external_inputs
+        }
+        for state_name, sspec in self.state.items():
+            specs[state_name] = sspec.spec
+        for op in self.all_ops:
+            specs[op.output.name] = op.output
+            if op.bias is not None:
+                specs.setdefault(op.bias.name, op.bias)
+        return specs
+
+    def intermediate_tensors(self) -> List[TensorSpec]:
+        """Tensors produced by ops but not exposed as cascade outputs."""
+        outs = set(self.outputs)
+        return [
+            op.output for op in self.all_ops if op.output.name not in outs
+        ]
+
+    def dims_used(self) -> Tuple[str, ...]:
+        """All dimension names referenced anywhere in the cascade."""
+        dims: List[str] = []
+        for spec in self.tensors().values():
+            for d in spec.dims:
+                if d not in dims:
+                    dims.append(d)
+        if self.loop_dim and self.loop_dim not in dims:
+            dims.append(self.loop_dim)
+        return tuple(dims)
+
+    def total_compute_load(self, extents: Mapping[str, int]) -> float:
+        """Sum of Eq. 40 loads over all ops for one full evaluation.
+
+        Loop-body loads are multiplied by the loop trip count
+        (``extents[loop_dim]``); epilogue loads count once.
+        """
+        trips = int(extents[self.loop_dim]) if self.loop_dim else 1
+        body = sum(op.compute_load(extents) for op in self.ops)
+        epi = sum(op.compute_load(extents) for op in self.epilogue)
+        return body * trips + epi
+
+    def __iter__(self) -> Iterable[EinsumOp]:
+        return iter(self.all_ops)
+
+    def __len__(self) -> int:
+        return len(self.ops) + len(self.epilogue)

@@ -1,0 +1,43 @@
+"""Tiny signature parser for Einsum specs.
+
+Signatures use whitespace-separated dimension names so multi-character
+dims (``m0``, ``m1``) are unambiguous::
+
+    parse_signature("h e p, h e m0 -> h m0 p")
+    == ((("h", "e", "p"), ("h", "e", "m0")), ("h", "m0", "p"))
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def parse_signature(
+    signature: str,
+) -> Tuple[Tuple[Tuple[str, ...], ...], Tuple[str, ...]]:
+    """Parse ``"in1, in2 -> out"`` into dim tuples.
+
+    Args:
+        signature: Einsum-like signature with whitespace-separated dims.
+
+    Returns:
+        ``(input_dim_tuples, output_dims)``.
+
+    Raises:
+        ValueError: If the signature is malformed.
+    """
+    if signature.count("->") != 1:
+        raise ValueError(f"signature needs exactly one '->': {signature!r}")
+    lhs, rhs = signature.split("->")
+    inputs = tuple(
+        tuple(part.split()) for part in lhs.split(",")
+    )
+    output = tuple(rhs.split())
+    if any(len(dims) == 0 for dims in inputs):
+        raise ValueError(f"empty input term in signature {signature!r}")
+    for dims in inputs + (output,):
+        if len(set(dims)) != len(dims):
+            raise ValueError(
+                f"repeated dim within one term of {signature!r}"
+            )
+    return inputs, output

@@ -1,0 +1,70 @@
+"""Symbolic tensor specifications.
+
+A :class:`TensorSpec` names a tensor and lists its dimensions by *name*
+(e.g. ``("h", "e", "p")``).  Concrete sizes live in a separate ``extents``
+mapping (dimension name -> integer extent) so the same cascade can be
+instantiated for any model shape or tile size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor with symbolic dimensions.
+
+    Attributes:
+        name: Unique tensor name within a cascade (e.g. ``"BQK"``).
+        dims: Ordered dimension names (e.g. ``("h", "m0", "p")``).
+    """
+
+    name: str
+    dims: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(
+                f"tensor {self.name!r} has repeated dims: {self.dims}"
+            )
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    def shape(self, extents: Mapping[str, int]) -> Tuple[int, ...]:
+        """Concrete shape under the given dimension extents."""
+        missing = [d for d in self.dims if d not in extents]
+        if missing:
+            raise KeyError(
+                f"tensor {self.name!r}: extents missing dims {missing}"
+            )
+        return tuple(int(extents[d]) for d in self.dims)
+
+    def size(self, extents: Mapping[str, int]) -> int:
+        """Number of elements under the given extents."""
+        return math.prod(self.shape(extents)) if self.dims else 1
+
+    def bytes(self, extents: Mapping[str, int], word_bytes: int = 2) -> int:
+        """Footprint in bytes assuming ``word_bytes`` bytes per element."""
+        if word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+        return self.size(extents) * word_bytes
+
+    def has_dim(self, dim: str) -> bool:
+        """Whether ``dim`` appears in this tensor."""
+        return dim in self.dims
+
+    def __str__(self) -> str:
+        return f"{self.name}[{','.join(self.dims)}]"
+
+
+def tensor(name: str, *dims: str) -> TensorSpec:
+    """Convenience constructor: ``tensor("Q", "h", "e", "p")``."""
+    return TensorSpec(name=name, dims=tuple(dims))

@@ -1,0 +1,18 @@
+"""Per-figure experiment generators (Section 6.2).
+
+Each ``figNN`` module produces the data series of the corresponding
+paper figure; the :mod:`benchmarks` harnesses print them as tables and
+the examples visualize them.  All generators share the memoized
+:mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    EVAL_MODELS,
+    get_report,
+)
+
+__all__ = ["DEFAULT_SEQ_LENGTHS", "EVAL_MODELS", "get_report"]
+
+#: Extension-study modules (importable on demand): batch_sweep,
+#: decode, sensitivity, ablations.

@@ -1,0 +1,95 @@
+"""Ablation experiments for the two schedulers.
+
+*DPipe ablation* -- disable epoch pipelining and/or the DP per-op array
+assignment (Eq. 45) and measure the slowdown, isolating which DPipe
+mechanism matters on which architecture (pipelining on cloud,
+array load-balancing on edge).
+
+*TileSeek ablation* -- compare MCTS against random search at equal
+evaluation budget and against exhaustive grid search (the optimum).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.arch.spec import named_architecture
+from repro.core.executor import TransFusionExecutor
+from repro.dpipe.planner import DPipeOptions
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.tileseek.baseline_search import (
+    ExhaustiveTilingSearch,
+    RandomTilingSearch,
+)
+from repro.tileseek.search import TileSeek
+
+#: DPipe variants: name -> options.
+DPIPE_VARIANTS: Dict[str, DPipeOptions] = {
+    "full": DPipeOptions(),
+    "no-pipeline": DPipeOptions(enable_pipelining=False),
+    "no-dp-assign": DPipeOptions(enable_dp_assignment=False),
+    "static": DPipeOptions(
+        enable_pipelining=False, enable_dp_assignment=False
+    ),
+}
+
+
+def dpipe_ablation(
+    model: str = "llama3",
+    seq_len: int = 65536,
+    archs: Sequence[str] = ("cloud", "edge"),
+    batch: int = 64,
+) -> Dict[str, Dict[str, float]]:
+    """Per-layer latency of each DPipe variant.
+
+    Returns:
+        ``{arch: {variant: latency_seconds}}``.
+    """
+    workload = Workload(named_model(model), seq_len=seq_len,
+                        batch=batch)
+    results: Dict[str, Dict[str, float]] = {}
+    for arch_name in archs:
+        arch = named_architecture(arch_name)
+        per_variant: Dict[str, float] = {}
+        for name, options in DPIPE_VARIANTS.items():
+            executor = TransFusionExecutor(dpipe_options=options)
+            report = executor.run(workload, arch)
+            per_variant[name] = report.latency_seconds(arch)
+        results[arch_name] = per_variant
+    return results
+
+
+def tileseek_ablation(
+    model: str = "llama3",
+    seq_len: int = 65536,
+    arch_name: str = "edge",
+    iterations: int = 400,
+    seed: int = 0,
+    batch: int = 64,
+) -> Dict[str, Dict[str, float]]:
+    """Search-quality comparison: MCTS vs random vs exhaustive.
+
+    Returns:
+        ``{searcher: {"dram_words": w, "evaluations": n,
+        "best_reward": r}}``.
+    """
+    workload = Workload(named_model(model), seq_len=seq_len,
+                        batch=batch)
+    arch = named_architecture(arch_name)
+    searchers = {
+        "mcts": TileSeek(iterations=iterations, seed=seed),
+        "random": RandomTilingSearch(
+            iterations=iterations, seed=seed
+        ),
+        "exhaustive": ExhaustiveTilingSearch(iterations=1),
+    }
+    results: Dict[str, Dict[str, float]] = {}
+    for name, searcher in searchers.items():
+        outcome = searcher.search(workload, arch)
+        results[name] = {
+            "dram_words": outcome.assessment.dram_words,
+            "evaluations": float(outcome.stats.evaluations),
+            "best_reward": outcome.stats.best_reward,
+        }
+    return results

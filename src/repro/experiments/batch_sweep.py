@@ -1,0 +1,53 @@
+"""Batch-size tiling study (Section 3.1/5: the ``b`` factor).
+
+The paper fixes ``B = 64`` for its figures but notes that batch-size
+tiling is handled by TileSeek's ``B`` factor.  This experiment sweeps
+the batch size and records (a) the executor speedups and (b) the
+batch tile TileSeek selects under the Table-2 constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.arch.spec import named_architecture
+from repro.baselines.registry import named_executor
+from repro.core.executor import TransFusionExecutor
+from repro.model.config import named_model
+from repro.model.workload import Workload
+
+DEFAULT_BATCHES = (1, 4, 16, 64, 256)
+
+
+def batch_sweep(
+    model: str = "llama3",
+    seq_len: int = 16384,
+    batches: Sequence[int] = DEFAULT_BATCHES,
+    arch_name: str = "cloud",
+) -> Dict[int, Dict[str, float]]:
+    """Per-batch-size results.
+
+    Returns:
+        ``{batch: {"speedup_vs_fusemax": s, "tile_b": b,
+        "tile_p": p, "kv_passes": k}}``.
+    """
+    arch = named_architecture(arch_name)
+    results: Dict[int, Dict[str, float]] = {}
+    for batch in batches:
+        workload = Workload(named_model(model), seq_len=seq_len,
+                            batch=batch)
+        fusemax = named_executor("fusemax").run(workload, arch)
+        tf_exec = TransFusionExecutor()
+        transfusion = tf_exec.run(workload, arch)
+        tiling = tf_exec.tiling(workload, arch)
+        results[batch] = {
+            "speedup_vs_fusemax": (
+                fusemax.latency_seconds(arch)
+                / transfusion.latency_seconds(arch)
+            ),
+            "tile_b": float(tiling.config.b),
+            "tile_p": float(tiling.config.p),
+            "kv_passes": float(tiling.assessment.kv_passes),
+            "latency_s": transfusion.latency_seconds(arch),
+        }
+    return results

@@ -1,0 +1,61 @@
+"""Autoregressive decode study (incremental generation).
+
+During generation each step processes one new token (``P = 1`` per
+batch element) against the accumulated KV cache of length ``M`` --
+structurally a cross-attention workload.  The regime flips relative
+to prefill: there is no sequence-level parallelism to fill PE rows,
+weights stream per step, and everything becomes bandwidth-bound.  This
+study measures per-token decode cost vs. context length under each
+executor -- a scenario the paper's framework supports but does not
+evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.arch.spec import named_architecture
+from repro.baselines.registry import named_executor
+from repro.model.config import named_model
+from repro.model.workload import Workload
+
+DEFAULT_CONTEXTS = (1024, 8192, 65536, 262144)
+
+
+def decode_workload(
+    model: str, context: int, batch: int
+) -> Workload:
+    """One generation step: a single query token per batch element
+    attending over a ``context``-token KV cache."""
+    return Workload(
+        named_model(model),
+        seq_len=1,
+        batch=batch,
+        kv_seq_len=context,
+        project_kv=False,
+    )
+
+
+def decode_sweep(
+    model: str = "llama3",
+    contexts: Sequence[int] = DEFAULT_CONTEXTS,
+    arch_name: str = "cloud",
+    batch: int = 64,
+    executors: Sequence[str] = ("unfused", "fusemax",
+                                "transfusion"),
+) -> Dict[int, Dict[str, float]]:
+    """Per-step decode latency by context length.
+
+    Returns:
+        ``{context: {executor: seconds_per_step_per_layer}}``.
+    """
+    arch = named_architecture(arch_name)
+    results: Dict[int, Dict[str, float]] = {}
+    for context in contexts:
+        workload = decode_workload(model, context, batch)
+        results[context] = {
+            name: named_executor(name).run(workload, arch)
+            .latency_seconds(arch)
+            for name in executors
+        }
+    return results

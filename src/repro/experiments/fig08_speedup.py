@@ -1,0 +1,77 @@
+"""Figure 8: end-to-end speedup over Unfused.
+
+(a) Llama3 across sequence lengths 1K-1M on cloud and edge.
+(b) Model-wise comparison (BERT, TrXL, T5, XLM, Llama3) at 64K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    EVAL_MODELS,
+    architecture,
+    get_report,
+)
+from repro.metrics.speedup import speedup
+
+#: Executors plotted in Figure 8, in bar order.
+EXECUTORS: Tuple[str, ...] = (
+    "flat", "fusemax", "fusemax+lf", "transfusion",
+)
+
+
+def fig8a(
+    model: str = "llama3",
+    seq_lengths: Sequence[int] = DEFAULT_SEQ_LENGTHS,
+    archs: Sequence[str] = ("cloud", "edge"),
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Speedup over Unfused across sequence lengths.
+
+    Returns:
+        ``{arch: {seq_len: {executor: speedup}}}``.
+    """
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for arch_name in archs:
+        arch = architecture(arch_name)
+        per_seq: Dict[int, Dict[str, float]] = {}
+        for seq in seq_lengths:
+            base = get_report("unfused", model, seq, arch_name)
+            per_seq[seq] = {
+                name: speedup(
+                    base, get_report(name, model, seq, arch_name),
+                    arch,
+                )
+                for name in EXECUTORS
+            }
+        results[arch_name] = per_seq
+    return results
+
+
+def fig8b(
+    seq_len: int = 65536,
+    models: Sequence[str] = EVAL_MODELS,
+    archs: Sequence[str] = ("cloud", "edge"),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Model-wise speedup over Unfused at one sequence length.
+
+    Returns:
+        ``{arch: {model: {executor: speedup}}}``.
+    """
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for arch_name in archs:
+        arch = architecture(arch_name)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model in models:
+            base = get_report("unfused", model, seq_len, arch_name)
+            per_model[model] = {
+                name: speedup(
+                    base,
+                    get_report(name, model, seq_len, arch_name),
+                    arch,
+                )
+                for name in EXECUTORS
+            }
+        results[arch_name] = per_model
+    return results

@@ -1,0 +1,67 @@
+"""Figure 9: impact of the edge 2D PE array size (32x32, 64x64).
+
+(a) Llama3 speedup over Unfused across sequence lengths under both
+PE configurations.  (b) Model-wise comparison at 64K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.fig08_speedup import EXECUTORS
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    EVAL_MODELS,
+    architecture,
+    get_report,
+)
+from repro.metrics.speedup import speedup
+
+#: The Section 6.2 edge variants (Table 3 edge resized; 64x64 raises
+#: the buffer to 8 MB).
+EDGE_VARIANTS = ("edge32", "edge64")
+
+
+def fig9a(
+    model: str = "llama3",
+    seq_lengths: Sequence[int] = DEFAULT_SEQ_LENGTHS,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Speedup over Unfused per edge PE variant and sequence length."""
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for arch_name in EDGE_VARIANTS:
+        arch = architecture(arch_name)
+        per_seq: Dict[int, Dict[str, float]] = {}
+        for seq in seq_lengths:
+            base = get_report("unfused", model, seq, arch_name)
+            per_seq[seq] = {
+                name: speedup(
+                    base, get_report(name, model, seq, arch_name),
+                    arch,
+                )
+                for name in EXECUTORS
+            }
+        results[arch_name] = per_seq
+    return results
+
+
+def fig9b(
+    seq_len: int = 65536,
+    models: Sequence[str] = EVAL_MODELS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Model-wise speedup at 64K per edge PE variant."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for arch_name in EDGE_VARIANTS:
+        arch = architecture(arch_name)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model in models:
+            base = get_report("unfused", model, seq_len, arch_name)
+            per_model[model] = {
+                name: speedup(
+                    base,
+                    get_report(name, model, seq_len, arch_name),
+                    arch,
+                )
+                for name in EXECUTORS
+            }
+        results[arch_name] = per_model
+    return results

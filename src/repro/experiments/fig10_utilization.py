@@ -1,0 +1,68 @@
+"""Figure 10: 1D and 2D PE array utilization on the cloud architecture.
+
+(a) Llama3 across sequence lengths.  (b) Model-wise at 64K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    EVAL_MODELS,
+    architecture,
+    get_report,
+)
+
+#: Executors shown in Figure 10.
+EXECUTORS: Tuple[str, ...] = (
+    "unfused", "flat", "fusemax", "fusemax+lf", "transfusion",
+)
+
+
+def _utilization(
+    executor: str, model: str, seq_len: int, arch_name: str
+) -> Dict[str, float]:
+    arch = architecture(arch_name)
+    util = get_report(executor, model, seq_len, arch_name).utilization(
+        arch
+    )
+    return {
+        "2d": util[PEArrayKind.ARRAY_2D],
+        "1d": util[PEArrayKind.ARRAY_1D],
+    }
+
+
+def fig10a(
+    model: str = "llama3",
+    seq_lengths: Sequence[int] = DEFAULT_SEQ_LENGTHS,
+    arch_name: str = "cloud",
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Utilization per sequence length.
+
+    Returns:
+        ``{seq_len: {executor: {"2d": u, "1d": u}}}``.
+    """
+    return {
+        seq: {
+            name: _utilization(name, model, seq, arch_name)
+            for name in EXECUTORS
+        }
+        for seq in seq_lengths
+    }
+
+
+def fig10b(
+    seq_len: int = 65536,
+    models: Sequence[str] = EVAL_MODELS,
+    arch_name: str = "cloud",
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Utilization per model at one sequence length."""
+    return {
+        model: {
+            name: _utilization(name, model, seq_len, arch_name)
+            for name in EXECUTORS
+        }
+        for model in models
+    }

@@ -1,0 +1,42 @@
+"""Figure 11: layer-wise speedup-contribution breakdown.
+
+Decomposes TransFusion's speedup over FuseMax per sub-layer (QKV, MHA,
+Add & LayerNorm, FFN) using Eq. 47-48, for Llama3 across sequence
+lengths on both architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    architecture,
+    get_report,
+)
+from repro.metrics.speedup import speedup_contributions
+
+
+def fig11(
+    model: str = "llama3",
+    seq_lengths: Sequence[int] = DEFAULT_SEQ_LENGTHS,
+    archs: Sequence[str] = ("cloud", "edge"),
+    baseline: str = "fusemax",
+    candidate: str = "transfusion",
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Speedup contributions per layer.
+
+    Returns:
+        ``{arch: {seq_len: {phase: contribution}}}`` with contributions
+        summing to 1 per (arch, seq_len).
+    """
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for arch_name in archs:
+        arch = architecture(arch_name)
+        per_seq: Dict[int, Dict[str, float]] = {}
+        for seq in seq_lengths:
+            base = get_report(baseline, model, seq, arch_name)
+            cand = get_report(candidate, model, seq, arch_name)
+            per_seq[seq] = speedup_contributions(base, cand, arch)
+        results[arch_name] = per_seq
+    return results

@@ -1,0 +1,71 @@
+"""Figure 12: energy consumption normalized to Unfused.
+
+(a) Llama3 across sequence lengths on cloud and edge.
+(b) Model-wise comparison at 64K.
+
+Lower is better (the paper plots energy *consumption over Unfused*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.fig08_speedup import EXECUTORS
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    EVAL_MODELS,
+    architecture,
+    get_report,
+)
+from repro.metrics.energy import energy_ratio
+
+
+def fig12a(
+    model: str = "llama3",
+    seq_lengths: Sequence[int] = DEFAULT_SEQ_LENGTHS,
+    archs: Sequence[str] = ("cloud", "edge"),
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Normalized energy per sequence length.
+
+    Returns:
+        ``{arch: {seq_len: {executor: energy / unfused_energy}}}``.
+    """
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for arch_name in archs:
+        arch = architecture(arch_name)
+        per_seq: Dict[int, Dict[str, float]] = {}
+        for seq in seq_lengths:
+            base = get_report("unfused", model, seq, arch_name)
+            per_seq[seq] = {
+                name: energy_ratio(
+                    base, get_report(name, model, seq, arch_name),
+                    arch,
+                )
+                for name in EXECUTORS
+            }
+        results[arch_name] = per_seq
+    return results
+
+
+def fig12b(
+    seq_len: int = 65536,
+    models: Sequence[str] = EVAL_MODELS,
+    archs: Sequence[str] = ("cloud", "edge"),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalized energy per model at one sequence length."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for arch_name in archs:
+        arch = architecture(arch_name)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model in models:
+            base = get_report("unfused", model, seq_len, arch_name)
+            per_model[model] = {
+                name: energy_ratio(
+                    base,
+                    get_report(name, model, seq_len, arch_name),
+                    arch,
+                )
+                for name in EXECUTORS
+            }
+        results[arch_name] = per_model
+    return results

@@ -1,0 +1,46 @@
+"""Figure 13: energy breakdown across the memory hierarchy.
+
+Fractions of total energy spent in DRAM, the global buffer, the
+register files and the PE arrays, for TransFusion and FuseMax on
+Llama3 across sequence lengths under both architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.runner import (
+    DEFAULT_SEQ_LENGTHS,
+    architecture,
+    get_report,
+)
+from repro.metrics.energy import normalized_breakdown
+
+#: Executors shown in Figure 13 (one sub-plot each).
+EXECUTORS = ("transfusion", "fusemax")
+
+
+def fig13(
+    model: str = "llama3",
+    seq_lengths: Sequence[int] = DEFAULT_SEQ_LENGTHS,
+    archs: Sequence[str] = ("cloud", "edge"),
+) -> Dict[str, Dict[str, Dict[int, Dict[str, float]]]]:
+    """Energy breakdowns.
+
+    Returns:
+        ``{executor: {arch: {seq_len: {component: fraction}}}}`` with
+        components ``dram`` / ``buffer`` / ``rf`` / ``pe`` summing to 1.
+    """
+    results: Dict[str, Dict[str, Dict[int, Dict[str, float]]]] = {}
+    for executor in EXECUTORS:
+        per_arch: Dict[str, Dict[int, Dict[str, float]]] = {}
+        for arch_name in archs:
+            arch = architecture(arch_name)
+            per_arch[arch_name] = {
+                seq: normalized_breakdown(
+                    get_report(executor, model, seq, arch_name), arch
+                )
+                for seq in seq_lengths
+            }
+        results[executor] = per_arch
+    return results

@@ -1,0 +1,49 @@
+"""Shared experiment runner with memoized reports.
+
+Every figure sweeps the same (executor, model, sequence, architecture)
+grid; reports are deterministic, so they are computed once per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.arch.spec import ArchitectureSpec, named_architecture
+from repro.baselines.registry import named_executor
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.sim.stats import RunReport
+
+#: The paper's sequence-length sweep (1K - 1M).
+DEFAULT_SEQ_LENGTHS: Tuple[int, ...] = (
+    1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+#: The paper's Section 6.1 model suite.
+EVAL_MODELS: Tuple[str, ...] = ("bert", "trxl", "t5", "xlm", "llama3")
+
+#: Fixed batch size (Section 6.1: ``B = 64`` throughout).
+BATCH = 64
+
+
+@lru_cache(maxsize=None)
+def get_report(
+    executor: str,
+    model: str,
+    seq_len: int,
+    arch_name: str,
+    batch: int = BATCH,
+) -> RunReport:
+    """One executor's per-layer report, memoized."""
+    workload = Workload(named_model(model), seq_len=seq_len,
+                        batch=batch)
+    arch = architecture(arch_name)
+    return named_executor(executor).run(workload, arch)
+
+
+@lru_cache(maxsize=None)
+def architecture(arch_name: str) -> ArchitectureSpec:
+    """Memoized architecture preset lookup (stable identity helps the
+    report cache)."""
+    return named_architecture(arch_name)

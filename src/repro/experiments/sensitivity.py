@@ -1,0 +1,177 @@
+"""Architecture-sensitivity study: bandwidth and buffer sweeps.
+
+The paper varies compute capability (Figure 9); this extension varies
+the *memory system* instead: DRAM bandwidth and on-chip buffer
+capacity, the two knobs that decide where the memory-bound /
+compute-bound boundary sits and hence which TransFusion mechanism
+(fusion vs pipelining) carries the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.arch.energy import energy_model_for_buffer
+from repro.arch.spec import ArchitectureSpec, named_architecture
+from repro.baselines.registry import named_executor
+from repro.model.config import named_model
+from repro.model.workload import Workload
+
+
+def scale_bandwidth(
+    arch: ArchitectureSpec, factor: float
+) -> ArchitectureSpec:
+    """A copy of ``arch`` with DRAM bandwidth scaled by ``factor``."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return replace(
+        arch,
+        name=f"{arch.name}-bw{factor:g}x",
+        dram=replace(
+            arch.dram,
+            bandwidth_bytes_per_s=(
+                arch.dram.bandwidth_bytes_per_s * factor
+            ),
+        ),
+    )
+
+
+def scale_buffer(
+    arch: ArchitectureSpec, factor: float
+) -> ArchitectureSpec:
+    """A copy of ``arch`` with buffer capacity scaled by ``factor``
+    (access energy re-derived for the new capacity)."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    capacity = int(arch.buffer.capacity_bytes * factor)
+    return replace(
+        arch,
+        name=f"{arch.name}-buf{factor:g}x",
+        buffer=replace(arch.buffer, capacity_bytes=capacity),
+        energy=energy_model_for_buffer(capacity, arch.word_bytes),
+    )
+
+
+def scale_precision(
+    arch: ArchitectureSpec, word_bytes: int
+) -> ArchitectureSpec:
+    """A copy of ``arch`` with a different datapath word size.
+
+    Halving the word (fp16 -> int8) halves every tensor's bytes --
+    traffic, residency and spill all shrink -- while the op counts are
+    unchanged.  The Table-2 buffer model works in words, so the same
+    capacity holds twice as many of them.
+    """
+    if word_bytes <= 0:
+        raise ValueError("word_bytes must be positive")
+    return replace(
+        arch,
+        name=f"{arch.name}-w{word_bytes}",
+        word_bytes=word_bytes,
+    )
+
+
+def precision_sensitivity(
+    model: str = "llama3",
+    seq_len: int = 16384,
+    arch_name: str = "cloud",
+    word_sizes: Sequence[int] = (1, 2, 4),
+    batch: int = 64,
+) -> Dict[int, Dict[str, float]]:
+    """TransFusion behaviour across datapath precisions.
+
+    Returns:
+        ``{word_bytes: {"latency_s": t, "q_tile": p,
+        "dram_seconds": d}}``.
+    """
+    from repro.core.executor import TransFusionExecutor
+
+    workload = Workload(named_model(model), seq_len=seq_len,
+                        batch=batch)
+    base = named_architecture(arch_name)
+    results: Dict[int, Dict[str, float]] = {}
+    for word_bytes in word_sizes:
+        arch = scale_precision(base, word_bytes)
+        executor = TransFusionExecutor()
+        report = executor.run(workload, arch)
+        tiling = executor.tiling(workload, arch)
+        results[word_bytes] = {
+            "latency_s": report.latency_seconds(arch),
+            "q_tile": float(tiling.config.p),
+            "dram_seconds": arch.dram_seconds(
+                report.dram_words()
+            ),
+        }
+    return results
+
+
+def bandwidth_sensitivity(
+    model: str = "llama3",
+    seq_len: int = 16384,
+    arch_name: str = "cloud",
+    factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    batch: int = 64,
+) -> Dict[float, Dict[str, float]]:
+    """TransFusion-vs-FuseMax speedup as DRAM bandwidth varies.
+
+    Returns:
+        ``{factor: {"speedup": s, "tf_latency_s": t}}``.
+    """
+    workload = Workload(named_model(model), seq_len=seq_len,
+                        batch=batch)
+    base = named_architecture(arch_name)
+    results: Dict[float, Dict[str, float]] = {}
+    for factor in factors:
+        arch = scale_bandwidth(base, factor)
+        fusemax = named_executor("fusemax").run(workload, arch)
+        transfusion = named_executor("transfusion").run(
+            workload, arch
+        )
+        results[factor] = {
+            "speedup": (
+                fusemax.latency_seconds(arch)
+                / transfusion.latency_seconds(arch)
+            ),
+            "tf_latency_s": transfusion.latency_seconds(arch),
+        }
+    return results
+
+
+def buffer_sensitivity(
+    model: str = "llama3",
+    seq_len: int = 16384,
+    arch_name: str = "cloud",
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    batch: int = 64,
+) -> Dict[float, Dict[str, float]]:
+    """TransFusion behaviour as the on-chip buffer scales.
+
+    A bigger buffer admits larger Q tiles (fewer K/V reload passes),
+    so TransFusion's DRAM traffic should fall monotonically.
+
+    Returns:
+        ``{factor: {"speedup": s, "dram_words": w,
+        "q_tile": p}}``.
+    """
+    from repro.core.executor import TransFusionExecutor
+
+    workload = Workload(named_model(model), seq_len=seq_len,
+                        batch=batch)
+    base = named_architecture(arch_name)
+    results: Dict[float, Dict[str, float]] = {}
+    for factor in factors:
+        arch = scale_buffer(base, factor)
+        fusemax = named_executor("fusemax").run(workload, arch)
+        executor = TransFusionExecutor()
+        transfusion = executor.run(workload, arch)
+        tiling = executor.tiling(workload, arch)
+        results[factor] = {
+            "speedup": (
+                fusemax.latency_seconds(arch)
+                / transfusion.latency_seconds(arch)
+            ),
+            "dram_words": transfusion.dram_words(),
+            "q_tile": float(tiling.config.p),
+        }
+    return results

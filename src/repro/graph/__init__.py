@@ -1,0 +1,19 @@
+"""Computation DAGs over Einsum cascades.
+
+DPipe (Section 4) models each fused layer as an operation-level DAG,
+partitions it into two weakly connected subgraphs under four validity
+constraints, and enumerates topological orderings of the pipelined
+(epoch-interleaved) graph.  This package implements those graph
+mechanics; the scheduling cost model lives in :mod:`repro.dpipe`.
+"""
+
+from repro.graph.dag import ComputationDAG
+from repro.graph.partition import Bipartition, enumerate_bipartitions
+from repro.graph.toposort import all_topological_orders
+
+__all__ = [
+    "Bipartition",
+    "ComputationDAG",
+    "all_topological_orders",
+    "enumerate_bipartitions",
+]

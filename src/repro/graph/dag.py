@@ -1,0 +1,254 @@
+"""Directed acyclic graphs over Einsum operations.
+
+Nodes are op names; edges encode producer -> consumer data dependencies
+derived from cascade dataflow (recurrent-state reads do not create
+intra-epoch edges -- they are cross-epoch dependencies handled by the
+pipeline model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.einsum.cascade import Cascade
+from repro.einsum.operation import EinsumOp
+
+
+@dataclass(frozen=True)
+class ComputationDAG:
+    """An immutable DAG over named operations.
+
+    Attributes:
+        nodes: Node names in insertion order.
+        edges: Directed ``(producer, consumer)`` pairs.
+        ops: Optional mapping from node name to its Einsum op, used by
+            the cost model.
+    """
+
+    nodes: Tuple[str, ...]
+    edges: FrozenSet[Tuple[str, str]]
+    ops: Mapping[str, EinsumOp] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise ValueError("duplicate node names")
+        for u, v in self.edges:
+            if u not in node_set or v not in node_set:
+                raise ValueError(f"edge ({u!r}, {v!r}) references "
+                                 "unknown node")
+            if u == v:
+                raise ValueError(f"self-loop on {u!r}")
+        if self._has_cycle():
+            raise ValueError("graph contains a cycle")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cascade(cls, cascade: Cascade) -> "ComputationDAG":
+        """Build the op-level DAG of a cascade (Figure 7a-c).
+
+        Epilogue reads of recurrent state resolve to the producer of
+        the state's update tensor (e.g. ``AV`` depends on ``RNVn`` and
+        ``RDn``); loop-body state reads create no intra-epoch edge.
+        """
+        producers: Dict[str, str] = {}
+        for op in cascade.all_ops:
+            producers[op.output.name] = op.name
+        edges: Set[Tuple[str, str]] = set()
+        for op in cascade.ops:
+            for tensor_name in op.dataflow_input_names():
+                if tensor_name in producers:
+                    edges.add((producers[tensor_name], op.name))
+        for op in cascade.epilogue:
+            for tensor_name in op.dataflow_input_names():
+                resolved = tensor_name
+                if tensor_name in cascade.state:
+                    resolved = cascade.state[tensor_name].update_from
+                if resolved in producers:
+                    edges.add((producers[resolved], op.name))
+        ops = {op.name: op for op in cascade.all_ops}
+        return cls(
+            nodes=tuple(op.name for op in cascade.all_ops),
+            edges=frozenset(edges),
+            ops=ops,
+        )
+
+    @classmethod
+    def compose(
+        cls,
+        dags: Sequence["ComputationDAG"],
+        links: Iterable[Tuple[str, str]] = (),
+        prefixes: Optional[Sequence[str]] = None,
+    ) -> "ComputationDAG":
+        """Concatenate several DAGs into one, with explicit link edges.
+
+        Args:
+            dags: Component DAGs, e.g. one per sub-layer.
+            links: Extra ``(producer, consumer)`` edges between
+                components, written with prefixed names.
+            prefixes: Per-component node-name prefixes; defaults to
+                ``g0.``, ``g1.``, ...
+
+        Returns:
+            The merged DAG.
+        """
+        if prefixes is None:
+            prefixes = [f"g{i}." for i in range(len(dags))]
+        if len(prefixes) != len(dags):
+            raise ValueError("one prefix per DAG required")
+        nodes: List[str] = []
+        edges: Set[Tuple[str, str]] = set()
+        ops: Dict[str, EinsumOp] = {}
+        for dag, prefix in zip(dags, prefixes):
+            nodes.extend(prefix + n for n in dag.nodes)
+            edges.update(
+                (prefix + u, prefix + v) for u, v in dag.edges
+            )
+            ops.update({prefix + n: op for n, op in dag.ops.items()})
+        edges.update(links)
+        return cls(nodes=tuple(nodes), edges=frozenset(edges), ops=ops)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def predecessors(self, node: str) -> FrozenSet[str]:
+        """Direct predecessors of ``node``."""
+        return frozenset(u for u, v in self.edges if v == node)
+
+    def successors(self, node: str) -> FrozenSet[str]:
+        """Direct successors of ``node``."""
+        return frozenset(v for u, v in self.edges if u == node)
+
+    def pred_map(self) -> Dict[str, Set[str]]:
+        """Node -> set of predecessors, for all nodes."""
+        preds: Dict[str, Set[str]] = {n: set() for n in self.nodes}
+        for u, v in self.edges:
+            preds[v].add(u)
+        return preds
+
+    def succ_map(self) -> Dict[str, Set[str]]:
+        """Node -> set of successors, for all nodes."""
+        succs: Dict[str, Set[str]] = {n: set() for n in self.nodes}
+        for u, v in self.edges:
+            succs[u].add(v)
+        return succs
+
+    def sources(self) -> FrozenSet[str]:
+        """Nodes with zero in-degree."""
+        with_preds = {v for _, v in self.edges}
+        return frozenset(n for n in self.nodes if n not in with_preds)
+
+    def sinks(self) -> FrozenSet[str]:
+        """Nodes with zero out-degree."""
+        with_succs = {u for u, _ in self.edges}
+        return frozenset(n for n in self.nodes if n not in with_succs)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _has_cycle(self) -> bool:
+        preds: Dict[str, Set[str]] = {n: set() for n in self.nodes}
+        for u, v in self.edges:
+            preds[v].add(u)
+        ready = [n for n in self.nodes if not preds[n]]
+        seen = 0
+        succs: Dict[str, Set[str]] = {n: set() for n in self.nodes}
+        for u, v in self.edges:
+            succs[u].add(v)
+        while ready:
+            node = ready.pop()
+            seen += 1
+            for succ in succs[node]:
+                preds[succ].discard(node)
+                if not preds[succ]:
+                    ready.append(succ)
+        return seen != len(self.nodes)
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """One deterministic topological order (Kahn, insertion-stable)."""
+        preds = self.pred_map()
+        succs = self.succ_map()
+        order: List[str] = []
+        ready = [n for n in self.nodes if not preds[n]]
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(succs[node],
+                               key=self.nodes.index):
+                preds[succ].discard(node)
+                if not preds[succ]:
+                    ready.append(succ)
+        return tuple(order)
+
+    def is_weakly_connected(
+        self, subset: Optional[AbstractSet[str]] = None
+    ) -> bool:
+        """Whether ``subset`` (default: all nodes) is weakly connected
+        in the undirected view of this DAG."""
+        nodes = set(subset) if subset is not None else set(self.nodes)
+        if not nodes:
+            return False
+        undirected: Dict[str, Set[str]] = {n: set() for n in nodes}
+        for u, v in self.edges:
+            if u in nodes and v in nodes:
+                undirected[u].add(v)
+                undirected[v].add(u)
+        stack = [next(iter(nodes))]
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(undirected[node] - seen)
+        return seen == nodes
+
+    def reachable_from(
+        self,
+        roots: Iterable[str],
+        within: Optional[AbstractSet[str]] = None,
+    ) -> FrozenSet[str]:
+        """Nodes reachable from ``roots`` along edges, optionally
+        restricted to the induced subgraph on ``within``."""
+        allowed = set(within) if within is not None else set(self.nodes)
+        succs = self.succ_map()
+        stack = [r for r in roots if r in allowed]
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(s for s in succs[node] if s in allowed)
+        return frozenset(seen)
+
+    def induced(self, subset: AbstractSet[str]) -> "ComputationDAG":
+        """The induced subgraph on ``subset`` (node order preserved)."""
+        keep = set(subset)
+        unknown = keep - set(self.nodes)
+        if unknown:
+            raise KeyError(f"unknown nodes {sorted(unknown)}")
+        return ComputationDAG(
+            nodes=tuple(n for n in self.nodes if n in keep),
+            edges=frozenset(
+                (u, v) for u, v in self.edges if u in keep and v in keep
+            ),
+            ops={n: op for n, op in self.ops.items() if n in keep},
+        )
+
+    def __len__(self) -> int:
+        return len(self.nodes)

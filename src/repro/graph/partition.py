@@ -1,0 +1,130 @@
+"""DAG bipartition enumeration for DPipe (Section 4.1).
+
+DPipe partitions a layer's computation DAG into two weakly connected
+subgraphs ``(G1, G2)`` subject to four constraints:
+
+1. **Source-Sink Alignment** -- every source node is in ``G1`` and
+   every sink node is in ``G2``.
+2. **Weak Connectivity** -- each subgraph is weakly connected in the
+   original DAG.
+3. **Dependency Completeness** -- ``G1`` contains all of its own
+   dependencies (it is a *down-set* / order ideal of the DAG).
+4. **Reachability** -- every node of ``G1`` is reachable from the
+   DAG's sources inside ``G1``.
+
+Because ``G1`` must be dependency-complete, candidates are exactly the
+order ideals of the DAG; we enumerate ideals directly instead of all
+``2^n`` subsets so larger fused DAGs stay tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Set
+
+from repro.graph.dag import ComputationDAG
+
+
+@dataclass(frozen=True)
+class Bipartition:
+    """A valid DPipe bipartition of a computation DAG."""
+
+    first: FrozenSet[str]
+    second: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.first & self.second:
+            raise ValueError("subgraphs must be disjoint")
+        if not self.first or not self.second:
+            raise ValueError("subgraphs must be non-empty")
+
+    @property
+    def size(self) -> int:
+        return len(self.first) + len(self.second)
+
+
+def is_valid_bipartition(
+    dag: ComputationDAG, first: FrozenSet[str]
+) -> bool:
+    """Check the four Section 4.1 constraints for ``first`` as G1."""
+    all_nodes = frozenset(dag.nodes)
+    second = all_nodes - first
+    if not first or not second:
+        return False
+    sources = dag.sources()
+    sinks = dag.sinks()
+    # (1) Source-sink alignment.
+    if not sources <= first or not sinks <= second:
+        return False
+    # (3) Dependency completeness: G1 is a down-set.
+    preds = dag.pred_map()
+    for node in first:
+        if not preds[node] <= first:
+            return False
+    # (2) Weak connectivity of both subgraphs.
+    if not dag.is_weakly_connected(first):
+        return False
+    if not dag.is_weakly_connected(second):
+        return False
+    # (4) Reachability of all G1 nodes from the sources within G1.
+    reachable = dag.reachable_from(sources, within=first)
+    if reachable != first:
+        return False
+    return True
+
+
+def _ideals(dag: ComputationDAG) -> Iterator[FrozenSet[str]]:
+    """Enumerate all non-empty proper order ideals (down-sets).
+
+    Walks nodes in topological order; at each node the ideal either
+    stops (excluding this node and, implicitly, everything after it
+    that depends on excluded nodes) or continues.  A node may join the
+    ideal only once all its predecessors have.
+    """
+    order = dag.topological_order()
+    preds = dag.pred_map()
+    n = len(order)
+
+    def recurse(i: int, included: Set[str]) -> Iterator[FrozenSet[str]]:
+        if i == n:
+            if included and len(included) < n:
+                yield frozenset(included)
+            return
+        node = order[i]
+        # Branch 1: exclude node (always allowed; dependants of an
+        # excluded node are pruned by the preds check below).
+        yield from recurse(i + 1, included)
+        # Branch 2: include node if dependency-complete.
+        if preds[node] <= included:
+            included.add(node)
+            yield from recurse(i + 1, included)
+            included.discard(node)
+
+    yield from recurse(0, set())
+
+
+def enumerate_bipartitions(
+    dag: ComputationDAG, limit: Optional[int] = None
+) -> List[Bipartition]:
+    """All valid DPipe bipartitions of ``dag``.
+
+    Args:
+        dag: The layer computation DAG.
+        limit: Optional cap on the number of bipartitions returned
+            (enumeration order is deterministic).
+
+    Returns:
+        Valid bipartitions; empty if the DAG admits none (e.g. a
+        single-node graph).
+    """
+    results: List[Bipartition] = []
+    for first in _ideals(dag):
+        if is_valid_bipartition(dag, first):
+            results.append(
+                Bipartition(
+                    first=first, second=frozenset(dag.nodes) - first
+                )
+            )
+            if limit is not None and len(results) >= limit:
+                break
+    return results

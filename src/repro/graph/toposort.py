@@ -1,0 +1,119 @@
+"""Topological-order enumeration.
+
+DPipe evaluates candidate pipeline schedules by enumerating topological
+orderings of the epoch-interleaved DAG (Section 4.1).  The number of
+orderings can be factorial, so enumeration is capped; the cap is an
+explicit parameter surfaced all the way up to the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.dag import ComputationDAG
+
+
+def all_topological_orders(
+    dag: ComputationDAG, limit: Optional[int] = None
+) -> List[Tuple[str, ...]]:
+    """Enumerate topological orders of ``dag``, up to ``limit``.
+
+    Uses Knuth-style backtracking: at each step any in-degree-zero node
+    may come next.  Enumeration order is deterministic (node insertion
+    order breaks ties), so results are reproducible and the first order
+    returned equals :meth:`ComputationDAG.topological_order`.
+
+    Args:
+        dag: The graph to order.
+        limit: Maximum number of orders to return (``None`` = all;
+            beware factorial blow-up on wide graphs).
+
+    Returns:
+        A list of node-name tuples, each a valid topological order.
+    """
+    preds = dag.pred_map()
+    succs = dag.succ_map()
+    indegree: Dict[str, int] = {n: len(preds[n]) for n in dag.nodes}
+    ready: List[str] = [n for n in dag.nodes if indegree[n] == 0]
+    order: List[str] = []
+    results: List[Tuple[str, ...]] = []
+
+    def backtrack() -> bool:
+        """Returns False once the limit is reached (stops recursion)."""
+        if limit is not None and len(results) >= limit:
+            return False
+        if len(order) == len(dag.nodes):
+            results.append(tuple(order))
+            return limit is None or len(results) < limit
+        for i in range(len(ready)):
+            node = ready.pop(i)
+            order.append(node)
+            opened: List[str] = []
+            for succ in succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    opened.append(succ)
+            ready.extend(opened)
+            keep_going = backtrack()
+            for succ in opened:
+                ready.remove(succ)
+            for succ in succs[node]:
+                indegree[succ] += 1
+            order.pop()
+            ready.insert(i, node)
+            if not keep_going:
+                return False
+        return True
+
+    backtrack()
+    return results
+
+
+def count_topological_orders(
+    dag: ComputationDAG, cap: int = 1_000_000
+) -> int:
+    """Count topological orders, stopping early at ``cap``."""
+    return len(all_topological_orders(dag, limit=cap))
+
+
+def critical_path_order(
+    dag: ComputationDAG,
+    weights: Dict[str, float],
+) -> Tuple[str, ...]:
+    """A topological order prioritizing the longest remaining path.
+
+    Classic list-scheduling heuristic: among ready nodes, schedule the
+    one whose downstream critical path (sum of ``weights`` along the
+    heaviest successor chain, including itself) is longest.  Capped
+    exhaustive enumeration can miss good orders on wide DAGs; this
+    order is cheap and usually near the front of the quality
+    distribution, so DPipe always evaluates it too.
+
+    Args:
+        dag: The graph to order.
+        weights: Node name -> cost (e.g. best-case op latency).
+
+    Returns:
+        One valid topological order.
+    """
+    succs = dag.succ_map()
+    # Downstream critical path via reverse topological traversal.
+    critical: Dict[str, float] = {}
+    for node in reversed(dag.topological_order()):
+        tail = max(
+            (critical[s] for s in succs[node]), default=0.0
+        )
+        critical[node] = weights.get(node, 0.0) + tail
+    preds = dag.pred_map()
+    indegree = {n: len(preds[n]) for n in dag.nodes}
+    ready = [n for n in dag.nodes if indegree[n] == 0]
+    order: List[str] = []
+    while ready:
+        ready.sort(key=lambda n: (-critical[n], n))
+        node = ready.pop(0)
+        order.append(node)
+        for succ in succs[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    return tuple(order)

@@ -1,0 +1,26 @@
+"""Evaluation metrics used by the paper's figures.
+
+* :mod:`repro.metrics.speedup` -- speedups and the Eq. 47-48 layer-wise
+  speedup-contribution decomposition (Figure 11).
+* :mod:`repro.metrics.energy` -- normalized energy and breakdown
+  comparisons (Figures 12 and 13).
+* :mod:`repro.metrics.tables` -- plain-text table rendering for the
+  benchmark harnesses.
+"""
+
+from repro.metrics.energy import energy_ratio, normalized_breakdown
+from repro.metrics.speedup import (
+    geomean,
+    speedup,
+    speedup_contributions,
+)
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "energy_ratio",
+    "format_table",
+    "geomean",
+    "normalized_breakdown",
+    "speedup",
+    "speedup_contributions",
+]

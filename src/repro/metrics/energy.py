@@ -1,0 +1,31 @@
+"""Energy metrics (Figures 12 and 13)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.spec import ArchitectureSpec
+from repro.sim.stats import RunReport
+
+
+def energy_ratio(
+    baseline: RunReport,
+    candidate: RunReport,
+    arch: ArchitectureSpec,
+) -> float:
+    """``candidate`` energy normalized to ``baseline`` (Figure 12;
+    lower is better)."""
+    base = baseline.energy(arch).total_pj
+    if base <= 0:
+        raise ValueError("baseline energy must be positive")
+    return candidate.energy(arch).total_pj / base
+
+
+def normalized_breakdown(
+    report: RunReport, arch: ArchitectureSpec
+) -> Dict[str, float]:
+    """Energy fractions by memory-hierarchy component (Figure 13).
+
+    Keys: ``dram``, ``buffer``, ``rf``, ``pe``; values sum to 1.
+    """
+    return report.energy(arch).fractions()

@@ -1,0 +1,73 @@
+"""Speedup metrics (Section 6.1).
+
+Besides plain end-to-end speedup, the paper decomposes *where* a
+speedup comes from with a weighted attribution scheme: for each layer
+``i``, the per-layer speedup ``S_i = T_i_baseline / T_i_transfusion``
+(Eq. 47) is weighted by the baseline time it applies to and normalized
+(Eq. 48), so the contributions sum to one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+from repro.arch.spec import ArchitectureSpec
+from repro.sim.stats import RunReport
+
+
+def speedup(
+    baseline: RunReport,
+    candidate: RunReport,
+    arch: ArchitectureSpec,
+) -> float:
+    """End-to-end speedup of ``candidate`` over ``baseline``."""
+    denom = candidate.latency_seconds(arch)
+    if denom <= 0:
+        raise ValueError("candidate latency must be positive")
+    return baseline.latency_seconds(arch) / denom
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate across sequences)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_contributions(
+    baseline: RunReport,
+    candidate: RunReport,
+    arch: ArchitectureSpec,
+) -> Dict[str, float]:
+    """Layer-wise speedup contributions (Eq. 47-48).
+
+    Args:
+        baseline: The reference executor's report (FuseMax in Fig. 11).
+        candidate: The accelerated executor's report (TransFusion).
+        arch: Target architecture.
+
+    Returns:
+        Phase name -> contribution in [0, 1]; contributions sum to 1.
+    """
+    base_lat = baseline.phase_latencies(arch)
+    cand_lat = candidate.phase_latencies(arch)
+    if set(base_lat) != set(cand_lat):
+        raise ValueError(
+            "reports have different phases: "
+            f"{sorted(base_lat)} vs {sorted(cand_lat)}"
+        )
+    weighted: Dict[str, float] = {}
+    for name, t_base in base_lat.items():
+        t_cand = cand_lat[name]
+        if t_cand <= 0:
+            raise ValueError(f"phase {name!r} has zero latency")
+        s_i = t_base / t_cand  # Eq. 47
+        weighted[name] = s_i * t_base
+    total = sum(weighted.values())
+    if total <= 0:
+        raise ValueError("degenerate reports: zero total weight")
+    return {name: w / total for name, w in weighted.items()}  # Eq. 48

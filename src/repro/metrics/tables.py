@@ -1,0 +1,44 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats render with four significant digits; everything else with
+    ``str``.  Used by the per-figure benchmarks to print the same rows
+    and series the paper reports.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    cells: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)

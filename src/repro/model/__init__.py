@@ -1,0 +1,15 @@
+"""Transformer model shape configurations and workloads.
+
+Scheduling cost depends only on tensor shapes, so models are described
+by their dimensions: hidden size ``d``, heads ``h``, per-head embedding
+``e = f``, FFN hidden ``s`` and layer count.
+"""
+
+from repro.model.config import (
+    MODEL_ZOO,
+    ModelConfig,
+    named_model,
+)
+from repro.model.workload import Workload
+
+__all__ = ["MODEL_ZOO", "ModelConfig", "Workload", "named_model"]

@@ -1,0 +1,130 @@
+"""Model shape configurations (the paper's Section 6.1 workloads).
+
+The evaluation covers BERT-Base, Transformer-XL (wt103), T5-small, XLM
+and Llama3-8B, adopted from the FLAT / FuseMax benchmark suites.  Only
+shapes matter to the scheduler, so each model is a handful of integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Transformer shape parameters.
+
+    Attributes:
+        name: Model name.
+        d_model: Hidden size ``d`` (= ``heads * e_head``).
+        heads: Query head count ``h``.
+        e_head: Query/key per-head dim ``e`` (= value dim ``f``).
+        ffn_hidden: FFN hidden size ``s``.
+        layers: Encoder/decoder layer count (scales totals; never
+            changes per-layer schedules).
+        activation: FFN activation function name.
+        kv_heads: Key/value head count for grouped-query attention
+            (GQA); ``None`` means classic MHA (``kv_heads = heads``).
+            GQA shrinks the K/V projections, the K/V cache and the
+            Table-2 K/V residency terms by ``kv_heads / heads``;
+            attention *compute* is unchanged (every query head still
+            attends, sharing K/V within its group).
+    """
+
+    name: str
+    d_model: int
+    heads: int
+    e_head: int
+    ffn_hidden: int
+    layers: int
+    activation: str = "gelu"
+    kv_heads: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if min(self.d_model, self.heads, self.e_head, self.ffn_hidden,
+               self.layers) <= 0:
+            raise ValueError(f"{self.name}: all dims must be positive")
+        if self.heads * self.e_head != self.d_model:
+            raise ValueError(
+                f"{self.name}: heads*e_head = {self.heads * self.e_head} "
+                f"!= d_model = {self.d_model}"
+            )
+        if self.kv_heads is not None:
+            if self.kv_heads <= 0 or self.kv_heads > self.heads:
+                raise ValueError(
+                    f"{self.name}: kv_heads must be in [1, heads]"
+                )
+            if self.heads % self.kv_heads:
+                raise ValueError(
+                    f"{self.name}: heads ({self.heads}) must be a "
+                    f"multiple of kv_heads ({self.kv_heads})"
+                )
+
+    @property
+    def f_head(self) -> int:
+        """Value per-head dim ``f`` (the paper assumes ``E = F``)."""
+        return self.e_head
+
+    @property
+    def effective_kv_heads(self) -> int:
+        """K/V head count (``heads`` for MHA, fewer for GQA)."""
+        return self.heads if self.kv_heads is None else self.kv_heads
+
+    @property
+    def kv_fraction(self) -> float:
+        """``kv_heads / heads``: the GQA shrink factor on everything
+        K/V-sized (projections, cache, residency)."""
+        return self.effective_kv_heads / self.heads
+
+    def extents(self) -> Dict[str, int]:
+        """Model-side dimension extents (sequence dims added later)."""
+        return {
+            "d": self.d_model,
+            "h": self.heads,
+            "e": self.e_head,
+            "f": self.f_head,
+            "s": self.ffn_hidden,
+        }
+
+
+#: The five Section 6.1 evaluation models.
+MODEL_ZOO: Dict[str, ModelConfig] = {
+    "bert": ModelConfig(
+        name="bert", d_model=768, heads=12, e_head=64,
+        ffn_hidden=3072, layers=12, activation="gelu",
+    ),
+    "trxl": ModelConfig(
+        name="trxl", d_model=1024, heads=16, e_head=64,
+        ffn_hidden=4096, layers=18, activation="relu",
+    ),
+    "t5": ModelConfig(
+        name="t5", d_model=512, heads=8, e_head=64,
+        ffn_hidden=2048, layers=6, activation="relu",
+    ),
+    "xlm": ModelConfig(
+        name="xlm", d_model=2048, heads=16, e_head=128,
+        ffn_hidden=8192, layers=12, activation="gelu",
+    ),
+    "llama3": ModelConfig(
+        name="llama3", d_model=4096, heads=32, e_head=128,
+        ffn_hidden=14336, layers=32, activation="silu",
+    ),
+    # Llama3-8B's actual attention is grouped-query (8 K/V heads);
+    # the dense "llama3" preset above matches the paper's MHA-style
+    # evaluation, this one prices the real cache/projection shapes.
+    "llama3-gqa": ModelConfig(
+        name="llama3-gqa", d_model=4096, heads=32, e_head=128,
+        ffn_hidden=14336, layers=32, activation="silu", kv_heads=8,
+    ),
+}
+
+
+def named_model(name: str) -> ModelConfig:
+    """Look up a model preset by (case-insensitive) name."""
+    key = name.lower()
+    if key not in MODEL_ZOO:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_ZOO)}"
+        )
+    return MODEL_ZOO[key]

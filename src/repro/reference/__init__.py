@@ -1,0 +1,21 @@
+"""Textbook NumPy Transformer reference implementations.
+
+Used only to validate the Einsum cascades numerically; never used by the
+scheduler or cost model.
+"""
+
+from repro.reference.functional import (
+    feed_forward,
+    layer_norm,
+    multi_head_attention,
+    qkv_projection,
+    transformer_layer,
+)
+
+__all__ = [
+    "feed_forward",
+    "layer_norm",
+    "multi_head_attention",
+    "qkv_projection",
+    "transformer_layer",
+]

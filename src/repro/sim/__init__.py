@@ -1,0 +1,61 @@
+"""Analytical latency/energy simulator (Timeloop + Accelergy substitute).
+
+The paper evaluates every Einsum in isolation with Timeloop (latency)
+and Accelergy (energy) and composes the results with overlap heuristics
+(Section 6.1).  This package provides the same interface analytically:
+
+* :mod:`repro.sim.latency` -- per-Einsum compute cycles on either PE
+  array (Eq. 40-42), with Table-1 dimension mapping.
+* :mod:`repro.sim.mapping` -- Table-1 row/column dimension assignments
+  and inner-tile sizing against the PE arrays.
+* :mod:`repro.sim.traffic` -- DRAM traffic models for GEMM streaming,
+  spilled intermediates and K/V reuse.
+* :mod:`repro.sim.stats` -- phase/run statistics and energy accounting.
+* :mod:`repro.sim.loopnest` / :mod:`repro.sim.mapper` -- explicit
+  Timeloop-style mappings and the search validating Table 1.
+* :mod:`repro.sim.des` -- discrete-event execution cross-validating the
+  analytical pipeline model.
+* :mod:`repro.sim.layer_pipeline` -- whole-layer (cross-phase) pipeline
+  simulation.
+* :mod:`repro.sim.registers` -- per-PE register-pressure liveness.
+* :mod:`repro.sim.roofline` -- compute/memory-bound classification.
+"""
+
+from repro.sim.des import SimulationResult, simulate_epochs
+from repro.sim.latency import op_cycles, op_cost
+from repro.sim.layer_pipeline import (
+    interlayer_overlap_headroom,
+    simulate_layer_pipeline,
+)
+from repro.sim.loopnest import build_loop_nest, validate_loop_nest
+from repro.sim.mapper import search_mappings, table1_optimality_gap
+from repro.sim.mapping import TABLE1_MAPPING, inner_tile_extents
+from repro.sim.registers import (
+    register_pressure,
+    supports_register_retention,
+)
+from repro.sim.roofline import classify_report, machine_balance
+from repro.sim.stats import EnergyBreakdown, OpCost, PhaseStats, RunReport
+
+__all__ = [
+    "EnergyBreakdown",
+    "OpCost",
+    "PhaseStats",
+    "RunReport",
+    "SimulationResult",
+    "TABLE1_MAPPING",
+    "build_loop_nest",
+    "classify_report",
+    "inner_tile_extents",
+    "interlayer_overlap_headroom",
+    "machine_balance",
+    "op_cost",
+    "op_cycles",
+    "register_pressure",
+    "search_mappings",
+    "simulate_epochs",
+    "simulate_layer_pipeline",
+    "supports_register_retention",
+    "table1_optimality_gap",
+    "validate_loop_nest",
+]

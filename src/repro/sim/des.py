@@ -1,0 +1,326 @@
+"""Discrete-event execution of cascade schedules.
+
+The analytical pipeline model (``fill + (n-1) * window + drain``)
+approximates steady state; this module *executes* the schedule instead:
+every (epoch, op) instance becomes a task, dependencies include both
+the intra-epoch DAG edges and the **cross-epoch state edges** the
+analytical window model abstracts away (e.g. ``PRM`` of epoch ``e``
+reads the running max committed by ``RMn`` of epoch ``e-1``), and a
+greedy event-driven dispatcher applies DPipe's Eq. 45 rule online --
+each ready op goes to whichever PE array finishes it first.
+
+Used to cross-validate the DPipe planner: the simulated steady-state
+epoch period must track the analytical one (tests pin the tolerance),
+and it reports per-array busy time and an op-level trace for
+inspection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.arch.pe import PEArrayKind
+from repro.einsum.cascade import Cascade
+from repro.graph.dag import ComputationDAG
+
+if TYPE_CHECKING:  # typing only; avoids a circular package import
+    from repro.dpipe.latency import LatencyTable
+
+#: A task instance: (epoch index, op name).
+TaskId = Tuple[int, str]
+
+ARRAYS = (PEArrayKind.ARRAY_2D, PEArrayKind.ARRAY_1D)
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed (epoch, op) instance."""
+
+    epoch: int
+    op: str
+    array: PEArrayKind
+    start: float
+    end: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating ``n_epochs`` of a cascade.
+
+    Attributes:
+        makespan: Completion time of the last task.
+        busy_seconds: Total execution time per PE array.
+        trace: Every executed task, in completion order.
+        steady_period: Fitted per-epoch period over the second half of
+            the run (warm pipeline), ``makespan / n_epochs`` for short
+            runs.
+    """
+
+    makespan: float
+    busy_seconds: Dict[PEArrayKind, float]
+    trace: List[TaskRecord] = field(default_factory=list)
+    steady_period: float = 0.0
+
+    def utilization(self, seconds_per_array: float) -> Dict[
+        PEArrayKind, float
+    ]:
+        """Busy fraction per array over the makespan."""
+        if self.makespan <= 0:
+            return {kind: 0.0 for kind in ARRAYS}
+        return {
+            kind: self.busy_seconds[kind] / self.makespan
+            for kind in ARRAYS
+        }
+
+
+def _cross_epoch_deps(cascade: Cascade) -> List[Tuple[str, str]]:
+    """Edges spanning epoch e-1 -> e (shared with the planner)."""
+    from repro.dpipe.pipeline import cross_epoch_state_edges
+
+    return cross_epoch_state_edges(cascade)
+
+
+def _tile_words(
+    dims: Tuple[str, ...], tile: Mapping[str, int]
+) -> int:
+    words = 1
+    for dim in dims:
+        words *= int(tile.get(dim, 1))
+    return words
+
+
+def staging_occupancy_words(
+    trace: List[TaskRecord],
+    cascade: Cascade,
+    tile: Mapping[str, int],
+) -> float:
+    """High-water staging footprint of a simulated trace, in words.
+
+    Each task's output tile is alive from its completion until its
+    last consumer (same epoch, or next epoch for state handoffs)
+    finishes.  The sweep-line maximum is the on-chip staging the
+    schedule actually needs -- the dynamic counterpart of Table 2's
+    closed-form per-Einsum staging terms, and a direct check that
+    deeper pipelining costs buffer space.
+    """
+    if not trace:
+        return 0.0
+    out_words = {
+        op.name: float(_tile_words(op.output.dims, tile))
+        for op in cascade.all_ops
+    }
+    producers = {
+        op.output.name: op.name for op in cascade.all_ops
+    }
+    consumers: Dict[str, List[str]] = {}
+    for op in cascade.all_ops:
+        for name in op.dataflow_input_names():
+            if name in producers:
+                consumers.setdefault(
+                    producers[name], []
+                ).append(op.name)
+    cross_consumers: Dict[str, List[str]] = {}
+    for producer, consumer in _cross_epoch_deps(cascade):
+        cross_consumers.setdefault(producer, []).append(consumer)
+
+    end_of: Dict[TaskId, float] = {
+        (rec.epoch, rec.op): rec.end for rec in trace
+    }
+    events: List[Tuple[float, float]] = []
+    for rec in trace:
+        death = rec.end
+        for consumer in consumers.get(rec.op, ()):
+            death = max(
+                death, end_of.get((rec.epoch, consumer), rec.end)
+            )
+        for consumer in cross_consumers.get(rec.op, ()):
+            death = max(
+                death,
+                end_of.get((rec.epoch + 1, consumer), rec.end),
+            )
+        words = out_words[rec.op]
+        events.append((rec.end, words))
+        events.append((death, -words))
+    events.sort(key=lambda ev: (ev[0], ev[1]))
+    level = high = 0.0
+    for _, delta in events:
+        level += delta
+        high = max(high, level)
+    return high
+
+
+def simulate_epochs(
+    cascade: Cascade,
+    table: "LatencyTable",
+    n_epochs: int,
+    assignment: Optional[Mapping[str, PEArrayKind]] = None,
+    keep_trace: bool = False,
+    max_in_flight: Optional[int] = 2,
+) -> SimulationResult:
+    """Event-driven execution of ``n_epochs`` cascade repetitions.
+
+    Args:
+        cascade: The sub-layer cascade (body + epilogue; the epilogue
+            executes each epoch, matching the scheduling model).
+        table: Per-(op, array) latencies at tile granularity.
+        n_epochs: Epoch instances to execute.
+        assignment: Optional fixed op -> array map; by default each
+            dispatch greedily picks the earliest-finishing array
+            (Eq. 45 applied online).
+        keep_trace: Record every task (memory grows with epochs).
+        max_in_flight: Epochs allowed in flight concurrently.  2
+            models double-buffered staging (DPipe's two-subgraph
+            window); ``None`` removes the bound, showing the headroom
+            deeper on-chip buffering would expose.
+
+    Returns:
+        The simulation result.
+    """
+    if n_epochs <= 0:
+        raise ValueError("n_epochs must be positive")
+    if max_in_flight is not None and max_in_flight <= 0:
+        raise ValueError("max_in_flight must be positive or None")
+    dag = ComputationDAG.from_cascade(cascade)
+    intra_preds = dag.pred_map()
+    cross = _cross_epoch_deps(cascade)
+    cross_by_consumer: Dict[str, List[str]] = {}
+    for producer, consumer in cross:
+        cross_by_consumer.setdefault(consumer, []).append(producer)
+
+    # Dependency counting per task.
+    ops = list(dag.nodes)
+    succs = dag.succ_map()
+    cross_by_producer: Dict[str, List[str]] = {}
+    for producer, consumer in cross:
+        cross_by_producer.setdefault(producer, []).append(consumer)
+
+    def dep_count(epoch: int, op: str) -> int:
+        count = len(intra_preds[op])
+        if epoch > 0:
+            count += len(cross_by_consumer.get(op, ()))
+        return count
+
+    remaining: Dict[TaskId, int] = {}
+    for epoch in range(n_epochs):
+        for op in ops:
+            remaining[(epoch, op)] = dep_count(epoch, op)
+
+    ready_time: Dict[TaskId, float] = {}
+    # Min-heap of (ready_time, epoch, topo index, op).
+    topo_index = {op: i for i, op in enumerate(
+        dag.topological_order()
+    )}
+    heap: List[Tuple[float, int, int, str]] = []
+    # Epoch gating: tasks of epoch >= epoch_limit wait until earlier
+    # epochs fully retire (double-buffered staging).
+    epoch_limit = (
+        n_epochs if max_in_flight is None
+        else min(max_in_flight, n_epochs)
+    )
+    gated: Dict[int, List[Tuple[str, float]]] = {}
+
+    def push(epoch: int, op: str, ready: float) -> None:
+        if epoch >= epoch_limit:
+            gated.setdefault(epoch, []).append((op, ready))
+        else:
+            heapq.heappush(
+                heap, (ready, epoch, topo_index[op], op)
+            )
+
+    for epoch in range(n_epochs):
+        for op in ops:
+            if remaining[(epoch, op)] == 0:
+                ready_time[(epoch, op)] = 0.0
+                push(epoch, op, 0.0)
+
+    free: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    busy: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    end_times: Dict[TaskId, float] = {}
+    epoch_done: Dict[int, float] = {}
+    epoch_remaining = {
+        epoch: len(ops) for epoch in range(n_epochs)
+    }
+    trace: List[TaskRecord] = []
+
+    def release(epoch: int, op: str, finish: float) -> None:
+        for succ in succs[op]:
+            task = (epoch, succ)
+            remaining[task] -= 1
+            ready_time[task] = max(
+                ready_time.get(task, 0.0), finish
+            )
+            if remaining[task] == 0:
+                push(epoch, succ, ready_time[task])
+        if epoch + 1 < n_epochs:
+            for succ in cross_by_producer.get(op, ()):
+                task = (epoch + 1, succ)
+                remaining[task] -= 1
+                ready_time[task] = max(
+                    ready_time.get(task, 0.0), finish
+                )
+                if remaining[task] == 0:
+                    push(epoch + 1, succ, ready_time[task])
+
+    makespan = 0.0
+    while heap:
+        ready, epoch, _, op = heapq.heappop(heap)
+        task = (epoch, op)
+        if task in end_times:
+            continue
+        if assignment is not None:
+            kind = assignment[op]
+            start = max(ready, free[kind])
+            finish = start + table.latency(op, kind)
+        else:
+            # Eq. 45 online: earliest completion across arrays.
+            best = None
+            for kind in ARRAYS:
+                start = max(ready, free[kind])
+                finish = start + table.latency(op, kind)
+                if best is None or finish < best[2]:
+                    best = (kind, start, finish)
+            kind, start, finish = best
+        free[kind] = finish
+        busy[kind] += finish - start
+        end_times[task] = finish
+        makespan = max(makespan, finish)
+        if keep_trace:
+            trace.append(
+                TaskRecord(epoch, op, kind, start, finish)
+            )
+        epoch_remaining[epoch] -= 1
+        if epoch_remaining[epoch] == 0:
+            epoch_done[epoch] = finish
+            if max_in_flight is not None and \
+                    epoch_limit < n_epochs:
+                epoch_limit += 1
+                for op_name, ready in gated.pop(
+                    epoch_limit - 1, ()
+                ):
+                    heapq.heappush(
+                        heap,
+                        (max(ready, finish),
+                         epoch_limit - 1,
+                         topo_index[op_name], op_name),
+                    )
+        release(epoch, op, finish)
+
+    # Steady-state period: average epoch-to-epoch completion gap over
+    # the second half of the run (the warm pipeline).
+    if n_epochs >= 4:
+        half = n_epochs // 2
+        steady = (
+            epoch_done[n_epochs - 1] - epoch_done[half - 1]
+        ) / (n_epochs - half)
+    else:
+        steady = makespan / n_epochs
+    return SimulationResult(
+        makespan=makespan,
+        busy_seconds=busy,
+        trace=trace,
+        steady_period=steady,
+    )

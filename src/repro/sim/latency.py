@@ -1,0 +1,77 @@
+"""Per-Einsum latency estimation (Section 4.2, Eq. 40-42).
+
+The compute load of an Einsum is the product of its output-dimension
+extents and reduction-dimension extents (Eq. 40).  Cycles divide the
+load by the PEs the op occupies (Eq. 41); seconds divide by the clock
+(Eq. 42).  An array-fit efficiency factor prices ops on a *non-native*
+array -- e.g. a tree reduction on a systolic 2D array, or a map op
+staged through the systolic fabric -- which is what lets DPipe's DP
+rule (Eq. 45) trade arrays off against each other realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arch.pe import PEArray, PEArrayKind
+from repro.einsum.operation import EinsumOp, OpKind
+from repro.sim.mapping import DimMapping, used_pes
+from repro.sim.stats import OpCost
+
+
+def array_fit_efficiency(op: EinsumOp, array: PEArray) -> float:
+    """Throughput factor in (0, 1] for running ``op`` on ``array``.
+
+    Contractions run at full rate on both arrays (2D: systolic MACs;
+    1D: lane-local multiply-accumulate).  Map and reduction Einsums are
+    native to the 1D array; on the 2D array they pay the array's
+    ``map_efficiency`` / ``reduction_efficiency``.
+    """
+    if op.kind is OpKind.CONTRACTION:
+        return 1.0
+    if array.kind is PEArrayKind.ARRAY_1D:
+        return 1.0
+    if op.kind is OpKind.MAP:
+        return array.map_efficiency
+    return array.reduction_efficiency
+
+
+def op_cycles(
+    op: EinsumOp,
+    extents: Mapping[str, int],
+    array: PEArray,
+    mapping: DimMapping,
+) -> float:
+    """Eq. 41: compute cycles for one execution of ``op``.
+
+    Args:
+        op: The Einsum operation.
+        extents: Tile-local dimension extents.
+        array: The PE array executing the op.
+        mapping: Row/column dim assignment (Table 1).
+
+    Returns:
+        Estimated cycles (>= 1 for any non-empty op).
+    """
+    load = op.compute_load(extents)
+    pes = used_pes(op.output_dims, extents, array, mapping)
+    efficiency = array_fit_efficiency(op, array)
+    return max(1.0, load / (pes * efficiency))
+
+
+def op_cost(
+    op: EinsumOp,
+    extents: Mapping[str, int],
+    array: PEArray,
+    mapping: DimMapping,
+    clock_hz: float,
+) -> OpCost:
+    """Full cost record for one op execution on one array."""
+    cycles = op_cycles(op, extents, array, mapping)
+    return OpCost(
+        name=op.name,
+        array=array.kind,
+        load=op.compute_load(extents),
+        cycles=cycles,
+        seconds=cycles / clock_hz,
+    )

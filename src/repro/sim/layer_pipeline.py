@@ -1,0 +1,171 @@
+"""Inter-layer (cross-sub-layer) pipeline simulation.
+
+Figure 3's dataflow propagates each Q tile through the whole layer --
+QKV -> MHA -> Add & LayerNorm -> FFN -> Add & LayerNorm -- before the
+next tile starts.  The executors price sub-layers additively, which is
+faithful to that per-tile ordering but conservative across *tiles*:
+while tile ``k`` runs its 1D-heavy LayerNorm, tile ``k+1``'s GEMM-heavy
+QKV could already occupy the 2D array.
+
+This module simulates exactly that: each (tile, phase) task splits
+into a 2D and a 1D part (a phase's internal pipeline uses both
+arrays), phases chain per tile, and both arrays are global serial
+resources.  The gap between the simulated makespan and the additive
+phase sum is the cross-phase overlap headroom -- an upper bound on
+what a whole-layer DPipe (the natural future-work extension of the
+paper's intra-layer scheduler) could still win.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+from repro.model.workload import Workload
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.baselines.base import ExecutorBase
+
+ARRAYS = (PEArrayKind.ARRAY_2D, PEArrayKind.ARRAY_1D)
+
+
+@dataclass(frozen=True)
+class PhaseLoad:
+    """Per-Q-tile busy time of one sub-layer phase."""
+
+    name: str
+    seconds_2d: float
+    seconds_1d: float
+
+    @property
+    def serial_seconds(self) -> float:
+        """Lower bound for this phase of one tile (its internal
+        pipeline overlaps the arrays)."""
+        return max(self.seconds_2d, self.seconds_1d)
+
+
+def phase_loads_per_tile(
+    executor: "ExecutorBase",
+    workload: Workload,
+    arch: ArchitectureSpec,
+    n_tiles: int,
+) -> List[PhaseLoad]:
+    """Split an executor's per-phase busy time across ``n_tiles``
+    outer Q tiles."""
+    if n_tiles <= 0:
+        raise ValueError("n_tiles must be positive")
+    report = executor.run(workload, arch)
+    loads: List[PhaseLoad] = []
+    for phase in report.phases:
+        loads.append(PhaseLoad(
+            name=phase.name,
+            seconds_2d=phase.busy_seconds.get(
+                PEArrayKind.ARRAY_2D, 0.0
+            ) / n_tiles,
+            seconds_1d=phase.busy_seconds.get(
+                PEArrayKind.ARRAY_1D, 0.0
+            ) / n_tiles,
+        ))
+    return loads
+
+
+@dataclass(frozen=True)
+class LayerPipelineResult:
+    """Simulated whole-layer execution across Q tiles.
+
+    Attributes:
+        makespan: Pipelined completion time of all tiles.
+        additive_seconds: The executors' additive phase model for the
+            same work (per-tile phase maxima, summed, times tiles).
+        overlap_headroom: ``additive / makespan`` -- how much the
+            additive model overestimates (1.0 = no headroom).
+    """
+
+    makespan: float
+    additive_seconds: float
+
+    @property
+    def overlap_headroom(self) -> float:
+        if self.makespan <= 0:
+            return 1.0
+        return self.additive_seconds / self.makespan
+
+
+def simulate_layer_pipeline(
+    loads: List[PhaseLoad],
+    n_tiles: int,
+    max_tiles_in_flight: int = 2,
+) -> LayerPipelineResult:
+    """Run ``n_tiles`` Q tiles through the phase chain.
+
+    Each (tile, phase) task runs its 2D and 1D parts concurrently on
+    the two global arrays (earliest fit, FIFO per array); phase ``i+1``
+    of a tile starts when both parts of phase ``i`` finished.  At most
+    ``max_tiles_in_flight`` tiles are live (on-chip activation
+    double-buffering).
+    """
+    if n_tiles <= 0:
+        raise ValueError("n_tiles must be positive")
+    if max_tiles_in_flight <= 0:
+        raise ValueError("max_tiles_in_flight must be positive")
+    free: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    tile_done: Dict[int, float] = {}
+    # Event-driven dispatch: (ready time, tile, phase index).  The
+    # heap interleaves tiles so an early phase of tile k+1 can claim
+    # an array before a late phase of tile k.
+    heap: List[Tuple[float, int, int]] = []
+    for tile in range(min(max_tiles_in_flight, n_tiles)):
+        heapq.heappush(heap, (0.0, tile, 0))
+    makespan = 0.0
+    while heap:
+        ready, tile, phase_idx = heapq.heappop(heap)
+        load = loads[phase_idx]
+        end_2d = end_1d = ready
+        if load.seconds_2d > 0:
+            start = max(free[PEArrayKind.ARRAY_2D], ready)
+            end_2d = start + load.seconds_2d
+            free[PEArrayKind.ARRAY_2D] = end_2d
+        if load.seconds_1d > 0:
+            start = max(free[PEArrayKind.ARRAY_1D], ready)
+            end_1d = start + load.seconds_1d
+            free[PEArrayKind.ARRAY_1D] = end_1d
+        finish = max(end_2d, end_1d)
+        if phase_idx + 1 < len(loads):
+            heapq.heappush(heap, (finish, tile, phase_idx + 1))
+        else:
+            tile_done[tile] = finish
+            makespan = max(makespan, finish)
+            admit = tile + max_tiles_in_flight
+            if admit < n_tiles:
+                heapq.heappush(heap, (finish, admit, 0))
+    additive = n_tiles * sum(
+        load.serial_seconds for load in loads
+    )
+    return LayerPipelineResult(
+        makespan=makespan,
+        additive_seconds=additive,
+    )
+
+
+def interlayer_overlap_headroom(
+    executor: "ExecutorBase",
+    workload: Workload,
+    arch: ArchitectureSpec,
+    q_tile_tokens: int,
+    max_tiles_in_flight: int = 2,
+) -> LayerPipelineResult:
+    """End-to-end: derive per-tile phase loads and simulate the
+    whole-layer pipeline for one executor/workload."""
+    n_tiles = workload.batch * math.ceil(
+        workload.seq_len / max(q_tile_tokens, 1)
+    )
+    loads = phase_loads_per_tile(executor, workload, arch, n_tiles)
+    return simulate_layer_pipeline(
+        loads, n_tiles, max_tiles_in_flight
+    )

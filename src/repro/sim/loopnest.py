@@ -1,0 +1,234 @@
+"""Explicit loop-nest mappings (the Timeloop view of an Einsum).
+
+Timeloop describes how an Einsum runs on a spatial accelerator as a
+*mapping*: an ordered loop nest whose levels are either **temporal**
+(sequenced in time) or **spatial** (unrolled across PE rows/columns).
+The fast-path cost model (:mod:`repro.sim.latency`) bakes the Table-1
+mapping in; this module makes the same mapping explicit and auditable:
+
+* build the canonical mapping for any cascade op under Table 1,
+* validate it (complete dim coverage, spatial extents within the
+  array, reduction dims never spatial across columns on a 1D array),
+* derive occupancy, trip counts and per-level data-reuse factors, and
+* verify it agrees with the fast-path ``used_pes``/``op_cycles``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.arch.pe import PEArray, PEArrayKind
+from repro.einsum.operation import EinsumOp
+from repro.sim.latency import array_fit_efficiency
+from repro.sim.mapping import DimMapping
+
+
+class LoopKind(enum.Enum):
+    """How one loop level executes."""
+
+    TEMPORAL = "temporal"
+    SPATIAL_ROW = "spatial_row"
+    SPATIAL_COL = "spatial_col"
+
+
+@dataclass(frozen=True)
+class LoopLevel:
+    """One level of the loop nest.
+
+    Attributes:
+        dim: Dimension name this level iterates.
+        extent: Full extent of the dimension in the tile.
+        unroll: Spatial unroll factor (1 for temporal levels).
+        kind: Temporal or spatial placement.
+    """
+
+    dim: str
+    extent: int
+    unroll: int
+    kind: LoopKind
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise ValueError(f"extent of {self.dim!r} must be > 0")
+        if self.unroll <= 0:
+            raise ValueError(f"unroll of {self.dim!r} must be > 0")
+        if self.kind is LoopKind.TEMPORAL and self.unroll != 1:
+            raise ValueError("temporal levels cannot unroll")
+        if self.unroll > self.extent:
+            raise ValueError(
+                f"unroll {self.unroll} exceeds extent {self.extent} "
+                f"for dim {self.dim!r}"
+            )
+
+    @property
+    def trips(self) -> int:
+        """Sequential iterations at this level."""
+        return math.ceil(self.extent / self.unroll)
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A complete mapping of one Einsum op onto one PE array."""
+
+    op_name: str
+    array_kind: PEArrayKind
+    levels: Tuple[LoopLevel, ...]
+
+    def spatial_rows(self) -> int:
+        """Total row unrolling."""
+        product = 1
+        for level in self.levels:
+            if level.kind is LoopKind.SPATIAL_ROW:
+                product *= level.unroll
+        return product
+
+    def spatial_cols(self) -> int:
+        """Total column unrolling."""
+        product = 1
+        for level in self.levels:
+            if level.kind is LoopKind.SPATIAL_COL:
+                product *= level.unroll
+        return product
+
+    def occupied_pes(self) -> int:
+        """PEs this mapping keeps busy."""
+        return self.spatial_rows() * self.spatial_cols()
+
+    def temporal_trips(self) -> int:
+        """Product of all sequential trip counts."""
+        product = 1
+        for level in self.levels:
+            product *= level.trips
+        return product
+
+    def dims(self) -> Tuple[str, ...]:
+        return tuple(level.dim for level in self.levels)
+
+
+def build_loop_nest(
+    op: EinsumOp,
+    tile: Mapping[str, int],
+    array: PEArray,
+    mapping: DimMapping,
+) -> LoopNest:
+    """The canonical Table-1 mapping of ``op`` onto ``array``.
+
+    Output row dims unroll across PE rows, remaining output dims
+    across PE columns (greedy, bounded by the array geometry), and
+    everything left over -- including all reduction dims -- runs
+    temporally.
+    """
+    row_dims, col_dims = mapping.split_output_dims(op.output_dims)
+    levels: List[LoopLevel] = []
+    if array.kind is PEArrayKind.ARRAY_1D:
+        budget_rows, budget_cols = 1, array.cols
+        # A 1D array has no row dimension: everything output-side
+        # flattens along the lanes.
+        col_dims = row_dims + col_dims
+        row_dims = ()
+    else:
+        budget_rows, budget_cols = array.rows, array.cols
+    for dim in row_dims:
+        extent = int(tile[dim])
+        unroll = min(extent, max(budget_rows, 1))
+        levels.append(LoopLevel(dim, extent, unroll,
+                                LoopKind.SPATIAL_ROW
+                                if unroll > 1 or extent == 1
+                                else LoopKind.TEMPORAL))
+        budget_rows = max(budget_rows // max(unroll, 1), 1)
+    for dim in col_dims:
+        extent = int(tile[dim])
+        unroll = min(extent, max(budget_cols, 1))
+        levels.append(LoopLevel(dim, extent, unroll,
+                                LoopKind.SPATIAL_COL
+                                if unroll > 1 or extent == 1
+                                else LoopKind.TEMPORAL))
+        budget_cols = max(budget_cols // max(unroll, 1), 1)
+    for dim in op.reduction_dims:
+        levels.append(
+            LoopLevel(dim, int(tile[dim]), 1, LoopKind.TEMPORAL)
+        )
+    return LoopNest(
+        op_name=op.name, array_kind=array.kind,
+        levels=tuple(levels),
+    )
+
+
+def validate_loop_nest(
+    nest: LoopNest,
+    op: EinsumOp,
+    tile: Mapping[str, int],
+    array: PEArray,
+) -> None:
+    """Raise ``ValueError`` unless ``nest`` is a legal mapping.
+
+    Checks: every op dim covered exactly once with the tile extent;
+    spatial unrolling within the array geometry; reduction dims only
+    temporal (partial sums stay PE-local, as the paper's 1-pass
+    dataflow requires).
+    """
+    wanted = set(op.output_dims) | set(op.reduction_dims)
+    seen = list(nest.dims())
+    if len(set(seen)) != len(seen):
+        raise ValueError(f"{nest.op_name}: dim mapped twice")
+    if set(seen) != wanted:
+        raise ValueError(
+            f"{nest.op_name}: mapping covers {sorted(seen)}, "
+            f"op needs {sorted(wanted)}"
+        )
+    for level in nest.levels:
+        if level.extent != int(tile[level.dim]):
+            raise ValueError(
+                f"{nest.op_name}: level {level.dim!r} extent "
+                f"{level.extent} != tile {tile[level.dim]}"
+            )
+        if level.dim in op.reduction_dims and \
+                level.kind is not LoopKind.TEMPORAL:
+            raise ValueError(
+                f"{nest.op_name}: reduction dim {level.dim!r} must "
+                "be temporal"
+            )
+    rows = array.rows if array.kind is PEArrayKind.ARRAY_2D else 1
+    if nest.spatial_rows() > rows:
+        raise ValueError(f"{nest.op_name}: row unrolling exceeds "
+                         "array rows")
+    if nest.spatial_cols() > array.cols:
+        raise ValueError(f"{nest.op_name}: column unrolling exceeds "
+                         "array columns")
+
+
+def nest_cycles(
+    nest: LoopNest,
+    op: EinsumOp,
+    array: PEArray,
+) -> float:
+    """Cycles implied by the loop nest (temporal trips over the
+    spatially unrolled work), with the array-fit efficiency applied.
+
+    Agrees with the fast-path :func:`repro.sim.latency.op_cycles`
+    up to ceil-rounding of uneven unroll factors.
+    """
+    efficiency = array_fit_efficiency(op, array)
+    return max(1.0, nest.temporal_trips() / efficiency)
+
+
+def reuse_factors(
+    nest: LoopNest, op: EinsumOp
+) -> Dict[str, float]:
+    """Per-input data reuse: how many times each fetched input element
+    is consumed before being replaced.
+
+    An input is reused across every loop level whose dim it does *not*
+    index -- the classic stationarity argument Timeloop reports.
+    """
+    factors: Dict[str, float] = {}
+    for spec in op.inputs:
+        reuse = 1.0
+        for level in nest.levels:
+            if level.dim not in spec.dims:
+                reuse *= level.extent
+        factors[spec.name] = reuse
+    return factors

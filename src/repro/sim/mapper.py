@@ -1,0 +1,93 @@
+"""Mapping search: is Table 1 the right dimension assignment?
+
+Timeloop couples a cost model with a *mapper* that searches the space
+of loop-nest mappings.  The paper fixes the mapping by hand (Table 1:
+sequence dims on PE rows, feature dims on columns).  This module
+implements the search the authors implicitly did: enumerate every way
+of splitting an op's output dims between rows and columns, price each
+with the loop-nest model, and return the best -- letting tests verify
+that Table 1's choices are optimal (or how far off they are) for each
+cascade op on each architecture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.arch.pe import PEArray
+from repro.einsum.operation import EinsumOp
+from repro.sim.loopnest import LoopNest, build_loop_nest, nest_cycles
+from repro.sim.mapping import DimMapping
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One priced mapping for an op."""
+
+    mapping: DimMapping
+    nest: LoopNest
+    cycles: float
+
+
+def enumerate_mappings(
+    op: EinsumOp,
+) -> List[DimMapping]:
+    """Every row/column split of the op's output dims.
+
+    Each output dim independently goes to rows or columns; reduction
+    dims always stay temporal (partial sums are PE-local).
+    """
+    dims = op.output_dims
+    mappings: List[DimMapping] = []
+    for r in range(len(dims) + 1):
+        for rows in itertools.combinations(dims, r):
+            cols = tuple(d for d in dims if d not in rows)
+            mappings.append(
+                DimMapping(row_dims=rows, col_dims=cols)
+            )
+    return mappings
+
+
+def search_mappings(
+    op: EinsumOp,
+    tile: Mapping[str, int],
+    array: PEArray,
+) -> Tuple[MappingCandidate, List[MappingCandidate]]:
+    """Price every mapping of ``op`` on ``array``.
+
+    Returns:
+        ``(best, all_candidates)`` with candidates sorted by cycles.
+    """
+    candidates: List[MappingCandidate] = []
+    for mapping in enumerate_mappings(op):
+        nest = build_loop_nest(op, tile, array, mapping)
+        candidates.append(
+            MappingCandidate(
+                mapping=mapping,
+                nest=nest,
+                cycles=nest_cycles(nest, op, array),
+            )
+        )
+    candidates.sort(key=lambda c: c.cycles)
+    return candidates[0], candidates
+
+
+def table1_optimality_gap(
+    op: EinsumOp,
+    tile: Mapping[str, int],
+    array: PEArray,
+    table1_mapping: DimMapping,
+) -> float:
+    """Cycles of the Table-1 mapping relative to the searched best.
+
+    1.0 means Table 1 is optimal for this op/tile/array; 2.0 means a
+    better mapping exists at half the cycles.
+    """
+    best, _ = search_mappings(op, tile, array)
+    nest = build_loop_nest(op, tile, array, table1_mapping)
+    table1_cycles = nest_cycles(nest, op, array)
+    if best.cycles <= 0:
+        return 1.0
+    return table1_cycles / best.cycles

@@ -1,0 +1,137 @@
+"""Table-1 dimension mapping and inner-tile sizing.
+
+TransFusion forms *inner tiles* by mapping shared Einsum dimensions
+onto the 2D PE array (Section 3.3, Table 1):
+
+========== ============ =============
+layer      2D PE rows   2D PE columns
+========== ============ =============
+QKV        p / m0       h, e
+MHA        p            m0
+LayerNorm  p            h, f
+FFN        p            s
+========== ============ =============
+
+On a 1D array the row mapping (sequence dimension) is retained and
+column dims unfold along the lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.arch.pe import PEArray, PEArrayKind
+
+#: Layer kind -> (row dims, column dims) per Table 1 of the paper.
+TABLE1_MAPPING: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "qkv": (("p", "m0"), ("h", "e")),
+    "mha": (("p",), ("m0",)),
+    "layernorm": (("p",), ("h", "f")),
+    "ffn": (("p",), ("s",)),
+}
+
+#: Dims that tile in lockstep with another dim (paper assumes E = F, so
+#: the V projection's ``(h, f)`` column mapping mirrors ``(h, e)``).
+PAIRED_DIMS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "qkv": (("f", "e"),),
+}
+
+
+@dataclass(frozen=True)
+class DimMapping:
+    """Row/column dimension assignment for one op or layer."""
+
+    row_dims: Tuple[str, ...]
+    col_dims: Tuple[str, ...]
+
+    def split_output_dims(
+        self, output_dims: Tuple[str, ...]
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Partition an op's output dims into (row, col) groups.
+
+        Dims declared as row dims map to PE rows; everything else maps
+        to PE columns (whether or not Table 1 names it -- e.g. the
+        head dim rides along the columns for MHA score tiles).
+        """
+        rows = tuple(d for d in output_dims if d in self.row_dims)
+        cols = tuple(d for d in output_dims if d not in self.row_dims)
+        return rows, cols
+
+
+def layer_mapping(layer: str) -> DimMapping:
+    """The Table-1 mapping for a sub-layer kind."""
+    if layer not in TABLE1_MAPPING:
+        raise KeyError(
+            f"unknown layer {layer!r}; choose from "
+            f"{sorted(TABLE1_MAPPING)}"
+        )
+    rows, cols = TABLE1_MAPPING[layer]
+    return DimMapping(row_dims=rows, col_dims=cols)
+
+
+def inner_tile_extents(
+    layer: str,
+    problem_extents: Mapping[str, int],
+    array: PEArray,
+) -> Dict[str, int]:
+    """Clip per-layer dims to the PE array, forming the inner tile.
+
+    The inner tile is the unit of pipelined execution (one *epoch* in
+    DPipe's terminology): the sequence dims are clipped to the array's
+    rows and the column dims jointly to the array's columns.
+
+    Args:
+        layer: Sub-layer kind (``qkv``/``mha``/``layernorm``/``ffn``).
+        problem_extents: Full-problem dimension extents.
+        array: Target PE array (its geometry bounds the tile).
+
+    Returns:
+        Extents mapping with the tile-local dims reduced; dims not in
+        the mapping pass through unchanged.
+    """
+    mapping = layer_mapping(layer)
+    tile = dict(problem_extents)
+    rows = array.rows if array.kind is PEArrayKind.ARRAY_2D else 1
+    cols = array.cols
+    for dim in mapping.row_dims:
+        if dim in tile:
+            tile[dim] = min(tile[dim], max(rows, 1))
+    remaining = cols
+    for dim in mapping.col_dims:
+        if dim in tile:
+            clipped = min(tile[dim], max(remaining, 1))
+            tile[dim] = clipped
+            remaining = max(remaining // max(clipped, 1), 1)
+    for paired, source in PAIRED_DIMS.get(layer, ()):
+        if paired in tile and source in tile:
+            tile[paired] = min(tile[paired], tile[source])
+    return tile
+
+
+def used_pes(
+    output_dims: Tuple[str, ...],
+    extents: Mapping[str, int],
+    array: PEArray,
+    mapping: DimMapping,
+) -> int:
+    """Processing elements an op can actually occupy (Eq. 41's NumPEs).
+
+    For a 2D array, row dims fill rows and the remaining output dims
+    fill columns; for a 1D array all output dims flatten along the
+    lanes.  Occupancy never exceeds the array size.
+    """
+    total = 1
+    for dim in output_dims:
+        total *= int(extents[dim])
+    if array.kind is PEArrayKind.ARRAY_1D:
+        return max(1, min(total, array.num_pes))
+    row_dims, col_dims = mapping.split_output_dims(output_dims)
+    rows = 1
+    for dim in row_dims:
+        rows *= int(extents[dim])
+    cols = 1
+    for dim in col_dims:
+        cols *= int(extents[dim])
+    used = min(rows, array.rows) * min(cols, array.cols)
+    return max(1, min(used, total))

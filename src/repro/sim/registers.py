@@ -1,0 +1,98 @@
+"""Per-PE register-pressure analysis.
+
+FuseMax's key enabler (Section 1) is an expanded register file --
+"10 entries per PE" -- that lets the whole 1-pass attention cascade
+retain its intermediates in registers.  This module derives that
+number from first principles: walk the cascade in execution order,
+track which tensors are *live* (produced but not yet dead) per PE, and
+report the high-water mark.
+
+Per-PE footprint model: with the Table-1 spatial mapping, each PE owns
+one element of every fully spatially mapped tensor and streams one
+element at a time of temporally iterated tensors, so each live tensor
+costs one register entry; recurrent state tensors are live for the
+whole loop body, and a state's *update* tensor stays live until the
+end-of-iteration commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.einsum.cascade import Cascade
+
+
+@dataclass(frozen=True)
+class RegisterPressure:
+    """Liveness summary of one cascade.
+
+    Attributes:
+        max_live: Peak concurrently live register entries per PE.
+        live_after: Op name -> live-entry count right after it runs.
+        state_entries: Entries pinned for recurrent state.
+    """
+
+    max_live: int
+    live_after: Dict[str, int]
+    state_entries: int
+
+    def fits(self, registers_per_pe: int) -> bool:
+        """Whether full in-register retention is possible."""
+        return self.max_live <= registers_per_pe
+
+
+def _last_uses(cascade: Cascade) -> Dict[str, str]:
+    """Tensor name -> name of the op that consumes it last."""
+    last: Dict[str, str] = {}
+    for op in cascade.all_ops:
+        for name in op.input_names():
+            last[name] = op.name
+    return last
+
+
+def register_pressure(cascade: Cascade) -> RegisterPressure:
+    """Liveness-analyse a cascade's per-PE register demand.
+
+    Counts one entry per live intermediate tensor, one per recurrent
+    state, and keeps each state's update tensor live until the commit
+    at the end of the loop body (the running max/denominator/numerator
+    handoff of Cascade 1).
+    """
+    last_use = _last_uses(cascade)
+    state_updates = {
+        sspec.update_from for sspec in cascade.state.values()
+    }
+    live: Set[str] = set(cascade.state)  # states pinned throughout
+    state_entries = len(cascade.state)
+    max_live = len(live)
+    live_after: Dict[str, int] = {}
+    for op in cascade.all_ops:
+        live.add(op.output.name)
+        if len(live) > max_live:
+            max_live = len(live)
+        # Kill tensors whose last consumer this op was -- except
+        # state-update tensors, which stay live until the loop-end
+        # commit (they overwrite the state registers only after every
+        # reader of the *old* state value has run).
+        for name in list(live):
+            if name in cascade.state or name in state_updates:
+                continue
+            if last_use.get(name) == op.name:
+                live.discard(name)
+        live_after[op.name] = len(live)
+    return RegisterPressure(
+        max_live=max_live,
+        live_after=live_after,
+        state_entries=state_entries,
+    )
+
+
+def supports_register_retention(
+    cascade: Cascade, registers_per_pe: int
+) -> bool:
+    """Whether a PE with ``registers_per_pe`` entries can retain every
+    intermediate of ``cascade`` (FuseMax's deep-fusion requirement)."""
+    if registers_per_pe <= 0:
+        raise ValueError("registers_per_pe must be positive")
+    return register_pressure(cascade).fits(registers_per_pe)

@@ -1,0 +1,111 @@
+"""Roofline analysis: is a phase compute- or memory-bound?
+
+The paper's discussion of *why* fusion helps at short sequences and
+pipelining at long ones (Sections 6.2) is a roofline argument: each
+phase sits either under the memory-bandwidth roof or the compute roof.
+This module classifies report phases accordingly and computes the
+crossover sequence length analytically -- used by tests and the
+long-context example to pin down the regime boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.arch.spec import ArchitectureSpec
+from repro.sim.stats import PhaseStats, RunReport
+
+
+class Regime(enum.Enum):
+    """Which roof limits a phase."""
+
+    COMPUTE_BOUND = "compute"
+    MEMORY_BOUND = "memory"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class PhaseRoofline:
+    """Roofline coordinates of one phase.
+
+    Attributes:
+        phase: Phase name.
+        arithmetic_intensity: Scalar ops per DRAM word moved
+            (``inf`` for phases with no DRAM traffic).
+        compute_seconds: Time under the compute roof.
+        memory_seconds: Time under the bandwidth roof.
+        regime: The binding roof (within a 10% band = balanced).
+    """
+
+    phase: str
+    arithmetic_intensity: float
+    compute_seconds: float
+    memory_seconds: float
+    regime: Regime
+
+    @property
+    def boundedness(self) -> float:
+        """memory time / compute time (>1 = memory-bound)."""
+        if self.compute_seconds <= 0:
+            return float("inf")
+        return self.memory_seconds / self.compute_seconds
+
+
+def classify_phase(
+    phase: PhaseStats, arch: ArchitectureSpec
+) -> PhaseRoofline:
+    """Roofline-classify one phase of a report."""
+    ops = phase.ops_2d + phase.ops_1d
+    words = phase.dram_words
+    intensity = ops / words if words > 0 else float("inf")
+    memory = phase.dram_seconds(arch)
+    compute = phase.compute_seconds
+    if compute <= 0 and memory <= 0:
+        regime = Regime.BALANCED
+    elif memory > 1.1 * compute:
+        regime = Regime.MEMORY_BOUND
+    elif compute > 1.1 * memory:
+        regime = Regime.COMPUTE_BOUND
+    else:
+        regime = Regime.BALANCED
+    return PhaseRoofline(
+        phase=phase.name,
+        arithmetic_intensity=intensity,
+        compute_seconds=compute,
+        memory_seconds=memory,
+        regime=regime,
+    )
+
+
+def classify_report(
+    report: RunReport, arch: ArchitectureSpec
+) -> List[PhaseRoofline]:
+    """Roofline-classify every phase of a report."""
+    return [classify_phase(phase, arch) for phase in report.phases]
+
+
+def machine_balance(arch: ArchitectureSpec) -> float:
+    """Ops per word at which compute and bandwidth roofs meet.
+
+    Peak compute counts both PE arrays at the clock; peak bandwidth is
+    the DRAM interface.  Phases with arithmetic intensity above this
+    balance are compute-bound on this machine.
+    """
+    peak_ops = (
+        (arch.array_2d.num_pes + arch.array_1d.num_pes)
+        * arch.clock_hz
+    )
+    peak_words = arch.dram.bandwidth_bytes_per_s / arch.word_bytes
+    return peak_ops / peak_words
+
+
+def regime_summary(
+    report: RunReport, arch: ArchitectureSpec
+) -> Dict[str, Regime]:
+    """Phase name -> binding regime."""
+    return {
+        entry.phase: entry.regime
+        for entry in classify_report(report, arch)
+    }

@@ -1,0 +1,206 @@
+"""Execution statistics, reports and energy accounting.
+
+Executors decompose one Transformer layer into *phases* (QKV, MHA,
+Add & LayerNorm, FFN).  Each phase records its compute makespan, how
+long each PE array was busy, its DRAM traffic and its access/op counts;
+reports aggregate phases into end-to-end latency, utilization
+(Figure 10) and an Accelergy-style energy breakdown (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of one Einsum execution on one PE array."""
+
+    name: str
+    array: PEArrayKind
+    load: float
+    cycles: float
+    seconds: float
+
+
+@dataclass
+class PhaseStats:
+    """Statistics for one execution phase of a layer.
+
+    Attributes:
+        name: Phase name (``qkv``/``mha``/``layernorm``/``ffn``).
+        compute_seconds: Compute-schedule makespan of the phase.
+        busy_seconds: Busy time per PE array within the makespan.
+        dram_words: Words moved across the DRAM interface.
+        overlap_dram: Whether DRAM traffic is double-buffered behind
+            compute (fused dataflows) or serialized with it (unfused
+            staging).
+        ops_2d: Scalar operations executed on the 2D array.
+        ops_1d: Scalar operations executed on the 1D array.
+        buffer_words: Global-buffer access count (words).
+        rf_words: Register-file access count (words).
+    """
+
+    name: str
+    compute_seconds: float
+    busy_seconds: Dict[PEArrayKind, float] = field(default_factory=dict)
+    dram_words: float = 0.0
+    overlap_dram: bool = True
+    ops_2d: float = 0.0
+    ops_1d: float = 0.0
+    buffer_words: float = 0.0
+    rf_words: float = 0.0
+
+    def dram_seconds(self, arch: ArchitectureSpec) -> float:
+        """Time to move this phase's DRAM traffic."""
+        return arch.dram_seconds(self.dram_words)
+
+    def latency_seconds(self, arch: ArchitectureSpec) -> float:
+        """Phase latency: compute/DRAM overlapped or serialized."""
+        dram = self.dram_seconds(arch)
+        if self.overlap_dram:
+            return max(self.compute_seconds, dram)
+        return self.compute_seconds + dram
+
+    def scaled(self, factor: float) -> "PhaseStats":
+        """This phase with every extensive quantity multiplied."""
+        return PhaseStats(
+            name=self.name,
+            compute_seconds=self.compute_seconds * factor,
+            busy_seconds={
+                k: v * factor for k, v in self.busy_seconds.items()
+            },
+            dram_words=self.dram_words * factor,
+            overlap_dram=self.overlap_dram,
+            ops_2d=self.ops_2d * factor,
+            ops_1d=self.ops_1d * factor,
+            buffer_words=self.buffer_words * factor,
+            rf_words=self.rf_words * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy by memory-hierarchy component (Figure 13), in pJ."""
+
+    dram_pj: float
+    buffer_pj: float
+    rf_pj: float
+    pe_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.buffer_pj + self.rf_pj + self.pe_pj
+
+    def fractions(self) -> Dict[str, float]:
+        """Component shares of total energy (sum to 1)."""
+        total = self.total_pj or 1.0
+        return {
+            "dram": self.dram_pj / total,
+            "buffer": self.buffer_pj / total,
+            "rf": self.rf_pj / total,
+            "pe": self.pe_pj / total,
+        }
+
+
+@dataclass
+class RunReport:
+    """End-to-end report for one executor on one workload layer.
+
+    Latencies and energies are *per Transformer layer*; multiply by the
+    model's layer count for stack totals (ratios are unchanged).
+    """
+
+    executor: str
+    workload: str
+    architecture: str
+    phases: List[PhaseStats] = field(default_factory=list)
+
+    def phase(self, name: str) -> PhaseStats:
+        """Look up a phase by name."""
+        for ph in self.phases:
+            if ph.name == name:
+                return ph
+        raise KeyError(
+            f"report for {self.executor!r} has no phase {name!r}"
+        )
+
+    def latency_seconds(self, arch: ArchitectureSpec) -> float:
+        """Total per-layer latency (phases run back to back)."""
+        return sum(ph.latency_seconds(arch) for ph in self.phases)
+
+    def phase_latencies(
+        self, arch: ArchitectureSpec
+    ) -> Dict[str, float]:
+        """Phase name -> latency seconds."""
+        return {
+            ph.name: ph.latency_seconds(arch) for ph in self.phases
+        }
+
+    def utilization(
+        self, arch: ArchitectureSpec
+    ) -> Dict[PEArrayKind, float]:
+        """Useful-work utilization per PE array (Figure 10).
+
+        The fraction of the array's peak op throughput actually spent
+        on the layer's scalar operations: ``ops / (PEs * clock *
+        latency)``.  Occupancy of *stalled or inefficiently mapped*
+        cycles does not count -- a dataflow that strands PE rows (FLAT
+        on a 256-row array) or leaves an array idle behind a serialized
+        stage reads low, exactly as the paper measures it.
+        """
+        total = self.latency_seconds(arch)
+        if total <= 0:
+            return {kind: 0.0 for kind in PEArrayKind}
+        ops: Dict[PEArrayKind, float] = {
+            PEArrayKind.ARRAY_2D: 0.0,
+            PEArrayKind.ARRAY_1D: 0.0,
+        }
+        for ph in self.phases:
+            ops[PEArrayKind.ARRAY_2D] += ph.ops_2d
+            ops[PEArrayKind.ARRAY_1D] += ph.ops_1d
+        result: Dict[PEArrayKind, float] = {}
+        for kind, total_ops in ops.items():
+            peak = arch.array(kind).num_pes * arch.clock_hz * total
+            result[kind] = min(1.0, total_ops / peak)
+        return result
+
+    def busy_fraction(
+        self, arch: ArchitectureSpec
+    ) -> Dict[PEArrayKind, float]:
+        """Occupancy (busy time / latency) per array -- a diagnostic
+        complement to :meth:`utilization`."""
+        total = self.latency_seconds(arch)
+        if total <= 0:
+            return {kind: 0.0 for kind in PEArrayKind}
+        busy: Dict[PEArrayKind, float] = {
+            kind: 0.0 for kind in PEArrayKind
+        }
+        for ph in self.phases:
+            for kind, seconds in ph.busy_seconds.items():
+                busy[kind] += seconds
+        return {
+            kind: min(1.0, seconds / total)
+            for kind, seconds in busy.items()
+        }
+
+    def dram_words(self) -> float:
+        """Total DRAM traffic in words."""
+        return sum(ph.dram_words for ph in self.phases)
+
+    def energy(self, arch: ArchitectureSpec) -> EnergyBreakdown:
+        """Aggregate Accelergy-style energy breakdown."""
+        model = arch.energy
+        dram = buffer = rf = pe = 0.0
+        for ph in self.phases:
+            dram += model.dram_energy_pj(ph.dram_words)
+            buffer += model.buffer_energy_pj(ph.buffer_words)
+            rf += model.rf_energy_pj(ph.rf_words)
+            pe += model.pe_energy_pj(ph.ops_2d, ph.ops_1d)
+        return EnergyBreakdown(
+            dram_pj=dram, buffer_pj=buffer, rf_pj=rf, pe_pj=pe
+        )

@@ -1,0 +1,152 @@
+"""DRAM traffic models.
+
+Traffic is where fusion pays off: unfused execution round-trips every
+intermediate (including the ``B*H*P^2`` attention-score matrices)
+through DRAM, while fused dataflows keep them on chip.  Weight
+*streaming* is unavoidable whenever a layer's weights exceed the global
+buffer (always true for the large models here), so the streaming policy
+-- how often weights are refetched while iterating over tokens --
+separates naive staging from TileSeek-optimized tiling.
+
+All quantities are in words.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.model.workload import Workload
+
+
+def gemm_traffic_optimal(
+    m: int, n: int, k: int, buffer_words: int
+) -> float:
+    """Near-optimal tiled-GEMM DRAM traffic.
+
+    Classic communication lower bound: beyond compulsory traffic for
+    the operands and result, a GEMM of ``m x k @ k x n`` with on-chip
+    capacity ``S`` moves at least ``2*m*n*k / sqrt(S)`` words.
+    TileSeek-style tiling approaches this bound.
+    """
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dims must be positive")
+    if buffer_words <= 0:
+        raise ValueError("buffer_words must be positive")
+    compulsory = m * k + k * n + m * n
+    refetch = 2.0 * m * n * k / math.sqrt(buffer_words)
+    return float(compulsory) + refetch
+
+
+def gemm_traffic_streamed(
+    m: int, n: int, k: int, buffer_words: int,
+    residency_fraction: float = 0.5,
+) -> float:
+    """Token-stationary streamed-GEMM DRAM traffic (naive staging).
+
+    Unfused kernels keep a chunk of ``T`` token rows resident (inputs
+    plus outputs) and stream the whole ``k x n`` weight matrix once per
+    chunk.  The weight refetch count is ``ceil(m / T)`` with
+    ``T = residency_fraction * buffer / (k + n)``.
+
+    Args:
+        m: Token rows (``B * P``).
+        n: Output features.
+        k: Input features (weights are ``k x n``).
+        buffer_words: On-chip buffer capacity in words.
+        residency_fraction: Buffer share usable for token residency
+            (the rest double-buffers streamed weights).
+    """
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dims must be positive")
+    if not 0.0 < residency_fraction <= 1.0:
+        raise ValueError("residency_fraction must be in (0, 1]")
+    tokens_resident = max(
+        1, int(residency_fraction * buffer_words // (k + n))
+    )
+    weight_passes = math.ceil(m / tokens_resident)
+    weights = float(k) * n
+    activations = float(m) * (k + n)
+    return weights * weight_passes + activations
+
+
+def weight_stream_traffic(
+    m: int, n: int, k: int, buffer_words: int, optimal: bool
+) -> float:
+    """Weight-only DRAM traffic of a fused GEMM.
+
+    Fused dataflows keep activations on chip, so a layer's GEMM only
+    moves its ``k x n`` weights (which never fit on chip for the models
+    evaluated).  With heuristic token-stationary staging the weights
+    are refetched once per resident token chunk; TileSeek-style tiling
+    approaches the ``2*m*n*k/sqrt(S)`` communication bound instead.
+    """
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dims must be positive")
+    weights = float(k) * n
+    if optimal:
+        return weights + 2.0 * m * n * k / math.sqrt(buffer_words)
+    tokens_resident = max(1, int(0.5 * buffer_words // (k + n)))
+    return weights * math.ceil(m / tokens_resident)
+
+
+def spill_words(tensor_words: float) -> float:
+    """Round-trip cost of spilling an intermediate (write + read)."""
+    return 2.0 * tensor_words
+
+
+def kv_cache_words(workload: Workload) -> float:
+    """Words to hold the K and V tensors of one layer
+    (``2 * B * M * D``)."""
+    return workload.kv_words
+
+
+def kv_reload_traffic(
+    workload: Workload,
+    arch: ArchitectureSpec,
+    q_tile_tokens: int,
+) -> Tuple[float, int]:
+    """K/V spill-and-reload traffic for the 1-pass attention loop.
+
+    Every Q outer tile streams the full K/V sequence from off-chip
+    memory (Figure 3) unless K/V fit in the buffer, in which case they
+    are fetched once.  Larger Q tiles mean fewer K/V passes -- the main
+    lever TileSeek's ``P`` tiling factor controls.
+
+    Args:
+        workload: The problem instance.
+        arch: Target architecture (buffer capacity gates residency).
+        q_tile_tokens: Tokens per Q outer tile (per batch element).
+
+    Returns:
+        ``(words, passes)``: total K/V DRAM words (initial write plus
+        reloads) and the number of read passes.
+    """
+    if q_tile_tokens <= 0:
+        raise ValueError("q_tile_tokens must be positive")
+    kv_words = kv_cache_words(workload)
+    per_batch_kv = kv_words / workload.batch
+    q_tiles = math.ceil(workload.seq_len / q_tile_tokens)
+    if per_batch_kv <= 0.5 * arch.buffer_words:
+        passes = 1
+        read = kv_words
+    else:
+        passes = q_tiles
+        # Under a causal mask each Q tile only reads keys up to its
+        # own position: half the dense reads on average.
+        read = kv_words * passes * workload.attention_work_fraction
+    write = workload.kv_spill_words
+    return write + read, passes
+
+
+def unfused_attention_spills(workload: Workload) -> float:
+    """DRAM round trips of unfused attention intermediates.
+
+    The score matrix ``QK^T`` (``B*H*P^2``) is written once and read by
+    softmax; the softmax output is written and read by the ``A x V``
+    GEMM: four score-sized transfers, plus the attention output spill.
+    """
+    scores = workload.score_elements
+    av = workload.activation_words
+    return 4.0 * scores + spill_words(av)

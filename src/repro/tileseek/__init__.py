@@ -1,0 +1,30 @@
+"""TileSeek: MCTS-based outer-tiling search (Section 5).
+
+TileSeek chooses the *outer* tiling factors ``[B, D, M1, P, S]`` that
+govern off-chip <-> on-chip data movement for the fully fused layer.
+Candidate configurations are validated against the Table-2 per-module
+buffer model; feasible leaves are scored by the analytical simulator
+(DRAM energy or latency) and the scores drive UCB-guided Monte Carlo
+Tree Search.
+"""
+
+from repro.tileseek.buffer_model import (
+    TilingConfig,
+    fused_buffer_requirement,
+    layer_buffer_requirement,
+)
+from repro.tileseek.evaluate import TilingAssessment, assess_tiling
+from repro.tileseek.mcts import MCTSStats, mcts_search
+from repro.tileseek.search import TileSeek, TileSeekResult
+
+__all__ = [
+    "MCTSStats",
+    "TileSeek",
+    "TileSeekResult",
+    "TilingAssessment",
+    "TilingConfig",
+    "assess_tiling",
+    "fused_buffer_requirement",
+    "layer_buffer_requirement",
+    "mcts_search",
+]

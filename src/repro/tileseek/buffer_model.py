@@ -1,0 +1,220 @@
+"""The Table-2 on-chip buffer model.
+
+End-to-end fusion executes a complete tile per layer, so the buffer
+must hold each layer's input/output activations, recurrent MHA state
+and pipeline staging buffers simultaneously (Section 5.2).  Table 2
+gives the per-module requirement in words:
+
+=================  ====================================================
+module             buffer requirement
+=================  ====================================================
+QKV projection     ``B*D*(4P + 3*M1*M0) + 3*D*H*E + 2*B*H*P``
+MHA                ``B*H*E*(P + 2*M1*M0) + B*H*P*(2 + 2F)``
+                   ``+ 4*M0*P' + 18*P'``
+Add & LayerNorm    ``3*B*H*F*P + 4*H*F*P'``
+FFN                ``H*F*(2*B*P + S) + S*(P + 2) + 2*S*P'``
+=================  ====================================================
+
+Capitals denote *per-tile* extents: ``B`` batch per tile, ``D`` the
+resident model-dimension chunk, ``P`` the Q-tile token count,
+``M1*M0`` the resident key/value chunk, ``S`` the resident FFN hidden
+chunk and ``P'`` the intra-tile rows handled per PE row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.model.config import ModelConfig
+
+#: The fused sub-layers whose tiles must all fit (Section 5.2).
+FUSED_MODULES = ("qkv", "mha", "layernorm", "ffn")
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """One outer-tiling configuration (a TileSeek search point).
+
+    Attributes:
+        b: Batch elements per outer tile.
+        d: Resident model-dimension chunk (weight-slice depth).
+        m1: Resident inner key/value tiles (the ``M1`` factor).
+        m0: Inner key/value tile length (set by the PE mapping).
+        p: Q-tile token count per batch element.
+        s: Resident FFN hidden chunk.
+        p_prime: Intra-tile sequence rows per PE row (2D array rows).
+    """
+
+    b: int
+    d: int
+    m1: int
+    m0: int
+    p: int
+    s: int
+    p_prime: int
+
+    def __post_init__(self) -> None:
+        for name in ("b", "d", "m1", "m0", "p", "s", "p_prime"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"tiling factor {name} must be positive")
+
+    def as_dict(self) -> Dict[str, int]:
+        """Factor name -> value."""
+        return {
+            "b": self.b, "d": self.d, "m1": self.m1, "m0": self.m0,
+            "p": self.p, "s": self.s, "p_prime": self.p_prime,
+        }
+
+
+def qkv_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
+    """Table 2, row 1: QKV projection tile footprint.
+
+    The weight-slice term generalizes to grouped-query attention: the
+    K and V slices carry ``kv_heads`` instead of ``heads`` (equal for
+    classic MHA, recovering the paper's ``3*D*H*E``).
+    """
+    h, e = model.heads, model.e_head
+    hk = model.effective_kv_heads
+    return (
+        cfg.b * cfg.d * (4 * cfg.p + 3 * cfg.m1 * cfg.m0)
+        + cfg.d * e * (h + 2 * hk)
+        + 2 * cfg.b * h * cfg.p
+    )
+
+
+def mha_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
+    """Table 2, row 2: MHA tile footprint (inputs, recurrent state,
+    output and per-Einsum staging buffers).
+
+    The resident K/V chunk carries ``kv_heads`` under grouped-query
+    attention (= ``heads`` for MHA, the paper's form).
+    """
+    h, e, f = model.heads, model.e_head, model.f_head
+    hk = model.effective_kv_heads
+    return (
+        cfg.b * e * (h * cfg.p + 2 * hk * cfg.m1 * cfg.m0)
+        + cfg.b * h * cfg.p * (2 + 2 * f)
+        + 4 * cfg.m0 * cfg.p_prime
+        + 18 * cfg.p_prime
+    )
+
+
+def layernorm_buffer_words(
+    cfg: TilingConfig, model: ModelConfig
+) -> float:
+    """Table 2, row 3: Add & LayerNorm tile footprint."""
+    h, f = model.heads, model.f_head
+    return 3 * cfg.b * h * f * cfg.p + 4 * h * f * cfg.p_prime
+
+
+def ffn_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
+    """Table 2, row 4: FFN tile footprint."""
+    h, f = model.heads, model.f_head
+    return (
+        h * f * (2 * cfg.b * cfg.p + cfg.s)
+        + cfg.s * (cfg.p + 2)
+        + 2 * cfg.s * cfg.p_prime
+    )
+
+
+_MODULE_FNS = {
+    "qkv": qkv_buffer_words,
+    "mha": mha_buffer_words,
+    "layernorm": layernorm_buffer_words,
+    "ffn": ffn_buffer_words,
+}
+
+
+def layer_buffer_requirement(
+    module: str, cfg: TilingConfig, model: ModelConfig
+) -> float:
+    """Buffer words one fused module needs under ``cfg``."""
+    if module not in _MODULE_FNS:
+        raise KeyError(
+            f"unknown module {module!r}; choose from "
+            f"{sorted(_MODULE_FNS)}"
+        )
+    return _MODULE_FNS[module](cfg, model)
+
+
+def fused_buffer_requirement(
+    cfg: TilingConfig, model: ModelConfig
+) -> float:
+    """Peak buffer words across the fused encoder layer.
+
+    Modules execute one tile at a time, so the binding constraint is
+    the largest per-module footprint.
+    """
+    return max(
+        layer_buffer_requirement(module, cfg, model)
+        for module in FUSED_MODULES
+    )
+
+
+def intra_tile_p_prime(p: int, rows: int) -> int:
+    """Table 2's ``P'``: intra-tile sequence length per PE row.
+
+    A ``p``-token tile spread over ``rows`` PE rows leaves each row
+    ``ceil(p / rows)`` tokens of pipeline-staging state.
+    """
+    if p <= 0 or rows <= 0:
+        raise ValueError("p and rows must be positive")
+    import math
+
+    return math.ceil(p / rows)
+
+
+def max_feasible_q_tile(
+    model: ModelConfig,
+    seq_len: int,
+    buffer_words: int,
+    m0: int,
+    rows: int,
+    modules: tuple = FUSED_MODULES,
+) -> int:
+    """Largest Q-tile token count whose tile footprint fits the buffer.
+
+    Evaluated with conservative minimal values for the non-sequence
+    factors (``b = 1``, thin ``d``/``s`` slices, one resident K/V
+    tile), so it is the upper bound any outer tiling can reach on the
+    ``p`` axis.  Both the baselines' heuristic tiler and TileSeek's
+    candidate grid anchor on this bound.
+
+    Args:
+        model: Model shapes.
+        seq_len: Upper bound for the tile (the full sequence).
+        buffer_words: On-chip buffer capacity in words.
+        m0: Inner key/value tile length (2D-array columns).
+        rows: 2D-array rows (sets ``P' = ceil(p / rows)``).
+        modules: Which Table-2 rows constrain the tile -- all four for
+            end-to-end fusion, just ``("mha",)`` for attention-only
+            fusion (FLAT / FuseMax).
+
+    Returns:
+        The largest feasible ``p`` in ``[1, seq_len]``.
+    """
+
+    def feasible(p: int) -> bool:
+        cfg = TilingConfig(
+            b=1, d=16, m1=1, m0=m0, p=p, s=16,
+            p_prime=intra_tile_p_prime(p, rows),
+        )
+        need = max(
+            layer_buffer_requirement(module, cfg, model)
+            for module in modules
+        )
+        return need <= buffer_words
+
+    low, high = 1, max(1, seq_len)
+    if feasible(high):
+        return high
+    if not feasible(low):
+        return 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        if feasible(mid):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,156 @@
+"""Generic Monte Carlo Tree Search over ordered discrete decisions.
+
+TileSeek's search tree (Section 5.1) assigns one outer tiling factor
+per tree level; a root-to-leaf path is a complete configuration.  This
+module implements the four MCTS phases generically:
+
+* **Selection** -- UCB1 descent through fully expanded nodes,
+* **Expansion** -- materialize one untried child,
+* **Simulation** -- random rollout to a complete assignment, scored by
+  the caller's evaluation function,
+* **Backpropagation** -- reward statistics flow back up the path.
+
+The evaluator returns a reward in ``[0, inf)`` (0 = invalid leaf), so
+constraint validation is part of the reward signal as well as the
+optional ``prune`` callback that drops provably infeasible subtrees.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Assignment = Tuple[int, ...]
+Evaluate = Callable[[Assignment], float]
+Prune = Callable[[Assignment], bool]
+
+
+@dataclass
+class _Node:
+    """One search-tree node: a partial assignment prefix."""
+
+    prefix: Assignment
+    untried: List[int]
+    children: Dict[int, "_Node"] = field(default_factory=dict)
+    visits: int = 0
+    total_reward: float = 0.0
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.visits if self.visits else 0.0
+
+    def ucb_score(self, child: "_Node", c: float) -> float:
+        """UCB1: exploitation plus exploration bonus."""
+        if child.visits == 0:
+            return float("inf")
+        explore = math.sqrt(math.log(self.visits) / child.visits)
+        return child.mean_reward + c * explore
+
+
+@dataclass(frozen=True)
+class MCTSStats:
+    """Search summary returned alongside the best assignment."""
+
+    iterations: int
+    evaluations: int
+    best_reward: float
+    best_assignment: Assignment
+    tree_nodes: int
+
+
+def mcts_search(
+    levels: Sequence[Sequence[int]],
+    evaluate: Evaluate,
+    iterations: int,
+    seed: int = 0,
+    exploration: float = 1.4,
+    prune: Optional[Prune] = None,
+) -> MCTSStats:
+    """Run MCTS over a fixed-depth decision tree.
+
+    Args:
+        levels: Candidate values per decision level, in order.
+        evaluate: Scores a *complete* assignment; 0 marks invalid.
+        iterations: Selection/expansion/simulation/backprop rounds.
+        seed: RNG seed (search is fully deterministic given it).
+        exploration: UCB1 exploration constant.
+        prune: Optional predicate on *partial* assignments; True means
+            no completion can be feasible, so the child is never
+            expanded.
+
+    Returns:
+        Search statistics including the best complete assignment seen.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    if any(len(values) == 0 for values in levels):
+        raise ValueError("every level needs at least one candidate")
+    rng = random.Random(seed)
+    depth = len(levels)
+
+    def viable_values(prefix: Assignment, level: int) -> List[int]:
+        values = list(levels[level])
+        if prune is not None:
+            values = [v for v in values if not prune(prefix + (v,))]
+        return values or list(levels[level])
+
+    root = _Node(prefix=(), untried=viable_values((), 0))
+    best_reward = -1.0
+    best_assignment: Assignment = tuple(
+        values[0] for values in levels
+    )
+    evaluations = 0
+    node_count = 1
+
+    for _ in range(iterations):
+        # Selection: descend while fully expanded and not a leaf.
+        node = root
+        path = [node]
+        while not node.untried and len(node.prefix) < depth:
+            node = max(
+                node.children.values(),
+                key=lambda ch: path[-1].ucb_score(ch, exploration),
+            )
+            path.append(node)
+        # Expansion: materialize one untried child.
+        if node.untried and len(node.prefix) < depth:
+            value = node.untried.pop(
+                rng.randrange(len(node.untried))
+            )
+            level = len(node.prefix) + 1
+            child = _Node(
+                prefix=node.prefix + (value,),
+                untried=(
+                    viable_values(node.prefix + (value,), level)
+                    if level < depth
+                    else []
+                ),
+            )
+            node.children[value] = child
+            node = child
+            path.append(node)
+            node_count += 1
+        # Simulation: random rollout to a full assignment.
+        assignment = list(node.prefix)
+        for level in range(len(assignment), depth):
+            choices = viable_values(tuple(assignment), level)
+            assignment.append(rng.choice(choices))
+        reward = evaluate(tuple(assignment))
+        evaluations += 1
+        if reward > best_reward:
+            best_reward = reward
+            best_assignment = tuple(assignment)
+        # Backpropagation.
+        for visited in path:
+            visited.visits += 1
+            visited.total_reward += reward
+
+    return MCTSStats(
+        iterations=iterations,
+        evaluations=evaluations,
+        best_reward=best_reward,
+        best_assignment=best_assignment,
+        tree_nodes=node_count,
+    )

@@ -1,0 +1,239 @@
+"""The TileSeek search driver.
+
+Binds the generic MCTS to the tiling problem: candidate grids for the
+``[B, D, M1, P, S]`` factors, Table-2 feasibility pruning, the
+analytical reward, and a memoized evaluation cache (MCTS revisits
+leaves; Timeloop-style evaluation is the expensive step in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.model.workload import Workload
+from repro.tileseek.buffer_model import (
+    TilingConfig,
+    fused_buffer_requirement,
+    intra_tile_p_prime,
+    max_feasible_q_tile,
+)
+from repro.tileseek.evaluate import (
+    TilingAssessment,
+    assess_tiling,
+    reward_for,
+)
+from repro.tileseek.mcts import MCTSStats, mcts_search
+
+#: Search order of the outer tiling factors (one MCTS tree level each).
+FACTOR_ORDER: Tuple[str, ...] = ("b", "d", "m1", "p", "s")
+
+
+def _tile_candidates(limit: int, minimum: int = 1) -> List[int]:
+    """Ascending tile-size candidates in ``[minimum, limit]``.
+
+    Powers of two plus the ``3 * 2^k`` midpoints -- buffer constraints
+    often land between powers of two (e.g. a 384-token Q tile fits
+    where 512 does not), and the extra values cost MCTS little.
+    """
+    values = set()
+    value = 1
+    while value <= limit:
+        if value >= minimum:
+            values.add(value)
+        if 3 * value // 2 >= minimum and 3 * value // 2 <= limit \
+                and value >= 2:
+            values.add(3 * value // 2)
+        value *= 2
+    return sorted(values) or [max(1, min(minimum, limit))]
+
+
+@dataclass(frozen=True)
+class TileSeekResult:
+    """Outcome of one TileSeek search."""
+
+    config: TilingConfig
+    assessment: TilingAssessment
+    stats: MCTSStats
+
+    @property
+    def feasible(self) -> bool:
+        return self.assessment.feasible
+
+
+class TileSeek:
+    """MCTS outer-tiling search (Section 5).
+
+    Args:
+        iterations: MCTS rounds (each runs one leaf evaluation).
+        seed: RNG seed; results are deterministic given it.
+        reward_metric: ``"energy"`` or ``"latency"`` (both monotone in
+            DRAM traffic under this cost model).
+        exploration: UCB1 exploration constant.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 400,
+        seed: int = 0,
+        reward_metric: str = "energy",
+        exploration: float = 1.4,
+    ) -> None:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.iterations = iterations
+        self.seed = seed
+        self.reward_metric = reward_metric
+        self.exploration = exploration
+
+    # ------------------------------------------------------------------
+    # Candidate grids
+    # ------------------------------------------------------------------
+    def candidate_grid(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> Dict[str, List[int]]:
+        """Candidate values per tiling factor.
+
+        Powers of two bounded by the problem dims; ``m0`` and ``p'``
+        are fixed by the PE mapping (2D columns / rows) rather than
+        searched, matching Section 5's scope.
+        """
+        model = workload.model
+        p_values = _tile_candidates(min(workload.seq_len, 1 << 14))
+        # Anchor the grid on the largest feasible Q tile -- the best
+        # value often sits between powers of two (e.g. 301 tokens on a
+        # 16 MB buffer) and dominates the K/V and weight pass counts.
+        anchor = max_feasible_q_tile(
+            model,
+            workload.seq_len,
+            arch.buffer_words,
+            m0=arch.array_2d.cols,
+            rows=arch.array_2d.rows,
+        )
+        if anchor not in p_values:
+            p_values = sorted(set(p_values) | {anchor})
+        return {
+            "b": _tile_candidates(workload.batch),
+            "d": _tile_candidates(model.d_model, minimum=16),
+            "m1": _tile_candidates(64),
+            "p": p_values,
+            "s": _tile_candidates(model.ffn_hidden, minimum=16),
+        }
+
+    def fixed_factors(
+        self, arch: ArchitectureSpec
+    ) -> Dict[str, int]:
+        """The non-searched factors (set by the PE arrays)."""
+        return {
+            "m0": arch.array_2d.cols,
+            "rows": arch.array_2d.rows,
+        }
+
+    def _config_from(
+        self,
+        assignment: Sequence[int],
+        fixed: Dict[str, int],
+    ) -> TilingConfig:
+        values = dict(zip(FACTOR_ORDER, assignment))
+        return TilingConfig(
+            b=values["b"],
+            d=values["d"],
+            m1=values["m1"],
+            m0=fixed["m0"],
+            p=values["p"],
+            s=values["s"],
+            p_prime=intra_tile_p_prime(values["p"], fixed["rows"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self, workload: Workload, arch: ArchitectureSpec
+    ) -> TileSeekResult:
+        """Find the best feasible outer tiling for one fused layer."""
+        grid = self.candidate_grid(workload, arch)
+        fixed = self.fixed_factors(arch)
+        levels = [grid[name] for name in FACTOR_ORDER]
+        reference = self._reference_words(workload, arch, fixed)
+        cache: Dict[Tuple[int, ...], float] = {}
+
+        def evaluate(assignment: Tuple[int, ...]) -> float:
+            if assignment in cache:
+                return cache[assignment]
+            cfg = self._config_from(assignment, fixed)
+            assessment = assess_tiling(cfg, workload, arch)
+            reward = reward_for(
+                assessment, reference, self.reward_metric
+            )
+            cache[assignment] = reward
+            return reward
+
+        def prune(partial: Tuple[int, ...]) -> bool:
+            # Lower-bound feasibility: complete the prefix with the
+            # smallest remaining candidates; if even that overflows
+            # the buffer, no completion is feasible (the Table-2
+            # formulas are monotone in every factor).
+            full = list(partial) + [
+                min(grid[name])
+                for name in FACTOR_ORDER[len(partial):]
+            ]
+            cfg = self._config_from(full, fixed)
+            required = fused_buffer_requirement(cfg, workload.model)
+            return required > arch.buffer_words
+
+        stats = mcts_search(
+            levels,
+            evaluate,
+            iterations=self.iterations,
+            seed=self.seed,
+            exploration=self.exploration,
+            prune=prune,
+        )
+        best_assignment = stats.best_assignment
+        best_reward = stats.best_reward
+        # Greedy incumbent: the anchor line (maximal feasible p with
+        # minimal companions) is a strong known-good starting point;
+        # never return anything worse than it.
+        anchor_p = max(
+            (p for p in grid["p"] if not prune(
+                (min(grid["b"]), min(grid["d"]), min(grid["m1"]), p)
+            )),
+            default=min(grid["p"]),
+        )
+        incumbent = (
+            min(grid["b"]), min(grid["d"]), min(grid["m1"]),
+            anchor_p, min(grid["s"]),
+        )
+        incumbent_reward = evaluate(incumbent)
+        if incumbent_reward > best_reward:
+            best_assignment = incumbent
+            best_reward = incumbent_reward
+        config = self._config_from(best_assignment, fixed)
+        assessment = assess_tiling(config, workload, arch)
+        return TileSeekResult(
+            config=config,
+            assessment=assessment,
+            stats=MCTSStats(
+                iterations=stats.iterations,
+                evaluations=stats.evaluations + 1,
+                best_reward=best_reward,
+                best_assignment=best_assignment,
+                tree_nodes=stats.tree_nodes,
+            ),
+        )
+
+    def _reference_words(
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        fixed: Dict[str, int],
+    ) -> float:
+        """Traffic of the minimal (most conservative) configuration,
+        used to normalize rewards to O(1)."""
+        grid = self.candidate_grid(workload, arch)
+        minimal = self._config_from(
+            tuple(min(grid[name]) for name in FACTOR_ORDER), fixed
+        )
+        return assess_tiling(minimal, workload, arch).dram_words

@@ -1,0 +1,162 @@
+"""Tests for the architecture models (PE arrays, memory, energy,
+Table-3 presets)."""
+
+import pytest
+
+from repro.arch.energy import (
+    EnergyModel,
+    energy_model_for_buffer,
+    sram_pj_per_word,
+)
+from repro.arch.memory import MemoryLevel, MemoryLevelKind
+from repro.arch.pe import PEArray, PEArrayKind
+from repro.arch.spec import (
+    cloud_architecture,
+    edge_architecture,
+    named_architecture,
+)
+
+
+class TestPEArray:
+    def test_num_pes(self):
+        array = PEArray(PEArrayKind.ARRAY_2D, rows=16, cols=16)
+        assert array.num_pes == 256
+
+    def test_1d_requires_single_row(self):
+        with pytest.raises(ValueError, match="exactly one row"):
+            PEArray(PEArrayKind.ARRAY_1D, rows=2, cols=8)
+
+    def test_efficiency_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            PEArray(
+                PEArrayKind.ARRAY_2D, rows=4, cols=4,
+                map_efficiency=0.0,
+            )
+        with pytest.raises(ValueError):
+            PEArray(
+                PEArrayKind.ARRAY_2D, rows=4, cols=4,
+                reduction_efficiency=1.5,
+            )
+
+    def test_str(self):
+        assert str(
+            PEArray(PEArrayKind.ARRAY_2D, rows=4, cols=8)
+        ) == "2D[4x8]"
+        assert str(
+            PEArray(PEArrayKind.ARRAY_1D, rows=1, cols=8)
+        ) == "1D[8]"
+
+
+class TestMemoryLevel:
+    def test_transfer_time(self):
+        level = MemoryLevel(
+            MemoryLevelKind.DRAM, capacity_bytes=0,
+            bandwidth_bytes_per_s=100.0,
+        )
+        assert level.transfer_seconds(50.0) == 0.5
+        assert level.unbounded
+
+    def test_fits(self):
+        level = MemoryLevel(
+            MemoryLevelKind.GLOBAL_BUFFER, capacity_bytes=100,
+            bandwidth_bytes_per_s=1.0,
+        )
+        assert level.fits(100)
+        assert not level.fits(101)
+
+    def test_negative_transfer_rejected(self):
+        level = MemoryLevel(
+            MemoryLevelKind.DRAM, capacity_bytes=0,
+            bandwidth_bytes_per_s=1.0,
+        )
+        with pytest.raises(ValueError):
+            level.transfer_seconds(-1.0)
+
+
+class TestEnergyModel:
+    def test_dram_dominates_sram_per_access(self):
+        model = EnergyModel()
+        assert (
+            model.dram_pj_per_word > 10 * model.buffer_pj_per_word
+        )
+
+    def test_sram_energy_scales_with_sqrt_capacity(self):
+        small = sram_pj_per_word(1 << 20)
+        big = sram_pj_per_word(4 << 20)
+        assert big == pytest.approx(2.0 * small)
+
+    def test_energy_model_for_buffer_tracks_capacity(self):
+        model_small = energy_model_for_buffer(1 << 20)
+        model_big = energy_model_for_buffer(16 << 20)
+        assert (
+            model_big.buffer_pj_per_word
+            > model_small.buffer_pj_per_word
+        )
+
+    def test_pe_energy_combines_arrays(self):
+        model = EnergyModel(
+            pe_2d_pj_per_op=2.0, pe_1d_pj_per_op=1.0
+        )
+        assert model.pe_energy_pj(10, 20) == 40.0
+
+    def test_positive_constants_enforced(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj_per_word=0.0)
+
+
+class TestPresets:
+    def test_cloud_matches_table3(self):
+        arch = cloud_architecture()
+        assert arch.array_2d.rows == arch.array_2d.cols == 256
+        assert arch.array_1d.cols == 256
+        assert arch.buffer.capacity_bytes == 16 << 20
+        assert arch.dram.bandwidth_bytes_per_s == 400e9
+
+    def test_edge_matches_table3(self):
+        arch = edge_architecture()
+        assert arch.array_2d.rows == arch.array_2d.cols == 16
+        assert arch.array_1d.cols == 256
+        assert arch.buffer.capacity_bytes == 5 << 20
+        assert arch.dram.bandwidth_bytes_per_s == 30e9
+
+    def test_edge64_gets_8mb_buffer(self):
+        arch = edge_architecture(64)
+        assert arch.buffer.capacity_bytes == 8 << 20
+
+    def test_invalid_edge_size_rejected(self):
+        with pytest.raises(ValueError):
+            edge_architecture(48)
+
+    def test_named_architecture_lookup(self):
+        assert named_architecture("cloud").name == "cloud"
+        assert named_architecture("edge32").array_2d.rows == 32
+        with pytest.raises(KeyError):
+            named_architecture("gpu")
+
+    def test_wavefront_efficiency_scales_inverse_rows(self):
+        cloud = cloud_architecture()
+        edge = edge_architecture()
+        assert cloud.array_2d.map_efficiency == pytest.approx(1 / 256)
+        assert edge.array_2d.map_efficiency == pytest.approx(1 / 16)
+
+    def test_with_2d_array_recomputes_efficiencies(self):
+        resized = edge_architecture().with_2d_array(32, 32)
+        assert resized.array_2d.rows == 32
+        assert resized.array_2d.map_efficiency == pytest.approx(1 / 32)
+
+    def test_buffer_words(self):
+        arch = cloud_architecture()
+        assert arch.buffer_words == (16 << 20) // 2
+
+    def test_cycles_and_dram_seconds(self):
+        arch = cloud_architecture()
+        assert arch.cycles_to_seconds(arch.clock_hz) == 1.0
+        words = arch.dram.bandwidth_bytes_per_s / arch.word_bytes
+        assert arch.dram_seconds(words) == pytest.approx(1.0)
+
+    def test_array_lookup_by_kind(self):
+        from repro.arch.pe import PEArrayKind
+
+        arch = cloud_architecture()
+        assert arch.array(PEArrayKind.ARRAY_2D) is arch.array_2d
+        assert arch.array(PEArrayKind.ARRAY_1D) is arch.array_1d

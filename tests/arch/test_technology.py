@@ -1,0 +1,51 @@
+"""Tests for technology-node energy scaling."""
+
+import pytest
+
+from repro.arch.energy import EnergyModel
+from repro.arch.technology import (
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    scaled_energy_model,
+)
+
+
+class TestNodes:
+    def test_45nm_is_identity(self):
+        model = EnergyModel()
+        scaled = scaled_energy_model(model, "45nm")
+        assert scaled == model
+
+    def test_smaller_nodes_cheaper_logic(self):
+        model = EnergyModel()
+        previous = model.pe_2d_pj_per_op
+        for name in ("22nm", "14nm", "7nm"):
+            scaled = scaled_energy_model(model, name)
+            assert scaled.pe_2d_pj_per_op < previous
+            previous = scaled.pe_2d_pj_per_op
+
+    def test_dram_scales_slower_than_logic(self):
+        model = EnergyModel()
+        scaled = scaled_energy_model(model, "7nm")
+        logic_ratio = scaled.pe_2d_pj_per_op / model.pe_2d_pj_per_op
+        dram_ratio = scaled.dram_pj_per_word / model.dram_pj_per_word
+        assert dram_ratio > logic_ratio
+        # Consequence: at advanced nodes, data movement dominates even
+        # more -- fusion's energy argument strengthens.
+        scaled_gap = scaled.dram_pj_per_word / scaled.pe_2d_pj_per_op
+        base_gap = model.dram_pj_per_word / model.pe_2d_pj_per_op
+        assert scaled_gap > base_gap
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            scaled_energy_model(EnergyModel(), "3nm")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyNode("bad", 45.0, 0.0, 1.0, 1.0)
+
+    def test_all_nodes_have_positive_scales(self):
+        for node in TECHNOLOGY_NODES.values():
+            assert node.logic_scale > 0
+            assert node.sram_scale > 0
+            assert node.dram_scale > 0

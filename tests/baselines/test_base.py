@@ -1,0 +1,145 @@
+"""Tests for the shared executor machinery."""
+
+import pytest
+
+from repro.arch.pe import PEArrayKind
+from repro.baselines.base import ExecutorBase, default_assignment
+from repro.baselines.unfused import UnfusedExecutor
+from repro.einsum.builders import attention_cascade, qkv_cascade
+from repro.model.workload import Workload
+
+
+@pytest.fixture
+def executor():
+    return UnfusedExecutor()
+
+
+class TestAssignment:
+    def test_gemms_go_to_2d(self):
+        cascade = attention_cascade()
+        assert default_assignment(
+            cascade.op("BQK")
+        ) is PEArrayKind.ARRAY_2D
+
+    def test_vector_ops_go_to_1d(self):
+        cascade = attention_cascade()
+        for name in ("LM", "SLN", "RMn", "AV"):
+            assert default_assignment(
+                cascade.op(name)
+            ) is PEArrayKind.ARRAY_1D
+
+
+class TestEpochCount:
+    def test_mha_epochs(self, executor, llama_workload, cloud):
+        tile = executor.inner_tile(llama_workload, "mha", cloud)
+        count = executor.epoch_count(llama_workload, "mha", tile)
+        p_tiles = 65536 // 256
+        m_tiles = 65536 // 256
+        assert count == 64 * p_tiles * m_tiles
+
+    def test_qkv_lockstep_rows_counted_once(
+        self, executor, llama_workload, cloud
+    ):
+        tile = executor.inner_tile(llama_workload, "qkv", cloud)
+        count = executor.epoch_count(llama_workload, "qkv", tile)
+        p_tiles = 65536 // tile["p"]
+        col_tiles = (32 // tile["h"]) * (128 // tile["e"])
+        assert count == 64 * p_tiles * col_tiles
+
+    def test_epoch_count_times_tile_load_covers_problem(
+        self, executor, llama_workload, cloud
+    ):
+        # Energy consistency: dominant-op load per epoch x epochs ==
+        # total problem load for that op.
+        cascade = executor.cascades(llama_workload.model)["mha"]
+        tile = executor.inner_tile(llama_workload, "mha", cloud)
+        count = executor.epoch_count(llama_workload, "mha", tile)
+        bqk = cascade.op("BQK")
+        per_epoch = bqk.compute_load(tile)
+        total_expected = (
+            llama_workload.batch
+            * llama_workload.model.heads
+            * llama_workload.seq_len ** 2
+            * llama_workload.model.e_head
+        )
+        assert count * per_epoch == pytest.approx(total_expected)
+
+
+class TestStaticSchedule:
+    def test_pipelined_at_most_serial(
+        self, executor, llama_workload, cloud
+    ):
+        cascade = executor.cascades(llama_workload.model)["mha"]
+        tile = executor.inner_tile(llama_workload, "mha", cloud)
+        serial = executor.static_schedule(
+            cascade, "mha", tile, cloud, 100, pipelined=False
+        )
+        piped = executor.static_schedule(
+            cascade, "mha", tile, cloud, 100, pipelined=True
+        )
+        assert piped.compute_seconds < serial.compute_seconds
+        # Busy time (work) is schedule independent.
+        assert piped.busy_seconds == serial.busy_seconds
+
+    def test_vector_pass_factor_scales_1d_only(
+        self, executor, llama_workload, cloud
+    ):
+        cascade = executor.cascades(llama_workload.model)["mha"]
+        tile = executor.inner_tile(llama_workload, "mha", cloud)
+        one = executor.static_schedule(
+            cascade, "mha", tile, cloud, 10, pipelined=False,
+            vector_pass_factor=1.0,
+        )
+        two = executor.static_schedule(
+            cascade, "mha", tile, cloud, 10, pipelined=False,
+            vector_pass_factor=2.0,
+        )
+        assert two.ops_1d == pytest.approx(2 * one.ops_1d)
+        assert two.ops_2d == pytest.approx(one.ops_2d)
+
+
+class TestAccessCounts:
+    def test_retention_moves_intermediates_to_rf(
+        self, executor, llama_workload, cloud
+    ):
+        cascade = executor.cascades(llama_workload.model)["mha"]
+        tile = executor.inner_tile(llama_workload, "mha", cloud)
+        no_ret = executor.static_schedule(
+            cascade, "mha", tile, cloud, 10, pipelined=False
+        )
+        executor.add_access_counts(no_ret, cascade, tile, 10, False)
+        with_ret = executor.static_schedule(
+            cascade, "mha", tile, cloud, 10, pipelined=False
+        )
+        executor.add_access_counts(with_ret, cascade, tile, 10, True)
+        assert with_ret.buffer_words < no_ret.buffer_words
+        assert with_ret.rf_words > no_ret.rf_words
+
+
+class TestHeuristicQTile:
+    def test_fused_scope_tighter_than_mha_scope(
+        self, executor, llama_workload, cloud
+    ):
+        mha = executor.heuristic_q_tile_tokens(
+            llama_workload, cloud, scope="mha"
+        )
+        fused = executor.heuristic_q_tile_tokens(
+            llama_workload, cloud, scope="fused"
+        )
+        assert fused <= mha
+
+    def test_unknown_scope_rejected(
+        self, executor, llama_workload, cloud
+    ):
+        with pytest.raises(ValueError):
+            executor.heuristic_q_tile_tokens(
+                llama_workload, cloud, scope="everything"
+            )
+
+    def test_small_sequence_fully_resident(
+        self, executor, tiny_model, cloud
+    ):
+        workload = Workload(tiny_model, seq_len=64, batch=2)
+        assert executor.heuristic_q_tile_tokens(
+            workload, cloud
+        ) == 64

@@ -1,0 +1,187 @@
+"""Cross-executor behaviour: fusion scope, schedules and the paper's
+qualitative orderings."""
+
+import pytest
+
+from repro.arch.spec import named_architecture
+from repro.baselines.registry import EXECUTORS, named_executor
+from repro.model.config import named_model
+from repro.model.workload import Workload
+
+@pytest.fixture(scope="module")
+def reports_cloud():
+    workload = Workload(named_model("llama3"), seq_len=65536,
+                        batch=64)
+    arch = named_architecture("cloud")
+    return (
+        {
+            name: named_executor(name).run(workload, arch)
+            for name in EXECUTORS
+        },
+        arch,
+    )
+
+
+@pytest.fixture(scope="module")
+def reports_edge():
+    workload = Workload(named_model("llama3"), seq_len=65536,
+                        batch=64)
+    arch = named_architecture("edge")
+    return (
+        {
+            name: named_executor(name).run(workload, arch)
+            for name in EXECUTORS
+        },
+        arch,
+    )
+
+
+class TestRegistry:
+    def test_all_five_executors_registered(self):
+        assert set(EXECUTORS) == {
+            "unfused", "flat", "fusemax", "fusemax+lf",
+            "transfusion",
+        }
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(KeyError):
+            named_executor("tpu-magic")
+
+    def test_names_match_registry_keys(self):
+        for key in EXECUTORS:
+            assert named_executor(key).name == key
+
+
+class TestReportStructure:
+    def test_every_report_has_four_phases(self, reports_cloud):
+        reports, _ = reports_cloud
+        for report in reports.values():
+            assert [p.name for p in report.phases] == [
+                "qkv", "mha", "layernorm", "ffn",
+            ]
+
+    def test_positive_latency_everywhere(self, reports_cloud):
+        reports, arch = reports_cloud
+        for report in reports.values():
+            assert report.latency_seconds(arch) > 0
+
+
+class TestFusionScope:
+    def test_unfused_moves_scores_through_dram(self, reports_cloud):
+        reports, _ = reports_cloud
+        workload_scores = 4 * 64 * 32 * 65536**2
+        assert reports["unfused"].phase(
+            "mha"
+        ).dram_words >= workload_scores
+
+    def test_fused_attention_avoids_score_traffic(
+        self, reports_cloud
+    ):
+        reports, _ = reports_cloud
+        scores = 64 * 32 * 65536**2
+        for name in ("flat", "fusemax", "fusemax+lf",
+                     "transfusion"):
+            assert reports[name].phase("mha").dram_words < scores
+
+    def test_layer_fusion_zeroes_layernorm_traffic(
+        self, reports_cloud
+    ):
+        reports, _ = reports_cloud
+        assert reports["fusemax+lf"].phase(
+            "layernorm"
+        ).dram_words == 0.0
+        assert reports["transfusion"].phase(
+            "layernorm"
+        ).dram_words == 0.0
+        assert reports["fusemax"].phase(
+            "layernorm"
+        ).dram_words > 0.0
+
+    def test_total_traffic_shrinks_with_fusion_scope(
+        self, reports_cloud
+    ):
+        reports, _ = reports_cloud
+        assert (
+            reports["transfusion"].dram_words()
+            <= reports["fusemax+lf"].dram_words() + 1e-6
+        )
+        assert (
+            reports["fusemax+lf"].dram_words()
+            < reports["fusemax"].dram_words()
+        )
+        assert (
+            reports["fusemax"].dram_words()
+            < reports["unfused"].dram_words()
+        )
+
+
+class TestPaperOrderings:
+    """The qualitative results of Figure 8 at 64K."""
+
+    def test_cloud_speedup_ordering(self, reports_cloud):
+        reports, arch = reports_cloud
+        latency = {
+            name: rep.latency_seconds(arch)
+            for name, rep in reports.items()
+        }
+        assert latency["transfusion"] < latency["fusemax+lf"]
+        assert latency["fusemax+lf"] < latency["fusemax"]
+        assert latency["fusemax"] < latency["unfused"]
+        # FLAT collapses at long sequences on cloud (consistent with
+        # TransFusion = 1.6x FuseMax but 7x FLAT in the paper).
+        assert latency["flat"] > latency["unfused"]
+
+    def test_edge_speedup_ordering(self, reports_edge):
+        reports, arch = reports_edge
+        latency = {
+            name: rep.latency_seconds(arch)
+            for name, rep in reports.items()
+        }
+        assert latency["transfusion"] < latency["fusemax+lf"]
+        assert latency["fusemax+lf"] < latency["fusemax"]
+        assert latency["fusemax"] < latency["flat"]
+        assert latency["flat"] < latency["unfused"]
+
+    def test_cloud_transfusion_vs_fusemax_band(self, reports_cloud):
+        reports, arch = reports_cloud
+        ratio = (
+            reports["fusemax"].latency_seconds(arch)
+            / reports["transfusion"].latency_seconds(arch)
+        )
+        assert 1.2 < ratio < 2.5  # paper: avg 1.6x on cloud
+
+    def test_edge_transfusion_vs_fusemax_band(self, reports_edge):
+        reports, arch = reports_edge
+        ratio = (
+            reports["fusemax"].latency_seconds(arch)
+            / reports["transfusion"].latency_seconds(arch)
+        )
+        assert 1.4 < ratio < 3.0  # paper: avg 2.2x on edge
+
+    def test_transfusion_energy_not_worse_than_fusemax(
+        self, reports_cloud, reports_edge
+    ):
+        for reports, arch in (reports_cloud, reports_edge):
+            assert (
+                reports["transfusion"].energy(arch).total_pj
+                <= reports["fusemax"].energy(arch).total_pj
+            )
+
+
+class TestFlatGranularity:
+    def test_flat_q_rows_param_validated(self):
+        from repro.baselines.flat import FlatExecutor
+
+        with pytest.raises(ValueError):
+            FlatExecutor(q_rows=0)
+
+    def test_flat_cloud_utilization_collapses(self, reports_cloud):
+        from repro.arch.pe import PEArrayKind
+
+        reports, arch = reports_cloud
+        util_flat = reports["flat"].utilization(arch)
+        util_tf = reports["transfusion"].utilization(arch)
+        assert (
+            util_tf[PEArrayKind.ARRAY_2D]
+            > 3 * util_flat[PEArrayKind.ARRAY_2D]
+        )

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.spec import cloud_architecture, edge_architecture
+from repro.model.config import ModelConfig, named_model
+from repro.model.workload import Workload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_extents() -> dict:
+    """Small dimension extents exercising every cascade dim."""
+    return {
+        "h": 3, "e": 4, "f": 4, "p": 5,
+        "m1": 4, "m0": 2, "d": 12, "s": 7,
+    }
+
+
+@pytest.fixture
+def tiny_model() -> ModelConfig:
+    """A small but structurally complete model config."""
+    return ModelConfig(
+        name="tiny", d_model=64, heads=4, e_head=16,
+        ffn_hidden=128, layers=2, activation="gelu",
+    )
+
+
+@pytest.fixture
+def llama3() -> ModelConfig:
+    return named_model("llama3")
+
+
+@pytest.fixture
+def cloud():
+    return cloud_architecture()
+
+
+@pytest.fixture
+def edge():
+    return edge_architecture()
+
+
+@pytest.fixture
+def small_workload(tiny_model) -> Workload:
+    return Workload(tiny_model, seq_len=256, batch=4)
+
+
+@pytest.fixture
+def llama_workload(llama3) -> Workload:
+    return Workload(llama3, seq_len=65536, batch=64)

@@ -1,0 +1,83 @@
+"""Tests for the public TransFusion facade."""
+
+import pytest
+
+from repro import TransFusion, Workload, named_model
+from repro.core.framework import DEFAULT_EXECUTORS, compare_executors
+from repro.model.config import named_model as _named_model
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    from repro.arch.spec import cloud_architecture
+
+    arch = cloud_architecture()
+    tf = TransFusion(arch)
+    workload = Workload(
+        _named_model("bert"), seq_len=4096, batch=16
+    )
+    return tf.compile(workload), arch
+
+
+class TestCompile:
+    def test_plan_has_all_layers(self, compiled):
+        plan, _ = compiled
+        assert [c.layer for c in plan.layers] == [
+            "qkv", "mha", "layernorm", "ffn",
+        ]
+
+    def test_layer_plan_lookup(self, compiled):
+        plan, _ = compiled
+        assert plan.layer_plan("mha").layer == "mha"
+        with pytest.raises(KeyError):
+            plan.layer_plan("conv")
+
+    def test_tiling_feasible(self, compiled):
+        plan, _ = compiled
+        assert plan.tiling.feasible
+
+    def test_summary_fields(self, compiled):
+        plan, arch = compiled
+        summary = plan.summary(arch)
+        assert summary["latency_s"] > 0
+        assert summary["energy_pj"] > 0
+        assert summary["dram_words"] > 0
+        assert (
+            summary["buffer_words_required"] <= arch.buffer_words
+        )
+
+    def test_interlayer_plan_attached(self, compiled):
+        plan, _ = compiled
+        assert plan.interlayer.on_chip()
+
+    def test_estimate_matches_compiled_report(self, compiled):
+        plan, arch = compiled
+        tf = TransFusion(arch)
+        workload = Workload(
+            _named_model("bert"), seq_len=4096, batch=16
+        )
+        report = tf.estimate(workload)
+        assert report.latency_seconds(arch) == pytest.approx(
+            plan.report.latency_seconds(arch)
+        )
+
+
+class TestCompareExecutors:
+    def test_default_order(self, cloud):
+        workload = Workload(named_model("t5"), seq_len=2048, batch=8)
+        reports = compare_executors(workload, cloud)
+        assert tuple(reports) == DEFAULT_EXECUTORS
+
+    def test_subset_selection(self, cloud):
+        workload = Workload(named_model("t5"), seq_len=2048, batch=8)
+        reports = compare_executors(
+            workload, cloud, executors=("unfused", "transfusion")
+        )
+        assert tuple(reports) == ("unfused", "transfusion")
+
+    def test_lazy_core_import(self):
+        import repro
+
+        assert repro.TransFusion is TransFusion
+        with pytest.raises(AttributeError):
+            repro.does_not_exist

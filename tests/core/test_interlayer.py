@@ -1,0 +1,44 @@
+"""Tests for the inter-layer residency plan (Section 3.2)."""
+
+import pytest
+
+from repro.core.interlayer import (
+    Residency,
+    build_interlayer_plan,
+)
+from repro.model.config import named_model
+from repro.model.workload import Workload
+
+
+class TestResidencyPlan:
+    def test_activations_stay_on_chip(self, llama_workload, cloud):
+        plan = build_interlayer_plan(
+            llama_workload, cloud, q_tile_tokens=256
+        )
+        on_chip = {b.name for b in plan.on_chip()}
+        assert {"Q", "AV", "NR", "FFN2"} <= on_chip
+
+    def test_kv_spills_on_long_sequences(self, llama_workload,
+                                         cloud):
+        plan = build_interlayer_plan(
+            llama_workload, cloud, q_tile_tokens=256
+        )
+        spilled = {b.name for b in plan.spilled()}
+        assert spilled == {"BK", "BV"}
+        assert plan.spill_words_per_tile() > 0
+
+    def test_kv_resident_on_short_sequences(self, cloud):
+        workload = Workload(named_model("t5"), seq_len=256, batch=4)
+        plan = build_interlayer_plan(
+            workload, cloud, q_tile_tokens=256
+        )
+        assert plan.spilled() == []
+
+    def test_every_boundary_has_reason(self, llama_workload, edge):
+        plan = build_interlayer_plan(
+            llama_workload, edge, q_tile_tokens=128
+        )
+        for boundary in plan.boundaries:
+            assert boundary.reason
+            assert boundary.words_per_tile > 0
+            assert boundary.residency in Residency

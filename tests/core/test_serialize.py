@@ -1,0 +1,75 @@
+"""Tests for compiled-plan serialization."""
+
+import json
+
+import pytest
+
+from repro import TransFusion, Workload
+from repro.core.serialize import (
+    load_plan_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.model.config import named_model
+
+
+@pytest.fixture(scope="module")
+def compiled_plan():
+    from repro.arch.spec import cloud_architecture
+
+    arch = cloud_architecture()
+    tf = TransFusion(arch)
+    workload = Workload(named_model("bert"), seq_len=4096, batch=8)
+    return tf.compile(workload), arch
+
+
+class TestPlanToDict:
+    def test_document_is_json_safe(self, compiled_plan):
+        plan, arch = compiled_plan
+        document = plan_to_dict(plan, arch)
+        text = json.dumps(document)  # must not raise
+        assert json.loads(text) == document
+
+    def test_layers_and_tiling_present(self, compiled_plan):
+        plan, arch = compiled_plan
+        document = plan_to_dict(plan, arch)
+        assert [e["layer"] for e in document["layers"]] == [
+            "qkv", "mha", "layernorm", "ffn",
+        ]
+        assert set(document["tiling"]["factors"]) == {
+            "b", "d", "m1", "m0", "p", "s", "p_prime",
+        }
+
+    def test_pipelined_layers_record_bipartition(
+        self, compiled_plan
+    ):
+        plan, arch = compiled_plan
+        document = plan_to_dict(plan, arch)
+        mha = next(
+            e for e in document["layers"] if e["layer"] == "mha"
+        )
+        if mha["pipelined"] and "bipartition" in mha:
+            first = set(mha["bipartition"]["first"])
+            second = set(mha["bipartition"]["second"])
+            assert first and second and not first & second
+
+    def test_interlayer_residencies_serialized(self, compiled_plan):
+        plan, arch = compiled_plan
+        document = plan_to_dict(plan, arch)
+        residencies = {
+            entry["residency"] for entry in document["interlayer"]
+        }
+        assert residencies <= {"on_chip", "dram"}
+
+    def test_summary_matches_plan(self, compiled_plan):
+        plan, arch = compiled_plan
+        document = plan_to_dict(plan, arch)
+        assert document["summary"] == plan.summary(arch)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, compiled_plan, tmp_path):
+        plan, arch = compiled_plan
+        path = save_plan(plan, arch, tmp_path / "plan.json")
+        loaded = load_plan_dict(path)
+        assert loaded == plan_to_dict(plan, arch)

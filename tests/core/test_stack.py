@@ -1,0 +1,165 @@
+"""Tests for encoder/decoder stack composition and the generalized
+(cross / causal) workloads."""
+
+import pytest
+
+from repro.baselines.registry import named_executor
+from repro.core.stack import StackConfig, estimate_stack
+from repro.model.config import named_model
+from repro.model.workload import Workload
+
+
+class TestWorkloadGeneralization:
+    def test_kv_len_defaults_to_seq_len(self, tiny_model):
+        workload = Workload(tiny_model, seq_len=128)
+        assert workload.kv_len == 128
+
+    def test_cross_attention_kv_len(self, tiny_model):
+        workload = Workload(tiny_model, seq_len=64, kv_seq_len=256)
+        assert workload.kv_len == 256
+        assert "M=256" in workload.describe()
+
+    def test_causal_halves_attention_work(self, tiny_model):
+        dense = Workload(tiny_model, seq_len=128)
+        causal = Workload(tiny_model, seq_len=128, causal=True)
+        assert causal.attention_macs == pytest.approx(
+            dense.attention_macs / 2
+        )
+        assert causal.score_elements == pytest.approx(
+            dense.score_elements / 2
+        )
+
+    def test_causal_cross_attention_rejected(self, tiny_model):
+        with pytest.raises(ValueError, match="causal"):
+            Workload(tiny_model, seq_len=64, kv_seq_len=128,
+                     causal=True)
+
+    def test_attention_macs_scale_with_kv_len(self, tiny_model):
+        short = Workload(tiny_model, seq_len=64, kv_seq_len=128)
+        long = Workload(tiny_model, seq_len=64, kv_seq_len=256)
+        assert long.attention_macs == pytest.approx(
+            2 * short.attention_macs
+        )
+        # QKV/FFN work depends on the query side only.
+        assert long.ffn_macs == short.ffn_macs
+
+
+class TestCausalExecution:
+    @pytest.mark.parametrize(
+        "executor", ["fusemax", "transfusion"]
+    )
+    def test_causal_mha_cheaper_than_dense(self, cloud, executor):
+        model = named_model("bert")
+        dense = named_executor(executor).run(
+            Workload(model, seq_len=8192, batch=8), cloud
+        )
+        causal = named_executor(executor).run(
+            Workload(model, seq_len=8192, batch=8, causal=True),
+            cloud,
+        )
+        assert (
+            causal.phase("mha").compute_seconds
+            < dense.phase("mha").compute_seconds
+        )
+        # Non-attention phases are unchanged.
+        assert causal.phase("ffn").compute_seconds == pytest.approx(
+            dense.phase("ffn").compute_seconds
+        )
+
+    def test_cross_attention_scales_with_memory_length(self, cloud):
+        model = named_model("bert")
+        runner = named_executor("fusemax")
+        short = runner.run(
+            Workload(model, seq_len=1024, batch=8,
+                     kv_seq_len=4096),
+            cloud,
+        )
+        long = runner.run(
+            Workload(model, seq_len=1024, batch=8,
+                     kv_seq_len=16384),
+            cloud,
+        )
+        assert (
+            long.phase("mha").compute_seconds
+            > 2 * short.phase("mha").compute_seconds
+        )
+
+
+class TestStackConfig:
+    def test_validation(self, tiny_model):
+        with pytest.raises(ValueError, match="at least one layer"):
+            StackConfig(tiny_model)
+        with pytest.raises(ValueError, match="require src_len"):
+            StackConfig(tiny_model, encoder_layers=2)
+        with pytest.raises(ValueError, match="require tgt_len"):
+            StackConfig(tiny_model, decoder_layers=2)
+
+    def test_decoder_only_has_no_cross_attention(self, tiny_model):
+        stack = StackConfig(tiny_model, decoder_layers=2,
+                            tgt_len=128)
+        with pytest.raises(ValueError, match="no cross-attention"):
+            stack.cross_attention_workload()
+
+    def test_workload_construction(self, tiny_model):
+        stack = StackConfig(
+            tiny_model, encoder_layers=2, decoder_layers=2,
+            src_len=512, tgt_len=256, batch=4,
+        )
+        assert stack.encoder_workload().seq_len == 512
+        assert stack.decoder_self_workload().causal
+        cross = stack.cross_attention_workload()
+        assert cross.seq_len == 256
+        assert cross.kv_len == 512
+
+
+class TestEstimateStack:
+    @pytest.fixture(scope="class")
+    def stack(self):
+        return StackConfig(
+            named_model("t5"), encoder_layers=6, decoder_layers=6,
+            src_len=4096, tgt_len=2048, batch=8,
+        )
+
+    def test_hybrid_stack_has_three_blocks(self, stack, cloud):
+        estimate = estimate_stack(stack, cloud, "transfusion")
+        labels = [label for label, _, _ in estimate.blocks]
+        assert labels == ["encoder", "decoder.self",
+                          "decoder.cross"]
+
+    def test_cross_block_excludes_ffn(self, stack, cloud):
+        estimate = estimate_stack(stack, cloud, "fusemax")
+        cross = estimate.blocks[2][2]
+        assert [p.name for p in cross.phases] == [
+            "qkv", "mha", "layernorm",
+        ]
+
+    def test_transfusion_beats_fusemax_on_stacks(self, stack, cloud):
+        fusemax = estimate_stack(stack, cloud, "fusemax")
+        transfusion = estimate_stack(stack, cloud, "transfusion")
+        assert (
+            transfusion.latency_seconds(cloud)
+            < fusemax.latency_seconds(cloud)
+        )
+        assert transfusion.energy_pj(cloud) <= fusemax.energy_pj(
+            cloud
+        )
+
+    def test_totals_are_layer_weighted(self, stack, cloud):
+        estimate = estimate_stack(stack, cloud, "unfused")
+        total = estimate.latency_seconds(cloud)
+        by_block = estimate.block_latencies(cloud)
+        assert total == pytest.approx(sum(by_block.values()))
+        label, count, report = estimate.blocks[0]
+        assert by_block[label] == pytest.approx(
+            count * report.latency_seconds(cloud)
+        )
+
+    def test_decoder_only_stack(self, cloud):
+        stack = StackConfig(
+            named_model("llama3"), decoder_layers=32,
+            tgt_len=8192, batch=4,
+        )
+        estimate = estimate_stack(stack, cloud, "transfusion")
+        labels = [label for label, _, _ in estimate.blocks]
+        assert labels == ["decoder.self"]
+        assert estimate.latency_seconds(cloud) > 0

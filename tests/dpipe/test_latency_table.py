@@ -1,0 +1,50 @@
+"""Tests for DPipe latency tables."""
+
+import pytest
+
+from repro.arch.pe import PEArrayKind
+from repro.dpipe.latency import build_latency_table
+from repro.einsum.builders import attention_cascade
+
+
+@pytest.fixture
+def tile():
+    return {"h": 32, "e": 128, "f": 128, "p": 256, "m0": 256,
+            "m1": 1}
+
+
+class TestLatencyTable:
+    def test_covers_all_ops_on_both_arrays(self, cloud, tile):
+        cascade = attention_cascade()
+        table = build_latency_table(cascade, "mha", tile, cloud)
+        for op in cascade.all_ops:
+            for kind in PEArrayKind:
+                assert table.latency(op.name, kind) > 0
+            assert table.load(op.name) > 0
+
+    def test_gemm_prefers_2d_on_cloud(self, cloud, tile):
+        table = build_latency_table(
+            attention_cascade(), "mha", tile, cloud
+        )
+        assert table.latency(
+            "BQK", PEArrayKind.ARRAY_2D
+        ) < table.latency("BQK", PEArrayKind.ARRAY_1D)
+
+    def test_gemm_equal_speed_on_edge_arrays(self, edge):
+        tile = {"h": 32, "e": 128, "f": 128, "p": 16, "m0": 16,
+                "m1": 1}
+        table = build_latency_table(
+            attention_cascade(), "mha", tile, edge
+        )
+        # Edge: 16x16 = 256 2D PEs vs 256 1D lanes at full MAC rate.
+        assert table.latency(
+            "BQK", PEArrayKind.ARRAY_2D
+        ) == pytest.approx(
+            table.latency("BQK", PEArrayKind.ARRAY_1D)
+        )
+
+    def test_loads_are_array_independent(self, cloud, tile):
+        cascade = attention_cascade()
+        table = build_latency_table(cascade, "mha", tile, cloud)
+        op = cascade.op("SLN")
+        assert table.load("SLN") == op.compute_load(tile)

@@ -1,0 +1,147 @@
+"""Tests for cascade structure and validation."""
+
+import pytest
+
+from repro.einsum.builders import attention_cascade, ffn_cascade
+from repro.einsum.cascade import Cascade, StateSpec
+from repro.einsum.operation import contraction, map_op
+from repro.einsum.tensor import tensor
+
+
+def simple_cascade() -> Cascade:
+    a = tensor("A", "m", "k")
+    b = tensor("B", "k", "n")
+    z = tensor("Z", "m", "n")
+    y = tensor("Y", "m", "n")
+    return Cascade(
+        name="chain",
+        ops=(
+            contraction("Z", (a, b), z),
+            map_op("Y", "exp", (z,), y),
+        ),
+        external_inputs=(a, b),
+        outputs=("Y",),
+    )
+
+
+class TestValidation:
+    def test_reading_before_produced_rejected(self):
+        a = tensor("A", "p")
+        with pytest.raises(ValueError, match="before it is available"):
+            Cascade(
+                name="bad",
+                ops=(
+                    map_op("X", "exp", (tensor("Y", "p"),),
+                           tensor("X", "p")),
+                    map_op("Y", "exp", (a,), tensor("Y", "p")),
+                ),
+                external_inputs=(a,),
+                outputs=("X",),
+            )
+
+    def test_duplicate_op_names_rejected(self):
+        a = tensor("A", "p")
+        with pytest.raises(ValueError, match="duplicate op names"):
+            Cascade(
+                name="bad",
+                ops=(
+                    map_op("X", "exp", (a,), tensor("X", "p")),
+                    map_op("X", "exp", (a,), tensor("X2", "p")),
+                ),
+                external_inputs=(a,),
+                outputs=("X",),
+            )
+
+    def test_overwriting_external_input_rejected(self):
+        a = tensor("A", "p")
+        with pytest.raises(ValueError, match="overwrite external"):
+            Cascade(
+                name="bad",
+                ops=(map_op("A", "exp", (a,), tensor("A", "p")),),
+                external_inputs=(a,),
+                outputs=("A",),
+            )
+
+    def test_unproduced_output_rejected(self):
+        a = tensor("A", "p")
+        with pytest.raises(ValueError, match="never produced"):
+            Cascade(
+                name="bad",
+                ops=(map_op("X", "exp", (a,), tensor("X", "p")),),
+                external_inputs=(a,),
+                outputs=("MISSING",),
+            )
+
+    def test_state_without_loop_dim_rejected(self):
+        a = tensor("A", "p")
+        with pytest.raises(ValueError, match="requires a loop_dim"):
+            Cascade(
+                name="bad",
+                ops=(map_op("X", "exp", (a,), tensor("X", "p")),),
+                external_inputs=(a,),
+                outputs=("X",),
+                state={
+                    "S": StateSpec(tensor("S", "p"), 0.0, "X")
+                },
+            )
+
+
+class TestQueries:
+    def test_op_lookup(self):
+        cascade = simple_cascade()
+        assert cascade.op("Z").name == "Z"
+        with pytest.raises(KeyError):
+            cascade.op("missing")
+
+    def test_producer_of_intermediate(self):
+        cascade = simple_cascade()
+        assert cascade.producer_of("Z").name == "Z"
+        assert cascade.producer_of("A") is None
+
+    def test_producer_of_state_resolves_update(self):
+        mha = attention_cascade()
+        producer = mha.producer_of("RM")
+        assert producer is not None
+        assert producer.output.name == "RMn"
+
+    def test_intermediates_exclude_outputs(self):
+        cascade = simple_cascade()
+        names = {t.name for t in cascade.intermediate_tensors()}
+        assert names == {"Z"}
+
+    def test_tensors_cover_everything(self):
+        cascade = simple_cascade()
+        assert set(cascade.tensors()) == {"A", "B", "Z", "Y"}
+
+    def test_tensors_include_bias(self):
+        ffn = ffn_cascade()
+        assert "BF1" in ffn.tensors()
+
+    def test_dims_used(self):
+        cascade = simple_cascade()
+        assert set(cascade.dims_used()) == {"m", "k", "n"}
+
+    def test_len_counts_epilogue(self):
+        mha = attention_cascade()
+        assert len(mha) == len(mha.ops) + len(mha.epilogue)
+
+    def test_external_input_lookup(self):
+        cascade = simple_cascade()
+        assert cascade.external_input("A").dims == ("m", "k")
+        with pytest.raises(KeyError):
+            cascade.external_input("nope")
+
+
+class TestComputeLoad:
+    def test_total_load_scales_with_loop_trips(self):
+        mha = attention_cascade()
+        extents = {
+            "h": 2, "e": 4, "f": 4, "p": 8, "m0": 4, "m1": 3,
+        }
+        one = mha.total_compute_load({**extents, "m1": 1})
+        three = mha.total_compute_load(extents)
+        epilogue = sum(
+            op.compute_load(extents) for op in mha.epilogue
+        )
+        body_once = one - epilogue
+        assert three == pytest.approx(3 * body_once + epilogue)

@@ -1,0 +1,118 @@
+"""Numerical tests for the masked (decoder) attention cascade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.einsum.builders import attention_cascade
+from repro.einsum.evaluator import evaluate_cascade
+from repro.graph.dag import ComputationDAG
+from repro.reference.functional import causal_mask, multi_head_attention
+
+
+def run_masked(rng, h, e, p, m1, m0, mask=None):
+    f = e
+    q = rng.normal(size=(h, e, p))
+    bk = rng.normal(size=(h, e, m1, m0))
+    bv = rng.normal(size=(h, f, m1, m0))
+    m = m1 * m0
+    if mask is None:
+        mask = causal_mask(m, p)
+    out = evaluate_cascade(
+        attention_cascade(masked=True),
+        {"Q": q, "BK": bk, "BV": bv,
+         "MASK": mask.reshape(m1, m0, p)},
+        {"h": h, "e": e, "f": f, "p": p, "m1": m1, "m0": m0},
+    )["AV"]
+    ref = multi_head_attention(
+        q, bk.reshape(h, e, m), bv.reshape(h, f, m), mask=mask
+    )
+    return out, ref
+
+
+class TestMaskedCascade:
+    def test_causal_matches_reference(self, rng):
+        out, ref = run_masked(rng, h=3, e=4, p=8, m1=4, m0=2)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_zero_mask_equals_dense_cascade(self, rng):
+        h, e, p, m1, m0 = 2, 4, 5, 3, 2
+        mask = np.zeros((m1 * m0, p))
+        out, ref = run_masked(rng, h, e, p, m1, m0, mask=mask)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_first_position_attends_only_itself(self, rng):
+        # Query 0 under a causal mask sees exactly key 0, so its
+        # output must equal V[:, :, 0].
+        h, e, p, m1, m0 = 2, 3, 4, 2, 2
+        f = e
+        q = rng.normal(size=(h, e, p))
+        bk = rng.normal(size=(h, e, m1, m0))
+        bv = rng.normal(size=(h, f, m1, m0))
+        mask = causal_mask(m1 * m0, p)
+        out = evaluate_cascade(
+            attention_cascade(masked=True),
+            {"Q": q, "BK": bk, "BV": bv,
+             "MASK": mask.reshape(m1, m0, p)},
+            {"h": h, "e": e, "f": f, "p": p, "m1": m1, "m0": m0},
+        )["AV"]
+        np.testing.assert_allclose(
+            out[:, :, 0], bv.reshape(h, f, -1)[:, :, 0], atol=1e-10
+        )
+
+    def test_masked_cascade_has_extra_op(self):
+        dense = attention_cascade()
+        masked = attention_cascade(masked=True)
+        assert len(masked) == len(dense) + 1
+        assert masked.op("BQKM").fn == "add"
+
+    def test_masked_dag_keeps_source_sink_shape(self):
+        dag = ComputationDAG.from_cascade(
+            attention_cascade(masked=True)
+        )
+        assert dag.sources() == {"BQK"}
+        assert dag.sinks() == {"AV"}
+
+    def test_mask_is_external_input(self):
+        masked = attention_cascade(masked=True)
+        assert masked.external_input("MASK").dims == (
+            "m1", "m0", "p",
+        )
+        with pytest.raises(KeyError):
+            attention_cascade().external_input("MASK")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        h=st.integers(1, 3),
+        e=st.integers(1, 5),
+        p=st.integers(1, 6),
+        m1=st.integers(1, 4),
+        m0=st.integers(1, 3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_causal_matches_reference_random_shapes(
+        self, h, e, p, m1, m0, seed
+    ):
+        rng = np.random.default_rng(seed)
+        out, ref = run_masked(rng, h, e, p, m1, m0)
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+
+class TestCausalMask:
+    def test_lower_triangular_structure(self):
+        mask = causal_mask(4, 4)
+        assert mask[0, 3] == 0.0
+        assert mask[3, 0] == -np.inf
+        assert np.all(np.diag(mask) == 0.0)
+
+    def test_rectangular_masks(self):
+        mask = causal_mask(6, 3)
+        assert mask.shape == (6, 3)
+        # Query 2 sees keys 0..2 only.
+        assert np.all(mask[:3, 2] == 0.0)
+        assert np.all(mask[3:, 2] == -np.inf)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            causal_mask(0, 3)

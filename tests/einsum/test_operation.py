@@ -1,0 +1,181 @@
+"""Tests for Extended-Einsum operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.einsum.operation import (
+    EinsumOp,
+    OpKind,
+    contraction,
+    map_op,
+    reduction,
+)
+from repro.einsum.tensor import tensor
+
+
+@pytest.fixture
+def matmul():
+    return contraction(
+        "Z",
+        (tensor("A", "m", "k"), tensor("B", "k", "n")),
+        tensor("Z", "m", "n"),
+    )
+
+
+class TestValidation:
+    def test_contraction_output_dims_must_come_from_inputs(self):
+        with pytest.raises(ValueError, match="do not appear"):
+            contraction(
+                "Z", (tensor("A", "m", "k"),), tensor("Z", "m", "x")
+            )
+
+    def test_map_arity_checked(self):
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            map_op("X", "add", (tensor("A", "p"),), tensor("X", "p"))
+
+    def test_map_unknown_fn_rejected(self):
+        with pytest.raises(ValueError, match="unknown fn"):
+            map_op("X", "frobnicate", (tensor("A", "p"),),
+                   tensor("X", "p"))
+
+    def test_map_input_dims_must_be_subset_of_output(self):
+        with pytest.raises(ValueError, match="not in output"):
+            map_op(
+                "X", "add",
+                (tensor("A", "p", "q"), tensor("B", "p")),
+                tensor("X", "p"),
+            )
+
+    def test_reduction_must_reduce_something(self):
+        with pytest.raises(ValueError, match="nothing to reduce"):
+            reduction("X", "sum", tensor("A", "p"), tensor("X", "p"))
+
+    def test_reduction_output_must_be_subset(self):
+        with pytest.raises(ValueError, match="not in input"):
+            reduction("X", "sum", tensor("A", "p", "q"),
+                      tensor("X", "r"))
+
+    def test_state_inputs_must_be_inputs(self):
+        with pytest.raises(ValueError, match="are not inputs"):
+            EinsumOp(
+                name="X",
+                kind=OpKind.MAP,
+                inputs=(tensor("A", "p"),),
+                output=tensor("X", "p"),
+                fn="identity",
+                state_inputs=("NOPE",),
+            )
+
+    def test_bias_dims_must_be_in_output(self):
+        with pytest.raises(ValueError, match="bias dims"):
+            contraction(
+                "Z",
+                (tensor("A", "m", "k"), tensor("B", "k", "n")),
+                tensor("Z", "m", "n"),
+                bias=tensor("C", "q"),
+            )
+
+
+class TestStructure:
+    def test_reduction_dims_of_matmul(self, matmul):
+        assert matmul.reduction_dims == ("k",)
+
+    def test_matmul_is_gemm_like(self, matmul):
+        assert matmul.is_gemm_like
+
+    def test_elementwise_contraction_is_not_gemm_like(self):
+        op = contraction(
+            "Z",
+            (tensor("A", "m"), tensor("B", "m")),
+            tensor("Z", "m"),
+        )
+        assert not op.is_gemm_like
+
+    def test_map_is_not_gemm_like(self):
+        op = map_op("X", "exp", (tensor("A", "p"),), tensor("X", "p"))
+        assert not op.is_gemm_like
+
+    def test_dataflow_inputs_exclude_state(self):
+        op = map_op(
+            "RMn", "max",
+            (tensor("RM", "p"), tensor("LM", "p")),
+            tensor("RMn", "p"),
+            state_inputs=("RM",),
+        )
+        assert op.dataflow_input_names() == ("LM",)
+        assert set(op.input_names()) == {"RM", "LM"}
+
+    def test_bias_appears_in_input_names(self):
+        op = contraction(
+            "Z",
+            (tensor("A", "m", "k"), tensor("B", "k", "n")),
+            tensor("Z", "m", "n"),
+            bias=tensor("C", "n"),
+        )
+        assert "C" in op.input_names()
+
+
+class TestComputeLoad:
+    def test_matmul_load_is_mnk(self, matmul):
+        load = matmul.compute_load({"m": 4, "n": 5, "k": 6})
+        assert load == 4 * 5 * 6
+
+    def test_map_load_is_output_size(self):
+        op = map_op(
+            "X", "exp", (tensor("A", "p", "q"),),
+            tensor("X", "p", "q"),
+        )
+        assert op.compute_load({"p": 3, "q": 7}) == 21
+
+    def test_reduction_load_counts_reduced_dim(self):
+        op = reduction(
+            "X", "sum", tensor("A", "p", "m"), tensor("X", "p")
+        )
+        assert op.compute_load({"p": 3, "m": 10}) == 30
+
+    def test_cost_weight_scales_load(self):
+        op = EinsumOp(
+            name="X",
+            kind=OpKind.MAP,
+            inputs=(tensor("A", "p"),),
+            output=tensor("X", "p"),
+            fn="exp",
+            cost_weight=2.5,
+        )
+        assert op.compute_load({"p": 4}) == 10.0
+
+    @given(
+        m=st.integers(1, 50),
+        n=st.integers(1, 50),
+        k=st.integers(1, 50),
+    )
+    def test_load_monotone_in_every_dim(self, m, n, k):
+        op = contraction(
+            "Z",
+            (tensor("A", "m", "k"), tensor("B", "k", "n")),
+            tensor("Z", "m", "n"),
+        )
+        base = op.compute_load({"m": m, "n": n, "k": k})
+        grown = op.compute_load({"m": m + 1, "n": n, "k": k})
+        assert grown > base
+
+
+class TestEffectiveConst:
+    def test_plain_const_passthrough(self):
+        op = map_op("X", "scale", (tensor("A", "p"),),
+                    tensor("X", "p"), const=0.5)
+        assert op.effective_const({}) == 0.5
+
+    def test_inv_extent_dims_divide(self):
+        op = map_op(
+            "X", "scale", (tensor("A", "p"),), tensor("X", "p"),
+            inv_extent_dims=("h", "f"),
+        )
+        assert op.effective_const({"h": 4, "f": 8}) == pytest.approx(
+            1 / 32
+        )
+
+    def test_no_const_returns_none(self):
+        op = map_op("X", "exp", (tensor("A", "p"),), tensor("X", "p"))
+        assert op.effective_const({}) is None

@@ -1,0 +1,38 @@
+"""Tests for the signature parser."""
+
+import pytest
+
+from repro.einsum.parser import parse_signature
+
+
+class TestParseSignature:
+    def test_matmul(self):
+        inputs, output = parse_signature("m k, k n -> m n")
+        assert inputs == (("m", "k"), ("k", "n"))
+        assert output == ("m", "n")
+
+    def test_multichar_dims(self):
+        inputs, output = parse_signature("h e p, h e m0 -> h m0 p")
+        assert inputs == (("h", "e", "p"), ("h", "e", "m0"))
+        assert output == ("h", "m0", "p")
+
+    def test_scalar_output(self):
+        inputs, output = parse_signature("p ->")
+        assert inputs == (("p",),)
+        assert output == ()
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            parse_signature("m k, k n")
+
+    def test_double_arrow_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            parse_signature("a -> b -> c")
+
+    def test_empty_input_term_rejected(self):
+        with pytest.raises(ValueError, match="empty input"):
+            parse_signature("m k, -> m")
+
+    def test_repeated_dim_in_term_rejected(self):
+        with pytest.raises(ValueError, match="repeated dim"):
+            parse_signature("m m -> m")

@@ -1,0 +1,142 @@
+"""Property-based tests over randomly generated cascades.
+
+Generates random straight-line Extended-Einsum cascades (alternating
+contractions, maps and reductions over a small dimension universe) and
+checks structural invariants end to end: validation accepts them,
+shapes propagate, the evaluator produces correctly shaped finite
+results, DAG construction is acyclic and schedulable, and compute
+loads are consistent.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.einsum.cascade import Cascade
+from repro.einsum.evaluator import evaluate_cascade
+from repro.einsum.operation import contraction, map_op, reduction
+from repro.einsum.tensor import TensorSpec
+from repro.graph.dag import ComputationDAG
+from repro.graph.toposort import all_topological_orders
+
+DIMS = ("a", "b", "c", "d")
+
+
+@st.composite
+def random_cascade(draw):
+    """A random valid straight-line cascade with 2-6 ops."""
+    extents = {
+        dim: draw(st.integers(1, 4)) for dim in DIMS
+    }
+    current = TensorSpec("T0", ("a", "b", "c"))
+    external = [current]
+    ops = []
+    n_ops = draw(st.integers(2, 6))
+    for index in range(1, n_ops + 1):
+        kind = draw(st.sampled_from(["map", "reduce", "contract"]))
+        out_name = f"T{index}"
+        if kind == "map" or len(current.dims) <= 1:
+            # Non-explosive maps only: chained exp/square overflow
+            # float64 within a few ops, which is numerically correct
+            # but defeats the finiteness check.
+            fn = draw(st.sampled_from(["relu", "silu", "rsqrt",
+                                       "identity"]))
+            output = TensorSpec(out_name, current.dims)
+            ops.append(map_op(out_name, fn, (current,), output))
+        elif kind == "reduce":
+            drop = draw(st.sampled_from(current.dims))
+            kept = tuple(d for d in current.dims if d != drop)
+            output = TensorSpec(out_name, kept)
+            fn = draw(st.sampled_from(["sum", "max"]))
+            ops.append(reduction(out_name, fn, current, output))
+        else:
+            # Contract with a fresh external weight over one shared
+            # dim, introducing one new dim if available.
+            shared = draw(st.sampled_from(current.dims))
+            unused = [d for d in DIMS if d not in current.dims]
+            new_dim = unused[0] if unused else shared
+            weight_dims = (
+                (shared, new_dim) if new_dim != shared
+                else (shared,)
+            )
+            weight = TensorSpec(f"W{index}", weight_dims)
+            external.append(weight)
+            out_dims = tuple(
+                d for d in current.dims if d != shared
+            )
+            if new_dim != shared:
+                out_dims = out_dims + (new_dim,)
+            if not out_dims:
+                out_dims = (shared,)
+                weight = TensorSpec(f"W{index}", (shared,))
+                external[-1] = weight
+                out_dims = ()
+                output = TensorSpec(out_name, out_dims)
+                ops.append(
+                    contraction(out_name, (current, weight), output)
+                )
+                current = output
+                continue
+            output = TensorSpec(out_name, out_dims)
+            ops.append(
+                contraction(out_name, (current, weight), output)
+            )
+        current = ops[-1].output
+    cascade = Cascade(
+        name="random",
+        ops=tuple(ops),
+        external_inputs=tuple(external),
+        outputs=(current.name,),
+    )
+    return cascade, extents
+
+
+class TestRandomCascades:
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_cascade(), seed=st.integers(0, 2**31 - 1))
+    def test_evaluator_produces_correct_shapes(self, data, seed):
+        cascade, extents = data
+        rng = np.random.default_rng(seed)
+        inputs = {
+            spec.name: rng.uniform(0.1, 1.0,
+                                   size=spec.shape(extents))
+            for spec in cascade.external_inputs
+        }
+        outputs = evaluate_cascade(cascade, inputs, extents)
+        for name, array in outputs.items():
+            spec = cascade.tensors()[name]
+            assert array.shape == spec.shape(extents)
+            assert np.all(np.isfinite(array))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_cascade())
+    def test_dag_is_acyclic_and_schedulable(self, data):
+        cascade, _ = data
+        dag = ComputationDAG.from_cascade(cascade)
+        orders = all_topological_orders(dag, limit=4)
+        assert orders
+        assert set(orders[0]) == set(dag.nodes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_cascade())
+    def test_compute_load_positive_and_monotone(self, data):
+        cascade, extents = data
+        load = cascade.total_compute_load(extents)
+        assert load > 0
+        doubled = {d: 2 * v for d, v in extents.items()}
+        assert cascade.total_compute_load(doubled) >= load
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=random_cascade(), seed=st.integers(0, 2**31 - 1))
+    def test_evaluation_is_deterministic(self, data, seed):
+        cascade, extents = data
+        rng = np.random.default_rng(seed)
+        inputs = {
+            spec.name: rng.uniform(0.1, 1.0,
+                                   size=spec.shape(extents))
+            for spec in cascade.external_inputs
+        }
+        first = evaluate_cascade(cascade, inputs, extents)
+        second = evaluate_cascade(cascade, inputs, extents)
+        for name in first:
+            np.testing.assert_array_equal(first[name], second[name])

@@ -1,0 +1,68 @@
+"""Tests for symbolic tensor specs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.einsum.tensor import TensorSpec, tensor
+
+
+class TestTensorSpec:
+    def test_shape_resolves_dims_in_order(self):
+        spec = tensor("Q", "h", "e", "p")
+        assert spec.shape({"h": 2, "e": 3, "p": 5}) == (2, 3, 5)
+
+    def test_size_is_product_of_extents(self):
+        spec = tensor("Q", "h", "e", "p")
+        assert spec.size({"h": 2, "e": 3, "p": 5}) == 30
+
+    def test_scalar_tensor_has_size_one(self):
+        spec = tensor("X")
+        assert spec.size({}) == 1
+        assert spec.rank == 0
+
+    def test_bytes_scales_with_word_size(self):
+        spec = tensor("Q", "p")
+        assert spec.bytes({"p": 10}, word_bytes=2) == 20
+        assert spec.bytes({"p": 10}, word_bytes=4) == 40
+
+    def test_missing_extent_raises_keyerror(self):
+        spec = tensor("Q", "h", "p")
+        with pytest.raises(KeyError, match="missing dims"):
+            spec.shape({"h": 2})
+
+    def test_repeated_dims_rejected(self):
+        with pytest.raises(ValueError, match="repeated dims"):
+            TensorSpec(name="Q", dims=("p", "p"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TensorSpec(name="", dims=("p",))
+
+    def test_nonpositive_word_bytes_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            tensor("Q", "p").bytes({"p": 1}, word_bytes=0)
+
+    def test_has_dim(self):
+        spec = tensor("Q", "h", "p")
+        assert spec.has_dim("h")
+        assert not spec.has_dim("e")
+
+    def test_str_rendering(self):
+        assert str(tensor("BQK", "h", "m0", "p")) == "BQK[h,m0,p]"
+
+    @given(
+        extents=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=1, max_value=64),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_size_equals_shape_product(self, extents):
+        spec = tensor("T", "a", "b", "c")
+        shape = spec.shape(extents)
+        product = 1
+        for extent in shape:
+            product *= extent
+        assert spec.size(extents) == product

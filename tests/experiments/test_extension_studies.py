@@ -1,0 +1,127 @@
+"""Tests for the extension studies (batch, decode, sensitivity)."""
+
+import pytest
+
+from repro.experiments.batch_sweep import batch_sweep
+from repro.experiments.decode import decode_sweep, decode_workload
+from repro.experiments.sensitivity import (
+    bandwidth_sensitivity,
+    buffer_sensitivity,
+    scale_bandwidth,
+    scale_buffer,
+)
+
+
+class TestBatchSweep:
+    def test_latency_scales_with_batch(self):
+        data = batch_sweep(model="bert", seq_len=4096,
+                           batches=(4, 16, 64))
+        latencies = [data[b]["latency_s"] for b in (4, 16, 64)]
+        assert latencies == sorted(latencies)
+        # Roughly linear: 16x the batch within 8-24x the time.
+        assert 8 < latencies[2] / latencies[0] < 24
+
+    def test_transfusion_wins_at_every_batch(self):
+        data = batch_sweep(model="bert", seq_len=4096,
+                           batches=(4, 64))
+        for stats in data.values():
+            assert stats["speedup_vs_fusemax"] > 1.0
+
+
+class TestDecode:
+    def test_decode_workload_shape(self):
+        workload = decode_workload("llama3", 8192, 32)
+        assert workload.seq_len == 1
+        assert workload.kv_len == 8192
+        assert not workload.project_kv
+        assert "decode" in workload.describe()
+
+    def test_per_step_cost_grows_with_context(self):
+        data = decode_sweep(
+            model="bert", contexts=(1024, 16384), batch=16,
+            executors=("fusemax",),
+        )
+        assert data[16384]["fusemax"] > data[1024]["fusemax"]
+
+    def test_decode_prefers_attention_only_fusion(self):
+        data = decode_sweep(
+            model="llama3", contexts=(65536,), batch=64,
+            executors=("unfused", "fusemax", "transfusion"),
+        )
+        per = data[65536]
+        assert per["fusemax"] < per["unfused"]
+        # The documented regime flip: end-to-end fusion loses its
+        # advantage in decode.
+        assert per["fusemax"] <= per["transfusion"] * 1.05
+
+
+class TestSensitivity:
+    def test_scalers_validate(self, cloud):
+        with pytest.raises(ValueError):
+            scale_bandwidth(cloud, 0)
+        with pytest.raises(ValueError):
+            scale_buffer(cloud, -1)
+
+    def test_scale_bandwidth_only_touches_dram(self, cloud):
+        scaled = scale_bandwidth(cloud, 2.0)
+        assert scaled.dram.bandwidth_bytes_per_s == pytest.approx(
+            2 * cloud.dram.bandwidth_bytes_per_s
+        )
+        assert scaled.buffer == cloud.buffer
+        assert scaled.array_2d == cloud.array_2d
+
+    def test_scale_buffer_rederives_energy(self, cloud):
+        scaled = scale_buffer(cloud, 4.0)
+        assert scaled.buffer.capacity_bytes == (
+            4 * cloud.buffer.capacity_bytes
+        )
+        assert (
+            scaled.energy.buffer_pj_per_word
+            > cloud.energy.buffer_pj_per_word
+        )
+
+    def test_speedup_grows_as_bandwidth_shrinks(self):
+        data = bandwidth_sensitivity(
+            model="bert", seq_len=4096,
+            factors=(0.25, 1.0, 4.0), batch=16,
+        )
+        speedups = [data[f]["speedup"] for f in (0.25, 1.0, 4.0)]
+        assert speedups[0] >= speedups[-1]
+
+    def test_bigger_buffer_less_traffic(self):
+        data = buffer_sensitivity(
+            model="bert", seq_len=8192, factors=(0.5, 2.0),
+            batch=16,
+        )
+        assert (
+            data[2.0]["dram_words"] <= data[0.5]["dram_words"]
+        )
+        assert data[2.0]["q_tile"] >= data[0.5]["q_tile"]
+
+
+class TestPrecision:
+    def test_scale_precision_validates(self, cloud):
+        from repro.experiments.sensitivity import scale_precision
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            scale_precision(cloud, 0)
+        int8 = scale_precision(cloud, 1)
+        assert int8.word_bytes == 1
+        assert int8.buffer_words == 2 * cloud.buffer_words
+
+    def test_narrower_words_fewer_stalls_bigger_tiles(self):
+        from repro.experiments.sensitivity import (
+            precision_sensitivity,
+        )
+
+        data = precision_sensitivity(
+            model="bert", seq_len=8192, word_sizes=(1, 2, 4),
+            batch=16,
+        )
+        # int8 doubles the buffer in words -> bigger Q tiles and less
+        # DRAM time than fp32.
+        assert data[1]["q_tile"] >= data[4]["q_tile"]
+        assert data[1]["dram_seconds"] < data[4]["dram_seconds"]
+        assert data[1]["latency_s"] <= data[4]["latency_s"]

@@ -1,0 +1,74 @@
+"""Tests for the critical-path topological order heuristic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import ComputationDAG
+from repro.graph.toposort import critical_path_order
+
+
+def diamond():
+    return ComputationDAG(
+        nodes=("a", "b", "c", "d"),
+        edges=frozenset(
+            {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}
+        ),
+    )
+
+
+class TestCriticalPathOrder:
+    def test_is_topological(self):
+        dag = diamond()
+        order = critical_path_order(
+            dag, {n: 1.0 for n in dag.nodes}
+        )
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in dag.edges:
+            assert pos[u] < pos[v]
+
+    def test_heavy_branch_scheduled_first(self):
+        dag = diamond()
+        # Branch b is on a much heavier path than c.
+        order = critical_path_order(
+            dag, {"a": 1.0, "b": 10.0, "c": 1.0, "d": 1.0}
+        )
+        assert order.index("b") < order.index("c")
+        flipped = critical_path_order(
+            dag, {"a": 1.0, "b": 1.0, "c": 10.0, "d": 1.0}
+        )
+        assert flipped.index("c") < flipped.index("b")
+
+    def test_deterministic_tie_break(self):
+        dag = diamond()
+        weights = {n: 1.0 for n in dag.nodes}
+        assert critical_path_order(
+            dag, weights
+        ) == critical_path_order(dag, weights)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 8),
+        picks=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=12,
+        ),
+        weight_seed=st.integers(0, 10**6),
+    )
+    def test_always_valid_on_random_dags(self, n, picks,
+                                         weight_seed):
+        import random
+
+        nodes = tuple(f"n{i}" for i in range(n))
+        edges = frozenset(
+            (f"n{min(i, j)}", f"n{max(i, j)}")
+            for i, j in picks
+            if i != j and max(i, j) < n
+        )
+        dag = ComputationDAG(nodes=nodes, edges=edges)
+        gen = random.Random(weight_seed)
+        weights = {node: gen.uniform(0.1, 10.0) for node in nodes}
+        order = critical_path_order(dag, weights)
+        assert set(order) == set(nodes)
+        pos = {node: i for i, node in enumerate(order)}
+        for u, v in edges:
+            assert pos[u] < pos[v]

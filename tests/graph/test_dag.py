@@ -1,0 +1,135 @@
+"""Tests for computation DAGs."""
+
+import pytest
+
+from repro.einsum.builders import (
+    attention_cascade,
+    layernorm_cascade,
+    qkv_cascade,
+)
+from repro.graph.dag import ComputationDAG
+
+
+def diamond() -> ComputationDAG:
+    return ComputationDAG(
+        nodes=("a", "b", "c", "d"),
+        edges=frozenset(
+            {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}
+        ),
+    )
+
+
+class TestConstruction:
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            ComputationDAG(
+                nodes=("a", "b"),
+                edges=frozenset({("a", "b"), ("b", "a")}),
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            ComputationDAG(
+                nodes=("a",), edges=frozenset({("a", "a")})
+            )
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            ComputationDAG(
+                nodes=("a",), edges=frozenset({("a", "b")})
+            )
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ComputationDAG(nodes=("a", "a"), edges=frozenset())
+
+
+class TestFromCascade:
+    def test_attention_dag_shape(self):
+        dag = ComputationDAG.from_cascade(attention_cascade())
+        assert len(dag) == 12
+        assert dag.sources() == {"BQK"}
+        assert dag.sinks() == {"AV"}
+
+    def test_state_reads_do_not_create_edges(self):
+        dag = ComputationDAG.from_cascade(attention_cascade())
+        # RMn reads RM (state) and LM (dataflow): only LM -> RMn.
+        assert dag.predecessors("RMn") == {"LM"}
+
+    def test_epilogue_depends_on_state_updaters(self):
+        dag = ComputationDAG.from_cascade(attention_cascade())
+        # AV = RNV / RD resolves to the ops producing RNVn and RDn.
+        assert dag.predecessors("AV") == {"RNVn", "RDn"}
+
+    def test_qkv_dag_is_edgeless(self):
+        dag = ComputationDAG.from_cascade(qkv_cascade())
+        assert len(dag.edges) == 0
+        assert dag.sources() == dag.sinks() == {"Q", "BK", "BV"}
+
+    def test_layernorm_dag_is_connected_chain_with_branches(self):
+        dag = ComputationDAG.from_cascade(layernorm_cascade())
+        assert dag.is_weakly_connected()
+        assert dag.sources() == {"IAV"}
+        assert dag.sinks() == {"NR"}
+
+
+class TestQueries:
+    def test_topological_order_respects_edges(self):
+        dag = diamond()
+        order = dag.topological_order()
+        assert set(order) == {"a", "b", "c", "d"}
+        for u, v in dag.edges:
+            assert order.index(u) < order.index(v)
+
+    def test_weak_connectivity_of_subsets(self):
+        dag = diamond()
+        assert dag.is_weakly_connected({"a", "b", "d"})
+        assert not dag.is_weakly_connected({"b", "c"})
+        assert not dag.is_weakly_connected(set())
+
+    def test_reachability_within_subset(self):
+        dag = diamond()
+        assert dag.reachable_from({"a"}) == {"a", "b", "c", "d"}
+        assert dag.reachable_from({"a"}, within={"a", "b"}) == {
+            "a", "b",
+        }
+
+    def test_induced_subgraph(self):
+        dag = diamond()
+        sub = dag.induced({"a", "b", "d"})
+        assert set(sub.nodes) == {"a", "b", "d"}
+        assert sub.edges == {("a", "b"), ("b", "d")}
+
+    def test_induced_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            diamond().induced({"zzz"})
+
+    def test_pred_and_succ_maps_agree_with_edges(self):
+        dag = diamond()
+        preds = dag.pred_map()
+        succs = dag.succ_map()
+        for u, v in dag.edges:
+            assert u in preds[v]
+            assert v in succs[u]
+
+
+class TestCompose:
+    def test_compose_prefixes_and_links(self):
+        d1 = ComputationDAG(
+            nodes=("x", "y"), edges=frozenset({("x", "y")})
+        )
+        d2 = ComputationDAG(
+            nodes=("x", "z"), edges=frozenset({("x", "z")})
+        )
+        merged = ComputationDAG.compose(
+            [d1, d2], links=[("g0.y", "g1.x")]
+        )
+        assert set(merged.nodes) == {"g0.x", "g0.y", "g1.x", "g1.z"}
+        assert ("g0.y", "g1.x") in merged.edges
+        order = merged.topological_order()
+        assert order.index("g0.y") < order.index("g1.x")
+
+    def test_compose_prefix_count_mismatch_rejected(self):
+        d = ComputationDAG(nodes=("x",), edges=frozenset())
+        with pytest.raises(ValueError, match="one prefix per DAG"):
+            ComputationDAG.compose([d], prefixes=["a.", "b."])

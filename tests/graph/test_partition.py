@@ -1,0 +1,177 @@
+"""Tests for DPipe bipartition enumeration (the four Section 4.1
+constraints), including property-based checks on random DAGs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.einsum.builders import (
+    attention_cascade,
+    ffn_cascade,
+    layernorm_cascade,
+    qkv_cascade,
+)
+from repro.graph.dag import ComputationDAG
+from repro.graph.partition import (
+    Bipartition,
+    enumerate_bipartitions,
+    is_valid_bipartition,
+)
+
+
+def chain(n: int) -> ComputationDAG:
+    nodes = tuple(f"n{i}" for i in range(n))
+    edges = frozenset(
+        (f"n{i}", f"n{i + 1}") for i in range(n - 1)
+    )
+    return ComputationDAG(nodes=nodes, edges=edges)
+
+
+@st.composite
+def random_dags(draw):
+    """Random layered DAGs with 3-9 nodes."""
+    n = draw(st.integers(3, 9))
+    nodes = tuple(f"n{i}" for i in range(n))
+    edges = set()
+    for j in range(1, n):
+        # Each node gets at least one predecessor: connected-ish DAGs.
+        preds = draw(
+            st.lists(
+                st.integers(0, j - 1), min_size=1, max_size=3,
+                unique=True,
+            )
+        )
+        for i in preds:
+            edges.add((f"n{i}", f"n{j}"))
+    return ComputationDAG(nodes=nodes, edges=frozenset(edges))
+
+
+class TestChainPartitions:
+    def test_chain_has_all_cut_points(self):
+        dag = chain(5)
+        parts = enumerate_bipartitions(dag)
+        # A 5-chain can be cut after n0, n1, n2 or n3.
+        assert len(parts) == 4
+        sizes = sorted(len(p.first) for p in parts)
+        assert sizes == [1, 2, 3, 4]
+
+    def test_two_node_chain(self):
+        parts = enumerate_bipartitions(chain(2))
+        assert len(parts) == 1
+        assert parts[0].first == {"n0"}
+
+    def test_single_node_has_no_bipartition(self):
+        parts = enumerate_bipartitions(chain(1))
+        assert parts == []
+
+    def test_limit_caps_results(self):
+        parts = enumerate_bipartitions(chain(10), limit=3)
+        assert len(parts) == 3
+
+
+class TestConstraintChecks:
+    def test_sources_must_be_in_first(self):
+        dag = chain(3)
+        assert not is_valid_bipartition(dag, frozenset({"n1"}))
+
+    def test_sinks_must_be_in_second(self):
+        dag = chain(3)
+        assert not is_valid_bipartition(
+            dag, frozenset({"n0", "n1", "n2"})
+        )
+
+    def test_dependency_completeness(self):
+        dag = ComputationDAG(
+            nodes=("a", "b", "c", "d"),
+            edges=frozenset(
+                {("a", "c"), ("b", "c"), ("c", "d")}
+            ),
+        )
+        # {a, c} is not a down-set: c depends on b.
+        assert not is_valid_bipartition(dag, frozenset({"a", "c"}))
+        assert is_valid_bipartition(
+            dag, frozenset({"a", "b", "c"})
+        )
+
+    def test_weak_connectivity_of_first(self):
+        # Two parallel chains from two sources to one sink: the set of
+        # both sources alone is not weakly connected.
+        dag = ComputationDAG(
+            nodes=("s1", "s2", "m1", "m2", "t"),
+            edges=frozenset({
+                ("s1", "m1"), ("s2", "m2"), ("m1", "t"), ("m2", "t"),
+            }),
+        )
+        assert not is_valid_bipartition(dag, frozenset({"s1", "s2"}))
+
+    def test_bipartition_dataclass_validation(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            Bipartition(
+                first=frozenset({"a"}), second=frozenset({"a"})
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            Bipartition(first=frozenset(), second=frozenset({"a"}))
+
+
+class TestCascadeDAGs:
+    @pytest.mark.parametrize(
+        "builder,expect_any",
+        [
+            (attention_cascade, True),
+            (layernorm_cascade, True),
+            (ffn_cascade, True),
+            (qkv_cascade, False),  # edgeless: never weakly connected
+        ],
+    )
+    def test_cascades_have_expected_partitions(
+        self, builder, expect_any
+    ):
+        dag = ComputationDAG.from_cascade(builder())
+        parts = enumerate_bipartitions(dag)
+        assert bool(parts) == expect_any
+
+    def test_all_attention_partitions_satisfy_constraints(self):
+        dag = ComputationDAG.from_cascade(attention_cascade())
+        parts = enumerate_bipartitions(dag)
+        assert len(parts) > 10
+        for part in parts:
+            assert is_valid_bipartition(dag, part.first)
+            assert part.first | part.second == set(dag.nodes)
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_enumerated_partitions_are_valid(self, dag):
+        for part in enumerate_bipartitions(dag):
+            # Constraint 1: source/sink alignment.
+            assert dag.sources() <= part.first
+            assert dag.sinks() <= part.second
+            # Constraint 2: weak connectivity.
+            assert dag.is_weakly_connected(part.first)
+            assert dag.is_weakly_connected(part.second)
+            # Constraint 3: dependency completeness (down-set).
+            preds = dag.pred_map()
+            for node in part.first:
+                assert preds[node] <= part.first
+            # Constraint 4: reachability from sources within G1.
+            assert dag.reachable_from(
+                dag.sources(), within=part.first
+            ) == part.first
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag=random_dags())
+    def test_enumeration_is_exhaustive_vs_brute_force(self, dag):
+        import itertools
+
+        nodes = list(dag.nodes)
+        brute = set()
+        for r in range(1, len(nodes)):
+            for combo in itertools.combinations(nodes, r):
+                first = frozenset(combo)
+                if is_valid_bipartition(dag, first):
+                    brute.add(first)
+        enumerated = {
+            p.first for p in enumerate_bipartitions(dag)
+        }
+        assert enumerated == brute

@@ -1,0 +1,83 @@
+"""Tests for topological-order enumeration."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import ComputationDAG
+from repro.graph.toposort import (
+    all_topological_orders,
+    count_topological_orders,
+)
+
+
+def antichain(n: int) -> ComputationDAG:
+    return ComputationDAG(
+        nodes=tuple(f"n{i}" for i in range(n)), edges=frozenset()
+    )
+
+
+class TestEnumeration:
+    def test_chain_has_single_order(self):
+        dag = ComputationDAG(
+            nodes=("a", "b", "c"),
+            edges=frozenset({("a", "b"), ("b", "c")}),
+        )
+        assert all_topological_orders(dag) == [("a", "b", "c")]
+
+    def test_antichain_has_factorial_orders(self):
+        assert count_topological_orders(antichain(4)) == math.factorial(4)
+
+    def test_limit_respected(self):
+        orders = all_topological_orders(antichain(5), limit=7)
+        assert len(orders) == 7
+
+    def test_first_order_matches_deterministic_kahn(self):
+        dag = ComputationDAG(
+            nodes=("a", "b", "c", "d"),
+            edges=frozenset({("a", "c"), ("b", "c"), ("c", "d")}),
+        )
+        orders = all_topological_orders(dag, limit=1)
+        assert orders[0] == dag.topological_order()
+
+    def test_diamond_has_two_orders(self):
+        dag = ComputationDAG(
+            nodes=("a", "b", "c", "d"),
+            edges=frozenset(
+                {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}
+            ),
+        )
+        orders = all_topological_orders(dag)
+        assert len(orders) == 2
+        assert ("a", "b", "c", "d") in orders
+        assert ("a", "c", "b", "d") in orders
+
+
+class TestValidity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 6),
+        edge_picks=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            max_size=10,
+        ),
+    )
+    def test_every_enumerated_order_is_topological(
+        self, n, edge_picks
+    ):
+        nodes = tuple(f"n{i}" for i in range(n))
+        edges = frozenset(
+            (f"n{min(i, j)}", f"n{max(i, j)}")
+            for i, j in edge_picks
+            if i != j and max(i, j) < n
+        )
+        dag = ComputationDAG(nodes=nodes, edges=edges)
+        orders = all_topological_orders(dag, limit=50)
+        assert orders, "every DAG has at least one order"
+        for order in orders:
+            assert set(order) == set(nodes)
+            position = {node: k for k, node in enumerate(order)}
+            for u, v in edges:
+                assert position[u] < position[v]
+        assert len(set(orders)) == len(orders), "orders are unique"

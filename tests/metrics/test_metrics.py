@@ -1,0 +1,133 @@
+"""Tests for speedup / energy metrics and table rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pe import PEArrayKind
+from repro.metrics.energy import energy_ratio, normalized_breakdown
+from repro.metrics.speedup import (
+    geomean,
+    speedup,
+    speedup_contributions,
+)
+from repro.metrics.tables import format_table
+from repro.sim.stats import PhaseStats, RunReport
+
+
+def report(latencies: dict, name="x") -> RunReport:
+    return RunReport(
+        executor=name,
+        workload="wl",
+        architecture="cloud",
+        phases=[
+            PhaseStats(
+                name=phase,
+                compute_seconds=seconds,
+                busy_seconds={},
+                ops_2d=1.0,
+                ops_1d=1.0,
+                dram_words=10.0,
+                buffer_words=10.0,
+                rf_words=10.0,
+            )
+            for phase, seconds in latencies.items()
+        ],
+    )
+
+
+class TestSpeedup:
+    def test_speedup_ratio(self, cloud):
+        base = report({"mha": 4.0})
+        cand = report({"mha": 2.0})
+        assert speedup(base, cand, cloud) == pytest.approx(2.0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestContributions:
+    def test_contributions_sum_to_one(self, cloud):
+        base = report({"qkv": 1.0, "mha": 4.0, "ffn": 2.0})
+        cand = report({"qkv": 0.5, "mha": 1.0, "ffn": 2.0})
+        contribs = speedup_contributions(base, cand, cloud)
+        assert sum(contribs.values()) == pytest.approx(1.0)
+
+    def test_accelerated_dominant_phase_dominates(self, cloud):
+        # MHA is both the biggest phase and the most accelerated.
+        base = report({"qkv": 1.0, "mha": 8.0})
+        cand = report({"qkv": 1.0, "mha": 1.0})
+        contribs = speedup_contributions(base, cand, cloud)
+        assert contribs["mha"] > contribs["qkv"]
+
+    def test_eq48_weighting(self, cloud):
+        # Hand-computed: S_qkv = 2 on T=1; S_mha = 1 on T=2.
+        base = report({"qkv": 1.0, "mha": 2.0})
+        cand = report({"qkv": 0.5, "mha": 2.0})
+        contribs = speedup_contributions(base, cand, cloud)
+        assert contribs["qkv"] == pytest.approx(2.0 / 4.0)
+        assert contribs["mha"] == pytest.approx(2.0 / 4.0)
+
+    def test_mismatched_phases_rejected(self, cloud):
+        with pytest.raises(ValueError, match="different phases"):
+            speedup_contributions(
+                report({"qkv": 1.0}), report({"mha": 1.0}), cloud
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        base_times=st.lists(
+            st.floats(0.1, 100.0), min_size=2, max_size=4
+        ),
+        cand_times=st.lists(
+            st.floats(0.1, 100.0), min_size=4, max_size=4
+        ),
+    )
+    def test_contributions_always_normalized(
+        self, base_times, cand_times
+    ):
+        from repro.arch.spec import cloud_architecture
+
+        cloud = cloud_architecture()
+        names = ["a", "b", "c", "d"][: len(base_times)]
+        base = report(dict(zip(names, base_times)))
+        cand = report(dict(zip(names, cand_times)))
+        contribs = speedup_contributions(base, cand, cloud)
+        assert sum(contribs.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in contribs.values())
+
+
+class TestEnergy:
+    def test_energy_ratio(self, cloud):
+        base = report({"mha": 1.0})
+        cand = report({"mha": 1.0, "ffn": 1.0})  # 2x the events
+        ratio = energy_ratio(base, cand, cloud)
+        assert ratio == pytest.approx(2.0)
+
+    def test_breakdown_sums_to_one(self, cloud):
+        fractions = normalized_breakdown(report({"mha": 1.0}), cloud)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert set(fractions) == {"dram", "buffer", "rf", "pe"}
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", 2]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text
+        assert "1.235" in text  # 4 significant digits
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,155 @@
+"""Tests for the discrete-event simulator, including the
+cross-validation of the analytical DPipe pipeline model."""
+
+import pytest
+
+from repro.arch.pe import PEArrayKind
+from repro.dpipe.latency import build_latency_table
+from repro.dpipe.planner import plan_cascade
+from repro.einsum.builders import (
+    attention_cascade,
+    ffn_cascade,
+    layernorm_cascade,
+)
+from repro.model.config import named_model
+from repro.sim.des import simulate_epochs
+from repro.sim.mapping import inner_tile_extents
+
+
+def setup(layer, builder, arch, seq=65536):
+    model = named_model("llama3")
+    extents = model.extents()
+    extents.update({"p": seq, "m0": seq, "m1": 1})
+    cascade = builder()
+    tile = inner_tile_extents(layer, extents, arch.array_2d)
+    table = build_latency_table(cascade, layer, tile, arch)
+    return cascade, tile, table
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("layer,builder", [
+        ("mha", attention_cascade),
+        ("ffn", ffn_cascade),
+        ("layernorm", layernorm_cascade),
+    ])
+    def test_des_matches_analytical_model(
+        self, cloud, edge, layer, builder
+    ):
+        for arch in (cloud, edge):
+            cascade, tile, table = setup(layer, builder, arch)
+            plan = plan_cascade(cascade, layer, tile, arch,
+                                n_epochs=64)
+            sim = simulate_epochs(cascade, table, 64,
+                                  max_in_flight=2)
+            # The simulated steady-state period must track the
+            # analytical window period closely...
+            assert sim.steady_period == pytest.approx(
+                plan.epoch_seconds, rel=0.10
+            )
+            # ...and the end-to-end makespan must track the
+            # fill + (n-1)*period + drain composition.
+            assert sim.makespan == pytest.approx(
+                plan.total_seconds, rel=0.10
+            )
+
+    def test_unbounded_pipelining_comparable_or_better(self, cloud):
+        # More lookahead usually helps, but greedy list scheduling is
+        # subject to Graham's anomalies: relaxing a constraint can
+        # lengthen a greedy schedule slightly.  Bound the anomaly.
+        cascade, _, table = setup("mha", attention_cascade, cloud)
+        bounded = simulate_epochs(cascade, table, 32,
+                                  max_in_flight=2)
+        unbounded = simulate_epochs(cascade, table, 32,
+                                    max_in_flight=None)
+        assert unbounded.makespan <= bounded.makespan * 1.10
+
+    def test_unbounded_pipelining_helps_vector_cascades(self, cloud):
+        cascade, _, table = setup("layernorm", layernorm_cascade,
+                                  cloud)
+        bounded = simulate_epochs(cascade, table, 32,
+                                  max_in_flight=2)
+        unbounded = simulate_epochs(cascade, table, 32,
+                                    max_in_flight=None)
+        assert unbounded.makespan < bounded.makespan
+
+    def test_deeper_inflight_monotone(self, edge):
+        cascade, _, table = setup("mha", attention_cascade, edge)
+        spans = [
+            simulate_epochs(cascade, table, 32,
+                            max_in_flight=depth).makespan
+            for depth in (1, 2, 4)
+        ]
+        assert spans[0] >= spans[1] >= spans[2]
+
+
+class TestSimulationMechanics:
+    def test_trace_respects_dependencies(self, cloud):
+        cascade, _, table = setup("mha", attention_cascade, cloud,
+                                  seq=4096)
+        sim = simulate_epochs(cascade, table, 4, keep_trace=True)
+        end = {
+            (rec.epoch, rec.op): rec.end for rec in sim.trace
+        }
+        start = {
+            (rec.epoch, rec.op): rec.start for rec in sim.trace
+        }
+        # Intra-epoch: SLN needs RMn; SLD needs SLN.
+        for epoch in range(4):
+            assert start[(epoch, "SLN")] >= end[(epoch, "RMn")]
+            assert start[(epoch, "SLD")] >= end[(epoch, "SLN")]
+        # Cross-epoch state edges: PRM@e reads RMn@{e-1}.
+        for epoch in range(1, 4):
+            assert start[(epoch, "PRM")] >= end[(epoch - 1, "RMn")]
+
+    def test_every_task_executes_exactly_once(self, cloud):
+        cascade, _, table = setup("layernorm", layernorm_cascade,
+                                  cloud, seq=4096)
+        n = 6
+        sim = simulate_epochs(cascade, table, n, keep_trace=True)
+        tasks = [(rec.epoch, rec.op) for rec in sim.trace]
+        assert len(tasks) == len(set(tasks)) == n * len(
+            cascade.all_ops
+        )
+
+    def test_resources_never_overlap(self, edge):
+        cascade, _, table = setup("ffn", ffn_cascade, edge,
+                                  seq=4096)
+        sim = simulate_epochs(cascade, table, 8, keep_trace=True)
+        for kind in PEArrayKind:
+            spans = sorted(
+                (rec.start, rec.end)
+                for rec in sim.trace
+                if rec.array is kind
+            )
+            for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-12
+
+    def test_fixed_assignment_respected(self, cloud):
+        cascade, _, table = setup("ffn", ffn_cascade, cloud,
+                                  seq=4096)
+        assignment = {
+            op.name: PEArrayKind.ARRAY_2D
+            for op in cascade.all_ops
+        }
+        sim = simulate_epochs(cascade, table, 4, keep_trace=True,
+                              assignment=assignment)
+        assert all(
+            rec.array is PEArrayKind.ARRAY_2D for rec in sim.trace
+        )
+        assert sim.busy_seconds[PEArrayKind.ARRAY_1D] == 0.0
+
+    def test_invalid_args_rejected(self, cloud):
+        cascade, _, table = setup("ffn", ffn_cascade, cloud)
+        with pytest.raises(ValueError):
+            simulate_epochs(cascade, table, 0)
+        with pytest.raises(ValueError):
+            simulate_epochs(cascade, table, 4, max_in_flight=0)
+
+    def test_busy_time_conserved(self, cloud):
+        cascade, _, table = setup("mha", attention_cascade, cloud,
+                                  seq=4096)
+        n = 8
+        sim = simulate_epochs(cascade, table, n, keep_trace=True)
+        total_busy = sum(sim.busy_seconds.values())
+        total_exec = sum(rec.end - rec.start for rec in sim.trace)
+        assert total_busy == pytest.approx(total_exec)

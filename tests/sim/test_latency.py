@@ -1,0 +1,141 @@
+"""Tests for the Eq. 40-42 latency model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pe import PEArray, PEArrayKind
+from repro.arch.spec import cloud_architecture
+from repro.einsum.operation import contraction, map_op, reduction
+from repro.einsum.tensor import tensor
+from repro.sim.latency import (
+    array_fit_efficiency,
+    op_cost,
+    op_cycles,
+)
+from repro.sim.mapping import DimMapping
+
+
+@pytest.fixture
+def mapping():
+    return DimMapping(row_dims=("p",), col_dims=("m0",))
+
+
+@pytest.fixture
+def gemm():
+    return contraction(
+        "BQK",
+        (tensor("Q", "e", "p"), tensor("BK", "e", "m0")),
+        tensor("BQK", "m0", "p"),
+    )
+
+
+@pytest.fixture
+def exp_map():
+    return map_op(
+        "SLN", "exp", (tensor("BQK", "m0", "p"),),
+        tensor("SLN", "m0", "p"),
+    )
+
+
+class TestEfficiency:
+    def test_contraction_full_rate_everywhere(self, gemm, cloud):
+        assert array_fit_efficiency(gemm, cloud.array_2d) == 1.0
+        assert array_fit_efficiency(gemm, cloud.array_1d) == 1.0
+
+    def test_map_pays_wavefront_penalty_on_2d(self, exp_map, cloud):
+        assert array_fit_efficiency(
+            exp_map, cloud.array_2d
+        ) == pytest.approx(1 / 256)
+        assert array_fit_efficiency(exp_map, cloud.array_1d) == 1.0
+
+    def test_reduction_pays_double_penalty_on_2d(self, cloud):
+        red = reduction(
+            "LM", "max", tensor("BQK", "m0", "p"), tensor("LM", "p")
+        )
+        assert array_fit_efficiency(
+            red, cloud.array_2d
+        ) == pytest.approx(1 / 512)
+
+
+class TestOpCycles:
+    def test_eq41_full_array(self, gemm, mapping, cloud):
+        # 256x256 output tile, e=128 reduction on 65536 PEs.
+        tile = {"p": 256, "m0": 256, "e": 128}
+        cycles = op_cycles(gemm, tile, cloud.array_2d, mapping)
+        load = 256 * 256 * 128
+        assert cycles == pytest.approx(load / 65536)
+
+    def test_underutilized_rows_waste_throughput(
+        self, gemm, mapping, cloud
+    ):
+        full = op_cycles(
+            gemm, {"p": 256, "m0": 256, "e": 128},
+            cloud.array_2d, mapping,
+        )
+        # A 16-row tile has 1/16 the load but also occupies only 1/16
+        # of the rows, so per-tile cycles are unchanged -- covering the
+        # same work needs 16x more tiles, i.e. 16x the total time.
+        # (This is exactly how FLAT's row granularity hurts on cloud.)
+        thin = op_cycles(
+            gemm, {"p": 16, "m0": 256, "e": 128},
+            cloud.array_2d, mapping,
+        )
+        assert thin == pytest.approx(full)
+
+    def test_minimum_one_cycle(self, mapping, cloud):
+        tiny = map_op(
+            "X", "exp", (tensor("A", "p"),), tensor("X", "p")
+        )
+        cycles = op_cycles(tiny, {"p": 1}, cloud.array_1d, mapping)
+        assert cycles == 1.0
+
+    def test_vector_op_equal_speed_on_both_cloud_arrays(
+        self, exp_map, mapping, cloud
+    ):
+        # Cloud 2D wavefront vector throughput (65536/256) equals the
+        # 256-lane 1D array by construction.
+        tile = {"p": 256, "m0": 256}
+        on_2d = op_cycles(exp_map, tile, cloud.array_2d, mapping)
+        on_1d = op_cycles(exp_map, tile, cloud.array_1d, mapping)
+        assert on_2d == pytest.approx(on_1d)
+
+    def test_gemm_much_faster_on_cloud_2d(self, gemm, mapping, cloud):
+        tile = {"p": 256, "m0": 256, "e": 128}
+        on_2d = op_cycles(gemm, tile, cloud.array_2d, mapping)
+        on_1d = op_cycles(gemm, tile, cloud.array_1d, mapping)
+        assert on_1d / on_2d == pytest.approx(256)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.integers(1, 512),
+        m0=st.integers(1, 512),
+        e=st.integers(1, 256),
+    )
+    def test_cycles_positive_and_load_consistent(self, p, m0, e):
+        gemm = contraction(
+            "BQK",
+            (tensor("Q", "e", "p"), tensor("BK", "e", "m0")),
+            tensor("BQK", "m0", "p"),
+        )
+        mapping = DimMapping(row_dims=("p",), col_dims=("m0",))
+        arch = cloud_architecture()
+        tile = {"p": p, "m0": m0, "e": e}
+        cycles = op_cycles(gemm, tile, arch.array_2d, mapping)
+        assert cycles >= 1.0
+        # Never faster than load / total PEs.
+        assert cycles >= gemm.compute_load(tile) / 65536 - 1e-9
+
+
+class TestOpCost:
+    def test_cost_record_fields(self, gemm, mapping, cloud):
+        tile = {"p": 256, "m0": 256, "e": 128}
+        cost = op_cost(
+            gemm, tile, cloud.array_2d, mapping, cloud.clock_hz
+        )
+        assert cost.name == "BQK"
+        assert cost.array is PEArrayKind.ARRAY_2D
+        assert cost.seconds == pytest.approx(
+            cost.cycles / cloud.clock_hz
+        )
+        assert cost.load == gemm.compute_load(tile)

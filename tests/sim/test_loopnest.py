@@ -1,0 +1,158 @@
+"""Tests for the explicit loop-nest mapping module."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import cloud_architecture, edge_architecture
+from repro.einsum.builders import attention_cascade, ffn_cascade
+from repro.sim.latency import op_cycles
+from repro.sim.loopnest import (
+    LoopKind,
+    LoopLevel,
+    build_loop_nest,
+    nest_cycles,
+    reuse_factors,
+    validate_loop_nest,
+)
+from repro.sim.mapping import layer_mapping
+
+
+@pytest.fixture
+def bqk():
+    return attention_cascade().op("BQK")
+
+
+@pytest.fixture
+def mha_tile():
+    return {"h": 4, "e": 64, "f": 64, "p": 256, "m0": 256, "m1": 1}
+
+
+class TestLoopLevel:
+    def test_trips_round_up(self):
+        level = LoopLevel("p", extent=300, unroll=256,
+                          kind=LoopKind.SPATIAL_ROW)
+        assert level.trips == 2
+
+    def test_temporal_cannot_unroll(self):
+        with pytest.raises(ValueError, match="temporal"):
+            LoopLevel("p", extent=8, unroll=2,
+                      kind=LoopKind.TEMPORAL)
+
+    def test_unroll_bounded_by_extent(self):
+        with pytest.raises(ValueError, match="exceeds extent"):
+            LoopLevel("p", extent=4, unroll=8,
+                      kind=LoopKind.SPATIAL_ROW)
+
+
+class TestBuildAndValidate:
+    def test_canonical_mapping_is_valid(self, bqk, mha_tile, cloud):
+        mapping = layer_mapping("mha")
+        nest = build_loop_nest(bqk, mha_tile, cloud.array_2d,
+                               mapping)
+        validate_loop_nest(nest, bqk, mha_tile, cloud.array_2d)
+
+    def test_reduction_dims_are_temporal(self, bqk, mha_tile, cloud):
+        nest = build_loop_nest(
+            bqk, mha_tile, cloud.array_2d, layer_mapping("mha")
+        )
+        for level in nest.levels:
+            if level.dim == "e":
+                assert level.kind is LoopKind.TEMPORAL
+
+    def test_occupancy_matches_fast_path(self, mha_tile, cloud,
+                                         edge):
+        from repro.sim.mapping import used_pes
+
+        mapping = layer_mapping("mha")
+        for op in attention_cascade().all_ops:
+            for arch in (cloud, edge):
+                for array in (arch.array_2d, arch.array_1d):
+                    nest = build_loop_nest(op, mha_tile, array,
+                                           mapping)
+                    assert nest.occupied_pes() == used_pes(
+                        op.output_dims, mha_tile, array, mapping
+                    )
+
+    def test_cycles_match_fast_path_on_divisible_tiles(
+        self, mha_tile, cloud
+    ):
+        mapping = layer_mapping("mha")
+        for op in attention_cascade().all_ops:
+            nest = build_loop_nest(op, mha_tile, cloud.array_2d,
+                                   mapping)
+            fast = op_cycles(op, mha_tile, cloud.array_2d, mapping)
+            assert nest_cycles(
+                nest, op, cloud.array_2d
+            ) == pytest.approx(fast)
+
+    def test_1d_mapping_flattens_output(self, bqk, mha_tile, cloud):
+        nest = build_loop_nest(
+            bqk, mha_tile, cloud.array_1d, layer_mapping("mha")
+        )
+        assert nest.spatial_rows() == 1
+        assert nest.spatial_cols() <= cloud.array_1d.cols
+        validate_loop_nest(nest, bqk, mha_tile, cloud.array_1d)
+
+    def test_validation_catches_missing_dim(self, bqk, mha_tile,
+                                            cloud):
+        from repro.sim.loopnest import LoopNest
+
+        nest = LoopNest(
+            op_name="BQK",
+            array_kind=PEArrayKind.ARRAY_2D,
+            levels=(
+                LoopLevel("p", 256, 256, LoopKind.SPATIAL_ROW),
+            ),
+        )
+        with pytest.raises(ValueError, match="op needs"):
+            validate_loop_nest(nest, bqk, mha_tile, cloud.array_2d)
+
+    def test_validation_catches_spatial_reduction(
+        self, bqk, mha_tile, cloud
+    ):
+        from repro.sim.loopnest import LoopNest
+
+        nest = LoopNest(
+            op_name="BQK",
+            array_kind=PEArrayKind.ARRAY_2D,
+            levels=(
+                LoopLevel("p", 256, 256, LoopKind.SPATIAL_ROW),
+                LoopLevel("m0", 256, 256, LoopKind.SPATIAL_COL),
+                LoopLevel("h", 4, 1, LoopKind.TEMPORAL),
+                LoopLevel("e", 64, 64, LoopKind.SPATIAL_COL),
+            ),
+        )
+        with pytest.raises(ValueError, match="must be temporal"):
+            validate_loop_nest(nest, bqk, mha_tile, cloud.array_2d)
+
+
+class TestReuse:
+    def test_stationary_input_reuses_across_absent_dims(self):
+        ffn1 = ffn_cascade().op("FFN1")
+        tile = {"h": 4, "f": 32, "p": 16, "s": 64}
+        arch = edge_architecture()
+        nest = build_loop_nest(ffn1, tile, arch.array_2d,
+                               layer_mapping("ffn"))
+        reuse = reuse_factors(nest, ffn1)
+        # NR[h,f,p] doesn't index s: reused across all 64 s values.
+        assert reuse["NR"] == pytest.approx(64)
+        # WF1[h,f,s] doesn't index p: reused across all 16 tokens.
+        assert reuse["WF1"] == pytest.approx(16)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.integers(1, 64),
+        m0=st.integers(1, 64),
+        e=st.integers(1, 32),
+        h=st.integers(1, 8),
+    )
+    def test_reuse_at_least_one(self, p, m0, e, h):
+        op = attention_cascade().op("BQK")
+        tile = {"h": h, "e": e, "p": p, "m0": m0}
+        arch = cloud_architecture()
+        nest = build_loop_nest(op, tile, arch.array_2d,
+                               layer_mapping("mha"))
+        for factor in reuse_factors(nest, op).values():
+            assert factor >= 1.0

@@ -1,0 +1,73 @@
+"""Tests for the mapping search, validating the paper's Table 1."""
+
+import pytest
+
+from repro.einsum.builders import SUBLAYER_BUILDERS
+from repro.model.config import named_model
+from repro.sim.loopnest import validate_loop_nest
+from repro.sim.mapper import (
+    enumerate_mappings,
+    search_mappings,
+    table1_optimality_gap,
+)
+from repro.sim.mapping import inner_tile_extents, layer_mapping
+
+
+def layer_setup(layer, arch, seq=65536):
+    model = named_model("llama3")
+    extents = model.extents()
+    extents.update({"p": seq, "m0": seq, "m1": 1})
+    cascade = SUBLAYER_BUILDERS[layer]()
+    tile = inner_tile_extents(layer, extents, arch.array_2d)
+    return cascade, tile
+
+
+class TestEnumeration:
+    def test_all_splits_enumerated(self):
+        from repro.einsum.builders import attention_cascade
+
+        op = attention_cascade().op("BQK")  # output dims (h, m0, p)
+        mappings = enumerate_mappings(op)
+        assert len(mappings) == 2 ** len(op.output_dims)
+        splits = {
+            (m.row_dims, m.col_dims) for m in mappings
+        }
+        assert len(splits) == len(mappings)
+
+    def test_candidates_are_valid_nests(self, cloud):
+        cascade, tile = layer_setup("mha", cloud)
+        op = cascade.op("SLNV")
+        best, candidates = search_mappings(op, tile, cloud.array_2d)
+        for candidate in candidates:
+            validate_loop_nest(candidate.nest, op, tile,
+                               cloud.array_2d)
+        assert best.cycles == min(c.cycles for c in candidates)
+
+
+class TestTable1Optimality:
+    @pytest.mark.parametrize("layer", ["qkv", "mha", "layernorm",
+                                       "ffn"])
+    def test_table1_is_optimal_on_both_architectures(
+        self, cloud, edge, layer
+    ):
+        for arch in (cloud, edge):
+            cascade, tile = layer_setup(layer, arch)
+            mapping = layer_mapping(layer)
+            for op in cascade.all_ops:
+                gap = table1_optimality_gap(
+                    op, tile, arch.array_2d, mapping
+                )
+                assert gap == pytest.approx(1.0), (
+                    f"{layer}/{op.name} on {arch.name}: "
+                    f"Table 1 is {gap:.2f}x off the searched best"
+                )
+
+    def test_a_bad_mapping_is_visibly_worse(self, cloud):
+        from repro.sim.mapping import DimMapping
+
+        cascade, tile = layer_setup("mha", cloud)
+        op = cascade.op("BQK")  # output (h, m0, p)
+        # Mapping everything to rows strands all 256 columns.
+        bad = DimMapping(row_dims=op.output_dims, col_dims=())
+        gap = table1_optimality_gap(op, tile, cloud.array_2d, bad)
+        assert gap > 100

@@ -1,0 +1,105 @@
+"""Tests for Table-1 dimension mapping and inner-tile sizing."""
+
+import pytest
+
+from repro.arch.pe import PEArray, PEArrayKind
+from repro.arch.spec import cloud_architecture, edge_architecture
+from repro.sim.mapping import (
+    TABLE1_MAPPING,
+    DimMapping,
+    inner_tile_extents,
+    layer_mapping,
+    used_pes,
+)
+
+
+class TestTable1:
+    def test_all_four_layers_mapped(self):
+        assert set(TABLE1_MAPPING) == {
+            "qkv", "mha", "layernorm", "ffn"
+        }
+
+    def test_mha_maps_p_rows_m0_cols(self):
+        rows, cols = TABLE1_MAPPING["mha"]
+        assert rows == ("p",)
+        assert cols == ("m0",)
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(KeyError):
+            layer_mapping("conv")
+
+
+class TestInnerTile:
+    def test_rows_clip_sequence_dim(self, cloud):
+        problem = {"p": 65536, "m0": 65536, "h": 32, "e": 128,
+                   "f": 128, "d": 4096, "s": 14336, "m1": 1}
+        tile = inner_tile_extents("mha", problem, cloud.array_2d)
+        assert tile["p"] == 256
+        assert tile["m0"] == 256
+
+    def test_cols_clip_jointly(self, cloud):
+        problem = {"p": 1024, "m0": 1024, "h": 32, "e": 128,
+                   "f": 128, "d": 4096, "s": 14336, "m1": 1}
+        tile = inner_tile_extents("qkv", problem, cloud.array_2d)
+        # (h, e) share the 256 columns: h' * e' <= 256.
+        assert tile["h"] * tile["e"] <= 256
+
+    def test_qkv_pairs_f_with_e(self, cloud):
+        problem = {"p": 1024, "m0": 1024, "h": 32, "e": 128,
+                   "f": 128, "d": 4096, "s": 14336, "m1": 1}
+        tile = inner_tile_extents("qkv", problem, cloud.array_2d)
+        assert tile["f"] == tile["e"]
+
+    def test_small_problem_not_padded(self, cloud):
+        problem = {"p": 8, "m0": 8, "h": 2, "e": 4, "f": 4,
+                   "d": 8, "s": 16, "m1": 1}
+        tile = inner_tile_extents("mha", problem, cloud.array_2d)
+        assert tile["p"] == 8
+        assert tile["m0"] == 8
+
+    def test_edge_tiles_smaller_than_cloud(self, edge, cloud):
+        problem = {"p": 65536, "m0": 65536, "h": 32, "e": 128,
+                   "f": 128, "d": 4096, "s": 14336, "m1": 1}
+        edge_tile = inner_tile_extents("ffn", problem, edge.array_2d)
+        cloud_tile = inner_tile_extents("ffn", problem,
+                                        cloud.array_2d)
+        assert edge_tile["p"] < cloud_tile["p"]
+        assert edge_tile["s"] < cloud_tile["s"]
+
+
+class TestUsedPEs:
+    def test_full_occupancy_on_matching_tile(self):
+        array = PEArray(PEArrayKind.ARRAY_2D, rows=16, cols=16)
+        mapping = DimMapping(row_dims=("p",), col_dims=("m0",))
+        pes = used_pes(
+            ("p", "m0"), {"p": 16, "m0": 16}, array, mapping
+        )
+        assert pes == 256
+
+    def test_row_underutilization(self):
+        array = PEArray(PEArrayKind.ARRAY_2D, rows=256, cols=256)
+        mapping = DimMapping(row_dims=("p",), col_dims=("m0",))
+        pes = used_pes(
+            ("p", "m0"), {"p": 16, "m0": 256}, array, mapping
+        )
+        assert pes == 16 * 256
+
+    def test_occupancy_never_exceeds_output_elements(self):
+        array = PEArray(PEArrayKind.ARRAY_2D, rows=256, cols=256)
+        mapping = DimMapping(row_dims=("p",), col_dims=())
+        pes = used_pes(("p",), {"p": 4}, array, mapping)
+        assert pes == 4
+
+    def test_1d_flattens_output(self):
+        array = PEArray(PEArrayKind.ARRAY_1D, rows=1, cols=256)
+        mapping = DimMapping(row_dims=("p",), col_dims=("m0",))
+        pes = used_pes(
+            ("p", "m0"), {"p": 16, "m0": 4}, array, mapping
+        )
+        assert pes == 64
+
+    def test_1d_caps_at_lane_count(self):
+        array = PEArray(PEArrayKind.ARRAY_1D, rows=1, cols=256)
+        mapping = DimMapping(row_dims=("p",), col_dims=())
+        pes = used_pes(("p",), {"p": 100000}, array, mapping)
+        assert pes == 256

@@ -1,0 +1,75 @@
+"""Tests for the per-PE register-pressure analysis.
+
+Headline check: the 1-pass attention cascade needs 9 concurrently
+live entries per PE, consistent with FuseMax's quoted 10-entry
+register file (Section 1 of the paper) with one spare for the
+operand handoff.
+"""
+
+import pytest
+
+from repro.einsum.builders import (
+    attention_cascade,
+    ffn_cascade,
+    layernorm_cascade,
+    qkv_cascade,
+)
+from repro.sim.registers import (
+    register_pressure,
+    supports_register_retention,
+)
+
+
+class TestAttentionPressure:
+    def test_one_pass_attention_needs_nine_entries(self):
+        pressure = register_pressure(attention_cascade())
+        assert pressure.max_live == 9
+
+    def test_fits_fusemax_ten_entry_rf(self):
+        assert supports_register_retention(attention_cascade(), 10)
+
+    def test_does_not_fit_a_small_rf(self):
+        # An ordinary accumulator-plus-operand register file (4
+        # entries) cannot retain the cascade -- the architectural
+        # motivation for FuseMax's expanded RF.
+        assert not supports_register_retention(
+            attention_cascade(), 4
+        )
+
+    def test_mask_adds_no_pressure(self):
+        dense = register_pressure(attention_cascade())
+        masked = register_pressure(attention_cascade(masked=True))
+        # BQKM kills BQK immediately; the peak is unchanged.
+        assert masked.max_live == dense.max_live
+
+    def test_states_pinned_throughout(self):
+        pressure = register_pressure(attention_cascade())
+        assert pressure.state_entries == 3
+        assert all(
+            count >= 3 for count in pressure.live_after.values()
+        )
+
+
+class TestOtherCascades:
+    @pytest.mark.parametrize(
+        "builder,bound",
+        [
+            (layernorm_cascade, 4),
+            (ffn_cascade, 3),
+            (qkv_cascade, 3),
+        ],
+    )
+    def test_non_attention_cascades_are_light(self, builder, bound):
+        pressure = register_pressure(builder())
+        assert pressure.max_live <= bound
+
+    def test_invalid_rf_size_rejected(self):
+        with pytest.raises(ValueError):
+            supports_register_retention(ffn_cascade(), 0)
+
+    def test_live_after_covers_every_op(self):
+        cascade = layernorm_cascade()
+        pressure = register_pressure(cascade)
+        assert set(pressure.live_after) == {
+            op.name for op in cascade.all_ops
+        }

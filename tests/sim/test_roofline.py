@@ -1,0 +1,81 @@
+"""Tests for the roofline classifier."""
+
+import pytest
+
+from repro.arch.pe import PEArrayKind
+from repro.baselines.registry import named_executor
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.sim.roofline import (
+    Regime,
+    classify_phase,
+    classify_report,
+    machine_balance,
+    regime_summary,
+)
+from repro.sim.stats import PhaseStats
+
+
+def phase(compute=1.0, words=0.0, ops=100.0):
+    return PhaseStats(
+        name="x",
+        compute_seconds=compute,
+        busy_seconds={},
+        dram_words=words,
+        ops_2d=ops,
+        ops_1d=0.0,
+    )
+
+
+class TestClassifier:
+    def test_no_traffic_is_compute_bound(self, cloud):
+        entry = classify_phase(phase(compute=1.0, words=0.0), cloud)
+        assert entry.regime is Regime.COMPUTE_BOUND
+        assert entry.arithmetic_intensity == float("inf")
+
+    def test_heavy_traffic_is_memory_bound(self, cloud):
+        words = 10 * cloud.dram.bandwidth_bytes_per_s  # ~20 s worth
+        entry = classify_phase(
+            phase(compute=0.1, words=words), cloud
+        )
+        assert entry.regime is Regime.MEMORY_BOUND
+        assert entry.boundedness > 10
+
+    def test_balanced_band(self, cloud):
+        words = cloud.dram.bandwidth_bytes_per_s / cloud.word_bytes
+        entry = classify_phase(
+            phase(compute=1.0, words=words), cloud
+        )
+        assert entry.regime is Regime.BALANCED
+
+    def test_machine_balance_positive_and_arch_dependent(
+        self, cloud, edge
+    ):
+        assert machine_balance(cloud) > machine_balance(edge) > 0
+
+
+class TestOnRealReports:
+    def test_long_sequence_mha_is_compute_bound(self, cloud):
+        workload = Workload(named_model("llama3"), seq_len=262144,
+                            batch=64)
+        report = named_executor("transfusion").run(workload, cloud)
+        regimes = regime_summary(report, cloud)
+        assert regimes["mha"] is Regime.COMPUTE_BOUND
+
+    def test_layernorm_never_memory_bound_when_fused(self, cloud):
+        workload = Workload(named_model("llama3"), seq_len=4096,
+                            batch=64)
+        report = named_executor("transfusion").run(workload, cloud)
+        regimes = regime_summary(report, cloud)
+        assert regimes["layernorm"] is Regime.COMPUTE_BOUND
+
+    def test_every_phase_classified(self, edge):
+        workload = Workload(named_model("bert"), seq_len=4096,
+                            batch=8)
+        report = named_executor("unfused").run(workload, edge)
+        entries = classify_report(report, edge)
+        assert [e.phase for e in entries] == [
+            "qkv", "mha", "layernorm", "ffn",
+        ]
+        for entry in entries:
+            assert entry.regime in Regime

@@ -1,0 +1,80 @@
+"""Tests for dynamic staging-occupancy analysis.
+
+Headline: with the cloud tile shapes, 2-deep pipelining (DPipe's
+two-subgraph window) fits the 16 MiB buffer while 4-deep does not --
+the discrete-event model *derives* the paper's choice of a two-way
+bipartition rather than a deeper pipeline.
+"""
+
+import pytest
+
+from repro.arch.spec import cloud_architecture
+from repro.dpipe.latency import build_latency_table
+from repro.einsum.builders import attention_cascade, ffn_cascade
+from repro.model.config import named_model
+from repro.sim.des import simulate_epochs, staging_occupancy_words
+from repro.sim.mapping import inner_tile_extents
+
+
+@pytest.fixture(scope="module")
+def mha_setup():
+    arch = cloud_architecture()
+    model = named_model("llama3")
+    extents = model.extents()
+    extents.update({"p": 65536, "m0": 65536, "m1": 1})
+    cascade = attention_cascade()
+    tile = inner_tile_extents("mha", extents, arch.array_2d)
+    table = build_latency_table(cascade, "mha", tile, arch)
+    return arch, cascade, tile, table
+
+
+def occupancy(cascade, table, tile, depth, epochs=16):
+    sim = simulate_epochs(cascade, table, epochs, keep_trace=True,
+                          max_in_flight=depth)
+    return staging_occupancy_words(sim.trace, cascade, tile)
+
+
+class TestOccupancy:
+    def test_grows_with_pipeline_depth(self, mha_setup):
+        _, cascade, tile, table = mha_setup
+        levels = [
+            occupancy(cascade, table, tile, depth)
+            for depth in (1, 2, 4)
+        ]
+        assert levels[0] < levels[1] < levels[2]
+
+    def test_two_deep_fits_cloud_buffer_four_deep_does_not(
+        self, mha_setup
+    ):
+        arch, cascade, tile, table = mha_setup
+        two_deep = occupancy(cascade, table, tile, 2)
+        four_deep = occupancy(cascade, table, tile, 4)
+        assert two_deep <= arch.buffer_words
+        assert four_deep > arch.buffer_words
+
+    def test_unbounded_pipelining_blows_the_buffer(self, mha_setup):
+        arch, cascade, tile, table = mha_setup
+        unbounded = occupancy(cascade, table, tile, None)
+        assert unbounded > 3 * arch.buffer_words
+
+    def test_empty_trace_is_zero(self, mha_setup):
+        _, cascade, tile, _ = mha_setup
+        assert staging_occupancy_words([], cascade, tile) == 0.0
+
+    def test_occupancy_scales_with_tile_area(self):
+        arch = cloud_architecture()
+        model = named_model("bert")
+        extents = model.extents()
+        extents.update({"p": 65536, "m0": 65536, "m1": 1})
+        cascade = ffn_cascade()
+        small = dict(
+            inner_tile_extents("ffn", extents, arch.array_2d)
+        )
+        big = dict(small)
+        big["p"] = small["p"] * 4
+        table_small = build_latency_table(cascade, "ffn", small,
+                                          arch)
+        table_big = build_latency_table(cascade, "ffn", big, arch)
+        occ_small = occupancy(cascade, table_small, small, 2)
+        occ_big = occupancy(cascade, table_big, big, 2)
+        assert occ_big > 2 * occ_small

@@ -1,0 +1,119 @@
+"""Tests for phase statistics, reports and energy accounting."""
+
+import pytest
+
+from repro.arch.pe import PEArrayKind
+from repro.sim.stats import EnergyBreakdown, PhaseStats, RunReport
+
+
+def make_phase(name="mha", compute=1.0, dram=0.0, overlap=True,
+               ops_2d=0.0, ops_1d=0.0):
+    return PhaseStats(
+        name=name,
+        compute_seconds=compute,
+        busy_seconds={
+            PEArrayKind.ARRAY_2D: compute * 0.5,
+            PEArrayKind.ARRAY_1D: compute * 0.25,
+        },
+        dram_words=dram,
+        overlap_dram=overlap,
+        ops_2d=ops_2d,
+        ops_1d=ops_1d,
+        buffer_words=100.0,
+        rf_words=200.0,
+    )
+
+
+class TestPhaseLatency:
+    def test_overlapped_phase_takes_max(self, cloud):
+        # words for exactly 1 s of DRAM transfer at word_bytes each.
+        words = cloud.dram.bandwidth_bytes_per_s / cloud.word_bytes
+        phase = make_phase(compute=0.25, dram=words, overlap=True)
+        assert phase.latency_seconds(cloud) == pytest.approx(1.0)
+
+    def test_serialized_phase_takes_sum(self, cloud):
+        words = cloud.dram.bandwidth_bytes_per_s / cloud.word_bytes
+        phase = make_phase(compute=0.25, dram=words, overlap=False)
+        assert phase.latency_seconds(cloud) == pytest.approx(1.25)
+
+    def test_scaled_multiplies_extensive_quantities(self, cloud):
+        phase = make_phase(compute=1.0, dram=10.0, ops_2d=5.0)
+        doubled = phase.scaled(2.0)
+        assert doubled.compute_seconds == 2.0
+        assert doubled.dram_words == 20.0
+        assert doubled.ops_2d == 10.0
+        assert doubled.buffer_words == 200.0
+        assert doubled.overlap_dram == phase.overlap_dram
+
+
+class TestRunReport:
+    def test_total_latency_sums_phases(self, cloud):
+        report = RunReport("x", "wl", "cloud", phases=[
+            make_phase("a", compute=1.0),
+            make_phase("b", compute=2.0),
+        ])
+        assert report.latency_seconds(cloud) == pytest.approx(3.0)
+
+    def test_phase_lookup(self, cloud):
+        report = RunReport("x", "wl", "cloud",
+                           phases=[make_phase("qkv")])
+        assert report.phase("qkv").name == "qkv"
+        with pytest.raises(KeyError):
+            report.phase("nope")
+
+    def test_utilization_counts_useful_ops(self, cloud):
+        peak = cloud.array_2d.num_pes * cloud.clock_hz
+        report = RunReport("x", "wl", "cloud", phases=[
+            make_phase("a", compute=1.0, ops_2d=peak * 0.5),
+        ])
+        util = report.utilization(cloud)
+        assert util[PEArrayKind.ARRAY_2D] == pytest.approx(0.5)
+        assert util[PEArrayKind.ARRAY_1D] == 0.0
+
+    def test_utilization_capped_at_one(self, cloud):
+        peak = cloud.array_2d.num_pes * cloud.clock_hz
+        report = RunReport("x", "wl", "cloud", phases=[
+            make_phase("a", compute=1.0, ops_2d=peak * 10),
+        ])
+        assert report.utilization(cloud)[
+            PEArrayKind.ARRAY_2D
+        ] == 1.0
+
+    def test_busy_fraction_diagnostic(self, cloud):
+        report = RunReport("x", "wl", "cloud", phases=[
+            make_phase("a", compute=2.0),
+        ])
+        busy = report.busy_fraction(cloud)
+        assert busy[PEArrayKind.ARRAY_2D] == pytest.approx(0.5)
+        assert busy[PEArrayKind.ARRAY_1D] == pytest.approx(0.25)
+
+    def test_energy_aggregates_components(self, cloud):
+        report = RunReport("x", "wl", "cloud", phases=[
+            make_phase("a", dram=10.0, ops_2d=3.0, ops_1d=7.0),
+        ])
+        energy = report.energy(cloud)
+        model = cloud.energy
+        assert energy.dram_pj == pytest.approx(
+            10.0 * model.dram_pj_per_word
+        )
+        assert energy.pe_pj == pytest.approx(
+            3.0 * model.pe_2d_pj_per_op + 7.0 * model.pe_1d_pj_per_op
+        )
+        assert energy.total_pj == pytest.approx(
+            energy.dram_pj + energy.buffer_pj + energy.rf_pj
+            + energy.pe_pj
+        )
+
+
+class TestEnergyBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = EnergyBreakdown(
+            dram_pj=10, buffer_pj=20, rf_pj=30, pe_pj=40
+        )
+        fractions = breakdown.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["pe"] == pytest.approx(0.4)
+
+    def test_zero_energy_does_not_divide_by_zero(self):
+        breakdown = EnergyBreakdown(0.0, 0.0, 0.0, 0.0)
+        assert sum(breakdown.fractions().values()) == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the DRAM traffic models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.sim.traffic import (
+    gemm_traffic_optimal,
+    gemm_traffic_streamed,
+    kv_cache_words,
+    kv_reload_traffic,
+    spill_words,
+    unfused_attention_spills,
+    weight_stream_traffic,
+)
+
+
+class TestGemmTraffic:
+    def test_optimal_includes_compulsory(self):
+        traffic = gemm_traffic_optimal(100, 50, 20, 10**6)
+        assert traffic >= 100 * 20 + 20 * 50 + 100 * 50
+
+    def test_optimal_decreases_with_buffer(self):
+        small = gemm_traffic_optimal(1000, 1000, 1000, 10**4)
+        big = gemm_traffic_optimal(1000, 1000, 1000, 10**6)
+        assert big < small
+
+    def test_streamed_refetches_weights(self):
+        # 10 tokens resident (buffer 2*(k+n)*10 with 0.5 fraction).
+        k = n = 100
+        buffer_words = 4000  # -> 10 resident tokens
+        traffic = gemm_traffic_streamed(100, n, k, buffer_words)
+        weights = k * n
+        activations = 100 * (k + n)
+        assert traffic == pytest.approx(10 * weights + activations)
+
+    def test_streamed_worse_than_optimal_for_small_buffers(self):
+        args = (10**6, 4096, 4096, 8 * 10**6)
+        assert gemm_traffic_streamed(*args) > gemm_traffic_optimal(
+            *args
+        )
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_traffic_optimal(0, 1, 1, 100)
+        with pytest.raises(ValueError):
+            gemm_traffic_streamed(1, 1, 1, 100,
+                                  residency_fraction=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(1, 10**5),
+        n=st.integers(1, 4096),
+        k=st.integers(1, 4096),
+    )
+    def test_streamed_at_least_weights_plus_activations(
+        self, m, n, k
+    ):
+        traffic = gemm_traffic_streamed(m, n, k, 10**6)
+        assert traffic >= k * n + m * (k + n) - 1e-6
+
+
+class TestWeightStream:
+    def test_optimal_near_bound(self):
+        words = weight_stream_traffic(
+            10**4, 1024, 1024, 10**6, optimal=True
+        )
+        weights = 1024 * 1024
+        assert words >= weights
+        assert words <= weights + 2 * 10**4 * 1024 * 1024 / 1000.0
+
+    def test_naive_scales_with_token_groups(self):
+        one = weight_stream_traffic(100, 64, 64, 10**6,
+                                    optimal=False)
+        many = weight_stream_traffic(10**6, 64, 64, 10**6,
+                                     optimal=False)
+        assert many > one
+
+
+class TestKVReload:
+    def test_fits_in_buffer_single_pass(self, cloud):
+        wl = Workload(named_model("t5"), seq_len=512, batch=2)
+        words, passes = kv_reload_traffic(wl, cloud, 128)
+        assert passes == 1
+        assert words == pytest.approx(2 * kv_cache_words(wl))
+
+    def test_reload_per_q_tile_when_too_big(self, cloud):
+        wl = Workload(named_model("llama3"), seq_len=65536, batch=64)
+        words, passes = kv_reload_traffic(wl, cloud, 256)
+        assert passes == 65536 // 256
+        expected = kv_cache_words(wl) * (1 + passes)
+        assert words == pytest.approx(expected)
+
+    def test_bigger_q_tile_fewer_passes(self, cloud):
+        wl = Workload(named_model("llama3"), seq_len=65536, batch=64)
+        _, passes_small = kv_reload_traffic(wl, cloud, 128)
+        _, passes_big = kv_reload_traffic(wl, cloud, 512)
+        assert passes_big < passes_small
+
+    def test_invalid_q_tile_rejected(self, cloud):
+        wl = Workload(named_model("t5"), seq_len=512, batch=2)
+        with pytest.raises(ValueError):
+            kv_reload_traffic(wl, cloud, 0)
+
+
+class TestSpills:
+    def test_spill_is_round_trip(self):
+        assert spill_words(100.0) == 200.0
+
+    def test_unfused_attention_spills_scale_quadratically(self):
+        model = named_model("bert")
+        short = unfused_attention_spills(
+            Workload(model, seq_len=1024, batch=1)
+        )
+        long = unfused_attention_spills(
+            Workload(model, seq_len=2048, batch=1)
+        )
+        # Score term (4*B*H*P^2) dominates: ~4x for 2x sequence.
+        assert 3.5 < long / short < 4.5

@@ -1,0 +1,35 @@
+"""Every shipped example must run end to end.
+
+Examples are the library's public face; a broken one is a bug.  Each
+is executed in-process via ``runpy`` with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / script), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "long_context_scaling.py",
+        "edge_deployment.py",
+        "custom_model.py",
+        "numerical_validation.py",
+        "encoder_decoder.py",
+        "schedule_gantt.py",
+    } <= set(EXAMPLES)

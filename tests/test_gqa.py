@@ -1,0 +1,126 @@
+"""Tests for grouped-query attention (GQA) support."""
+
+import pytest
+
+from repro.baselines.registry import named_executor
+from repro.model.config import ModelConfig, named_model
+from repro.model.workload import Workload
+from repro.tileseek.buffer_model import (
+    TilingConfig,
+    mha_buffer_words,
+    qkv_buffer_words,
+)
+
+
+@pytest.fixture
+def dense():
+    return named_model("llama3")
+
+
+@pytest.fixture
+def gqa():
+    return named_model("llama3-gqa")
+
+
+class TestModelConfig:
+    def test_gqa_preset_shapes(self, gqa, dense):
+        assert gqa.effective_kv_heads == 8
+        assert gqa.kv_fraction == pytest.approx(0.25)
+        assert dense.effective_kv_heads == dense.heads
+        assert dense.kv_fraction == 1.0
+
+    def test_invalid_kv_heads_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            ModelConfig(
+                name="bad", d_model=64, heads=4, e_head=16,
+                ffn_hidden=128, layers=1, kv_heads=3,
+            )
+        with pytest.raises(ValueError, match="in \\[1, heads\\]"):
+            ModelConfig(
+                name="bad", d_model=64, heads=4, e_head=16,
+                ffn_hidden=128, layers=1, kv_heads=8,
+            )
+
+
+class TestWorkloadEffects:
+    def test_kv_cache_shrinks_by_group_factor(self, dense, gqa):
+        dense_wl = Workload(dense, seq_len=8192, batch=8)
+        gqa_wl = Workload(gqa, seq_len=8192, batch=8)
+        assert gqa_wl.kv_words == pytest.approx(
+            dense_wl.kv_words / 4
+        )
+
+    def test_qkv_macs_shrink(self, dense, gqa):
+        dense_wl = Workload(dense, seq_len=8192, batch=8)
+        gqa_wl = Workload(gqa, seq_len=8192, batch=8)
+        # Q projection unchanged; K/V projections at 1/4:
+        # (1 + 2) -> (1 + 0.5) thirds of the dense count.
+        assert gqa_wl.qkv_macs == pytest.approx(
+            dense_wl.qkv_macs * 1.5 / 3.0
+        )
+
+    def test_attention_macs_unchanged(self, dense, gqa):
+        dense_wl = Workload(dense, seq_len=8192, batch=8)
+        gqa_wl = Workload(gqa, seq_len=8192, batch=8)
+        assert gqa_wl.attention_macs == dense_wl.attention_macs
+
+
+class TestBufferModel:
+    def test_mha_formula_reduces_to_paper_for_dense(self, dense):
+        cfg = TilingConfig(b=1, d=16, m1=2, m0=256, p=128, s=16,
+                           p_prime=1)
+        h, e, f = dense.heads, dense.e_head, dense.f_head
+        paper = (
+            cfg.b * h * e * (cfg.p + 2 * cfg.m1 * cfg.m0)
+            + cfg.b * h * cfg.p * (2 + 2 * f)
+            + 4 * cfg.m0 * cfg.p_prime
+            + 18 * cfg.p_prime
+        )
+        assert mha_buffer_words(cfg, dense) == paper
+
+    def test_gqa_shrinks_kv_terms_only(self, dense, gqa):
+        cfg = TilingConfig(b=1, d=16, m1=2, m0=256, p=128, s=16,
+                           p_prime=1)
+        assert mha_buffer_words(cfg, gqa) < mha_buffer_words(
+            cfg, dense
+        )
+        assert qkv_buffer_words(cfg, gqa) < qkv_buffer_words(
+            cfg, dense
+        )
+
+
+class TestExecution:
+    @pytest.mark.parametrize("executor",
+                             ["fusemax", "transfusion"])
+    def test_gqa_reduces_traffic_and_not_attention_time(
+        self, cloud, executor, dense, gqa
+    ):
+        dense_rep = named_executor(executor).run(
+            Workload(dense, seq_len=16384, batch=64), cloud
+        )
+        gqa_rep = named_executor(executor).run(
+            Workload(gqa, seq_len=16384, batch=64), cloud
+        )
+        assert gqa_rep.dram_words() < dense_rep.dram_words()
+        assert gqa_rep.phase("qkv").compute_seconds < (
+            dense_rep.phase("qkv").compute_seconds
+        )
+        # MHA compute is head-count bound, not K/V-size bound.
+        assert gqa_rep.phase("mha").compute_seconds == (
+            pytest.approx(
+                dense_rep.phase("mha").compute_seconds, rel=0.05
+            )
+        )
+
+    def test_gqa_never_slower(self, cloud, edge, dense, gqa):
+        for arch in (cloud, edge):
+            for seq in (4096, 65536):
+                dense_rep = named_executor("transfusion").run(
+                    Workload(dense, seq_len=seq, batch=64), arch
+                )
+                gqa_rep = named_executor("transfusion").run(
+                    Workload(gqa, seq_len=seq, batch=64), arch
+                )
+                assert gqa_rep.latency_seconds(arch) <= (
+                    dense_rep.latency_seconds(arch) * 1.001
+                )

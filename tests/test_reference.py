@@ -1,0 +1,133 @@
+"""Tests for the textbook NumPy reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.reference.functional import (
+    feed_forward,
+    layer_norm,
+    multi_head_attention,
+    qkv_projection,
+    softmax,
+    transformer_layer,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        scores = rng.normal(size=(3, 7, 5))
+        weights = softmax(scores, axis=1)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+
+    def test_stable_under_large_inputs(self, rng):
+        scores = 1e4 * rng.normal(size=(2, 5))
+        weights = softmax(scores, axis=1)
+        assert np.all(np.isfinite(weights))
+
+    def test_invariant_to_shift(self, rng):
+        scores = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            softmax(scores, axis=1), softmax(scores + 42.0, axis=1)
+        )
+
+
+class TestAttention:
+    def test_uniform_scores_average_values(self):
+        h, e, p, m = 2, 3, 4, 5
+        q = np.zeros((h, e, p))
+        k = np.ones((h, e, m))
+        v = np.arange(h * e * m, dtype=float).reshape(h, e, m)
+        out = multi_head_attention(q, k, v)
+        expected = np.repeat(
+            v.mean(axis=2)[:, :, None], p, axis=2
+        )
+        np.testing.assert_allclose(out, expected)
+
+    def test_scale_changes_sharpness(self, rng):
+        q = rng.normal(size=(1, 4, 3))
+        k = rng.normal(size=(1, 4, 6))
+        v = rng.normal(size=(1, 4, 6))
+        soft = multi_head_attention(q, k, v, scale=0.01)
+        sharp = multi_head_attention(q, k, v, scale=10.0)
+        assert not np.allclose(soft, sharp)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.normal(size=(2, 5, 7))
+        out = layer_norm(x, np.zeros_like(x))
+        np.testing.assert_allclose(
+            out.mean(axis=(0, 1)), 0.0, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            out.var(axis=(0, 1)), 1.0, atol=1e-9
+        )
+
+    def test_residual_is_added_before_normalizing(self, rng):
+        inp = rng.normal(size=(2, 3, 4))
+        av = rng.normal(size=(2, 3, 4))
+        combined = layer_norm(inp, av)
+        direct = layer_norm(inp + av, np.zeros_like(av))
+        np.testing.assert_allclose(combined, direct)
+
+
+class TestFeedForward:
+    def test_relu_zeroes_negative_hidden(self):
+        nr = np.ones((1, 2, 1))
+        wf1 = -np.ones((1, 2, 3))
+        bf1 = np.zeros(3)
+        wf2 = np.ones((1, 2, 3))
+        bf2 = np.zeros((1, 2))
+        out = feed_forward(nr, wf1, bf1, wf2, bf2, "relu")
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_bias_only_path(self):
+        nr = np.zeros((1, 2, 3))
+        wf1 = np.zeros((1, 2, 4))
+        bf1 = np.full(4, 2.0)
+        wf2 = np.ones((1, 2, 4))
+        bf2 = np.zeros((1, 2))
+        out = feed_forward(nr, wf1, bf1, wf2, bf2, "relu")
+        np.testing.assert_allclose(out, 8.0)
+
+
+class TestTransformerLayer:
+    def test_output_shape_and_normalization(self, rng):
+        d, p, h, e, s = 12, 5, 3, 4, 7
+        inp = rng.normal(size=(d, p))
+        weights = {
+            "WQ": rng.normal(size=(d, h, e)),
+            "WK": rng.normal(size=(d, h, e)),
+            "WV": rng.normal(size=(d, h, e)),
+            "WF1": rng.normal(size=(h, e, s)),
+            "BF1": rng.normal(size=(s,)),
+            "WF2": rng.normal(size=(h, e, s)),
+            "BF2": rng.normal(size=(h, e)),
+        }
+        out = transformer_layer(inp, weights)
+        assert out.shape == (h, e, p)
+        # The final Add & LayerNorm leaves per-token statistics fixed.
+        np.testing.assert_allclose(
+            out.mean(axis=(0, 1)), 0.0, atol=1e-10
+        )
+
+    def test_dim_mismatch_rejected(self, rng):
+        inp = rng.normal(size=(10, 5))
+        weights = {"WQ": rng.normal(size=(10, 3, 4))}
+        with pytest.raises(ValueError, match="must equal"):
+            transformer_layer(inp, weights)
+
+
+class TestQKVProjection:
+    def test_shapes(self, rng):
+        d, p, m, h, e = 8, 3, 5, 2, 4
+        out = qkv_projection(
+            rng.normal(size=(d, p)),
+            rng.normal(size=(d, m)),
+            rng.normal(size=(d, h, e)),
+            rng.normal(size=(d, h, e)),
+            rng.normal(size=(d, h, e)),
+        )
+        assert out["Q"].shape == (h, e, p)
+        assert out["K"].shape == (h, e, m)
+        assert out["V"].shape == (h, e, m)

@@ -1,0 +1,128 @@
+"""System-level property tests over randomized workloads.
+
+These check invariants that must hold for *any* model shape, not just
+the zoo: executor dominance orderings, monotonicity in problem size,
+report well-formedness, and metric normalization.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import cloud_architecture, edge_architecture
+from repro.baselines.registry import named_executor
+from repro.metrics.speedup import speedup_contributions
+from repro.model.config import ModelConfig
+from repro.model.workload import Workload
+
+ARCHS = {"cloud": cloud_architecture(), "edge": edge_architecture()}
+
+
+@st.composite
+def random_workloads(draw):
+    heads = draw(st.sampled_from([2, 4, 8, 16]))
+    e_head = draw(st.sampled_from([16, 32, 64, 128]))
+    model = ModelConfig(
+        name="rand",
+        d_model=heads * e_head,
+        heads=heads,
+        e_head=e_head,
+        ffn_hidden=draw(st.sampled_from([256, 1024, 4096])),
+        layers=1,
+        activation=draw(st.sampled_from(["relu", "gelu", "silu"])),
+    )
+    seq = draw(st.sampled_from([512, 2048, 8192, 32768]))
+    batch = draw(st.sampled_from([1, 8, 64]))
+    return Workload(model, seq_len=seq, batch=batch)
+
+
+class TestExecutorInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(workload=random_workloads(),
+           arch_name=st.sampled_from(["cloud", "edge"]))
+    def test_transfusion_dominates_layerfuse(
+        self, workload, arch_name
+    ):
+        arch = ARCHS[arch_name]
+        layerfuse = named_executor("fusemax+lf").run(workload, arch)
+        transfusion = named_executor("transfusion").run(
+            workload, arch
+        )
+        assert transfusion.latency_seconds(arch) <= (
+            layerfuse.latency_seconds(arch) * 1.001
+        )
+        assert transfusion.dram_words() <= (
+            layerfuse.dram_words() * 1.001
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload=random_workloads(),
+           arch_name=st.sampled_from(["cloud", "edge"]))
+    def test_reports_well_formed(self, workload, arch_name):
+        arch = ARCHS[arch_name]
+        for name in ("unfused", "flat", "fusemax", "transfusion"):
+            report = named_executor(name).run(workload, arch)
+            assert report.latency_seconds(arch) > 0
+            util = report.utilization(arch)
+            for kind in PEArrayKind:
+                assert 0.0 <= util[kind] <= 1.0
+            energy = report.energy(arch)
+            assert energy.total_pj > 0
+            assert abs(
+                sum(energy.fractions().values()) - 1.0
+            ) < 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=random_workloads())
+    def test_contributions_normalized_on_real_reports(
+        self, workload
+    ):
+        arch = ARCHS["cloud"]
+        fusemax = named_executor("fusemax").run(workload, arch)
+        transfusion = named_executor("transfusion").run(
+            workload, arch
+        )
+        contribs = speedup_contributions(fusemax, transfusion, arch)
+        assert sum(contribs.values()) == pytest.approx(1.0)
+        assert set(contribs) == {"qkv", "mha", "layernorm", "ffn"}
+
+
+class TestMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        workload=random_workloads(),
+        arch_name=st.sampled_from(["cloud", "edge"]),
+        executor=st.sampled_from(
+            ["unfused", "fusemax", "transfusion"]
+        ),
+    )
+    def test_latency_monotone_in_sequence_length(
+        self, workload, arch_name, executor
+    ):
+        arch = ARCHS[arch_name]
+        runner = named_executor(executor)
+        short = runner.run(workload, arch)
+        longer = runner.run(
+            Workload(workload.model, seq_len=workload.seq_len * 4,
+                     batch=workload.batch),
+            arch,
+        )
+        assert longer.latency_seconds(arch) > short.latency_seconds(
+            arch
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=random_workloads())
+    def test_energy_monotone_in_batch(self, workload):
+        arch = ARCHS["cloud"]
+        runner = named_executor("transfusion")
+        small = runner.run(workload, arch)
+        bigger = runner.run(
+            Workload(workload.model, seq_len=workload.seq_len,
+                     batch=workload.batch * 4),
+            arch,
+        )
+        assert bigger.energy(arch).total_pj > small.energy(
+            arch
+        ).total_pj

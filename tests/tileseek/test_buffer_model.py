@@ -1,0 +1,150 @@
+"""Tests for the Table-2 buffer model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import named_model
+from repro.tileseek.buffer_model import (
+    FUSED_MODULES,
+    TilingConfig,
+    ffn_buffer_words,
+    fused_buffer_requirement,
+    layer_buffer_requirement,
+    layernorm_buffer_words,
+    max_feasible_q_tile,
+    mha_buffer_words,
+    qkv_buffer_words,
+)
+
+
+def cfg(**overrides) -> TilingConfig:
+    base = dict(b=1, d=64, m1=2, m0=16, p=128, s=256, p_prime=16)
+    base.update(overrides)
+    return TilingConfig(**base)
+
+
+class TestTable2Formulas:
+    """Each formula checked against a hand-computed instance."""
+
+    def test_qkv_formula(self, tiny_model):
+        c = cfg()
+        h, e = tiny_model.heads, tiny_model.e_head
+        expected = (
+            c.b * c.d * (4 * c.p + 3 * c.m1 * c.m0)
+            + 3 * c.d * h * e
+            + 2 * c.b * h * c.p
+        )
+        assert qkv_buffer_words(c, tiny_model) == expected
+
+    def test_mha_formula(self, tiny_model):
+        c = cfg()
+        h, e, f = (tiny_model.heads, tiny_model.e_head,
+                   tiny_model.f_head)
+        expected = (
+            c.b * h * e * (c.p + 2 * c.m1 * c.m0)
+            + c.b * h * c.p * (2 + 2 * f)
+            + 4 * c.m0 * c.p_prime
+            + 18 * c.p_prime
+        )
+        assert mha_buffer_words(c, tiny_model) == expected
+
+    def test_layernorm_formula(self, tiny_model):
+        c = cfg()
+        h, f = tiny_model.heads, tiny_model.f_head
+        expected = 3 * c.b * h * f * c.p + 4 * h * f * c.p_prime
+        assert layernorm_buffer_words(c, tiny_model) == expected
+
+    def test_ffn_formula(self, tiny_model):
+        c = cfg()
+        h, f = tiny_model.heads, tiny_model.f_head
+        expected = (
+            h * f * (2 * c.b * c.p + c.s)
+            + c.s * (c.p + 2)
+            + 2 * c.s * c.p_prime
+        )
+        assert ffn_buffer_words(c, tiny_model) == expected
+
+    def test_fused_requirement_is_module_max(self, tiny_model):
+        c = cfg()
+        per_module = [
+            layer_buffer_requirement(m, c, tiny_model)
+            for m in FUSED_MODULES
+        ]
+        assert fused_buffer_requirement(c, tiny_model) == max(
+            per_module
+        )
+
+    def test_unknown_module_rejected(self, tiny_model):
+        with pytest.raises(KeyError):
+            layer_buffer_requirement("conv", cfg(), tiny_model)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            cfg(p=0)
+
+
+class TestMonotonicity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        factor=st.sampled_from(
+            ["b", "d", "m1", "m0", "p", "s", "p_prime"]
+        ),
+        bump=st.integers(1, 64),
+    )
+    def test_requirement_monotone_in_every_factor(
+        self, factor, bump
+    ):
+        model = named_model("bert")
+        base = cfg()
+        grown = cfg(**{factor: getattr(base, factor) + bump})
+        assert fused_buffer_requirement(
+            grown, model
+        ) >= fused_buffer_requirement(base, model)
+
+
+class TestMaxFeasibleQTile:
+    def test_bound_is_tight(self, llama3, cloud):
+        p = max_feasible_q_tile(
+            llama3, 65536, cloud.buffer_words, m0=256, rows=256
+        )
+        assert 1 <= p < 65536
+
+        def requirement(pp):
+            from repro.tileseek.buffer_model import intra_tile_p_prime
+
+            return fused_buffer_requirement(
+                TilingConfig(b=1, d=16, m1=1, m0=256, p=pp, s=16,
+                             p_prime=intra_tile_p_prime(pp, 256)),
+                llama3,
+            )
+
+        assert requirement(p) <= cloud.buffer_words
+        assert requirement(p + 1) > cloud.buffer_words
+
+    def test_small_problem_unconstrained(self, tiny_model, cloud):
+        p = max_feasible_q_tile(
+            tiny_model, 128, cloud.buffer_words, m0=256, rows=256
+        )
+        assert p == 128
+
+    def test_attention_only_scope_allows_bigger_tiles(
+        self, llama3, cloud
+    ):
+        fused = max_feasible_q_tile(
+            llama3, 65536, cloud.buffer_words, m0=256, rows=256
+        )
+        mha_only = max_feasible_q_tile(
+            llama3, 65536, cloud.buffer_words, m0=256, rows=256,
+            modules=("mha",),
+        )
+        assert mha_only >= fused
+
+    def test_bigger_buffer_bigger_tile(self, llama3):
+        small = max_feasible_q_tile(
+            llama3, 65536, 10**6, m0=256, rows=256
+        )
+        big = max_feasible_q_tile(
+            llama3, 65536, 10**7, m0=256, rows=256
+        )
+        assert big > small

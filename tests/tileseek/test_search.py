@@ -1,0 +1,139 @@
+"""Tests for the TileSeek driver and its baselines."""
+
+import pytest
+
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.tileseek.baseline_search import (
+    ExhaustiveTilingSearch,
+    RandomTilingSearch,
+)
+from repro.tileseek.buffer_model import fused_buffer_requirement
+from repro.tileseek.evaluate import assess_tiling, reward_for
+from repro.tileseek.search import FACTOR_ORDER, TileSeek
+
+
+@pytest.fixture
+def workload():
+    return Workload(named_model("llama3"), seq_len=16384, batch=64)
+
+
+class TestCandidates:
+    def test_grid_covers_all_factors(self, workload, cloud):
+        grid = TileSeek().candidate_grid(workload, cloud)
+        assert set(grid) == set(FACTOR_ORDER)
+        for values in grid.values():
+            assert values == sorted(values)
+            assert len(values) > 0
+
+    def test_grid_anchored_on_max_feasible_p(self, workload, cloud):
+        searcher = TileSeek()
+        grid = searcher.candidate_grid(workload, cloud)
+        from repro.tileseek.buffer_model import max_feasible_q_tile
+
+        anchor = max_feasible_q_tile(
+            workload.model, workload.seq_len, cloud.buffer_words,
+            m0=256, rows=256,
+        )
+        assert anchor in grid["p"]
+
+    def test_fixed_factors_from_pe_arrays(self, cloud):
+        fixed = TileSeek().fixed_factors(cloud)
+        assert fixed == {"m0": 256, "rows": 256}
+
+
+class TestSearch:
+    def test_returns_feasible_config(self, workload, cloud):
+        result = TileSeek(iterations=200, seed=7).search(
+            workload, cloud
+        )
+        assert result.feasible
+        assert fused_buffer_requirement(
+            result.config, workload.model
+        ) <= cloud.buffer_words
+
+    def test_deterministic(self, workload, edge):
+        a = TileSeek(iterations=150, seed=5).search(workload, edge)
+        b = TileSeek(iterations=150, seed=5).search(workload, edge)
+        assert a.config == b.config
+
+    def test_beats_or_matches_random_at_equal_budget(
+        self, workload, edge
+    ):
+        mcts = TileSeek(iterations=300, seed=0).search(workload, edge)
+        rand = RandomTilingSearch(iterations=300, seed=0).search(
+            workload, edge
+        )
+        assert (
+            mcts.assessment.dram_words
+            <= rand.assessment.dram_words * 1.05
+        )
+
+    def test_close_to_exhaustive_optimum(self, cloud):
+        # Shrink the problem so exhaustive search stays fast.
+        workload = Workload(named_model("t5"), seq_len=4096, batch=8)
+        best = ExhaustiveTilingSearch().search(workload, cloud)
+        mcts = TileSeek(iterations=600, seed=0).search(
+            workload, cloud
+        )
+        assert mcts.assessment.dram_words <= (
+            1.1 * best.assessment.dram_words
+        )
+
+    def test_mcts_needs_far_fewer_evals_than_exhaustive(
+        self, cloud
+    ):
+        workload = Workload(named_model("t5"), seq_len=4096, batch=8)
+        best = ExhaustiveTilingSearch().search(workload, cloud)
+        mcts = TileSeek(iterations=600, seed=0).search(
+            workload, cloud
+        )
+        assert mcts.stats.evaluations < 0.05 * best.stats.evaluations
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            TileSeek(iterations=0)
+
+
+class TestAssessment:
+    def test_infeasible_config_scores_zero(self, workload, edge):
+        from repro.tileseek.buffer_model import TilingConfig
+
+        giant = TilingConfig(
+            b=64, d=4096, m1=64, m0=256, p=16384, s=14336,
+            p_prime=256,
+        )
+        assessment = assess_tiling(giant, workload, edge)
+        assert not assessment.feasible
+        assert reward_for(assessment, 1e9) == 0.0
+
+    def test_reward_monotone_in_traffic(self, workload, cloud):
+        from repro.tileseek.buffer_model import TilingConfig
+
+        small_p = TilingConfig(b=1, d=16, m1=1, m0=256, p=64, s=16,
+                               p_prime=256)
+        big_p = TilingConfig(b=1, d=16, m1=1, m0=256, p=256, s=16,
+                             p_prime=256)
+        a_small = assess_tiling(small_p, workload, cloud)
+        a_big = assess_tiling(big_p, workload, cloud)
+        assert a_big.dram_words < a_small.dram_words
+        ref = a_small.dram_words
+        assert reward_for(a_big, ref) > reward_for(a_small, ref)
+
+    def test_unknown_metric_rejected(self, workload, cloud):
+        from repro.tileseek.buffer_model import TilingConfig
+
+        config = TilingConfig(b=1, d=16, m1=1, m0=256, p=64, s=16,
+                              p_prime=256)
+        assessment = assess_tiling(config, workload, cloud)
+        with pytest.raises(ValueError):
+            reward_for(assessment, 1.0, metric="power")
+
+    def test_kv_fit_gives_single_pass(self, cloud):
+        small = Workload(named_model("t5"), seq_len=512, batch=2)
+        from repro.tileseek.buffer_model import TilingConfig
+
+        config = TilingConfig(b=1, d=16, m1=1, m0=256, p=128, s=16,
+                              p_prime=256)
+        assessment = assess_tiling(config, small, cloud)
+        assert assessment.kv_passes == 1
