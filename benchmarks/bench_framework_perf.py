@@ -5,7 +5,15 @@ architecture) point; a practical reproduction must keep those searches
 fast.  These benchmarks time the hot paths with real repetition so
 regressions in the schedulers or the evaluator show up as timing
 drift, not just wrong results.
+
+Absolute wall-clock assertions only fire when ``REPRO_BENCH_STRICT``
+is set to a truthy value -- shared CI runners are too noisy for hard
+latency ceilings by default.  Relative assertions (the cache
+speedup ratio below) always apply.
 """
+
+import os
+import time
 
 import numpy as np
 
@@ -17,6 +25,10 @@ from repro.model.config import named_model
 from repro.model.workload import Workload
 from repro.sim.mapping import inner_tile_extents
 from repro.tileseek.search import TileSeek
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "").lower() in (
+    "1", "on", "true", "yes"
+)
 
 
 def test_dpipe_planning_speed(benchmark):
@@ -32,7 +44,8 @@ def test_dpipe_planning_speed(benchmark):
     )
     assert plan.total_seconds > 0
     # Planning one layer must stay well under a second.
-    assert benchmark.stats["mean"] < 1.0
+    if STRICT:
+        assert benchmark.stats["mean"] < 1.0
 
 
 def test_tileseek_search_speed(benchmark):
@@ -47,7 +60,8 @@ def test_tileseek_search_speed(benchmark):
 
     result = benchmark(search)
     assert result.feasible
-    assert benchmark.stats["mean"] < 2.0
+    if STRICT:
+        assert benchmark.stats["mean"] < 2.0
 
 
 def test_cascade_evaluator_speed(benchmark):
@@ -76,4 +90,31 @@ def test_full_executor_run_speed(benchmark):
 
     report = benchmark(executor.run, workload, arch)
     assert report.latency_seconds(arch) > 0
-    assert benchmark.stats["mean"] < 1.0
+    if STRICT:
+        assert benchmark.stats["mean"] < 1.0
+
+
+def test_sweep_cache_warm_speedup(benchmark, tmp_path):
+    """A warm ``run_grid`` rerun must beat the cold run by >= 10x."""
+    from repro.runner import GridPoint, run_grid
+
+    points = [
+        GridPoint(executor=name, model="t5", seq_len=seq,
+                  arch="cloud", batch=4)
+        for name in ("unfused", "transfusion")
+        for seq in (1024, 2048)
+    ]
+    cache_dir = tmp_path / "sweep-cache"
+
+    start = time.perf_counter()
+    cold = run_grid(points, jobs=1, cache_dir=cache_dir)
+    cold_seconds = time.perf_counter() - start
+
+    warm = benchmark(run_grid, points, jobs=1, cache_dir=cache_dir)
+    arch = cloud_architecture()
+    assert [r.latency_seconds(arch) for r in warm.values()] == [
+        r.latency_seconds(arch) for r in cold.values()
+    ]
+    # The ratio assertion is unconditional: it is relative, so runner
+    # noise cancels out.
+    assert benchmark.stats["mean"] < cold_seconds / 10.0

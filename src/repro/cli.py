@@ -17,6 +17,9 @@ Commands
     Per-step autoregressive-decode cost across context lengths.
 ``figures``
     Regenerate one of the paper's figures as a table.
+``sweep``
+    Price a grid of (executor, model, sequence, architecture) points
+    through the parallel sweep engine and its persistent cache.
 """
 
 from __future__ import annotations
@@ -31,6 +34,15 @@ from repro.core.framework import DEFAULT_EXECUTORS, compare_executors
 from repro.metrics.tables import format_table
 from repro.model.config import MODEL_ZOO, named_model
 from repro.model.workload import Workload
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value!r}"
+        )
+    return number
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -233,6 +245,52 @@ def cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Price a grid of points through the sweep engine."""
+    from repro.runner import GridPoint, default_cache, run_grid
+
+    points = [
+        GridPoint(
+            executor=executor, model=model, seq_len=seq,
+            arch=arch, batch=args.batch, causal=args.causal,
+        )
+        for model in args.models
+        for arch in args.archs
+        for executor in args.executors
+        for seq in args.seqs
+    ]
+    reports = run_grid(
+        points,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        warm_start=args.warm_start,
+    )
+    rows = []
+    for point, report in reports.items():
+        arch = named_architecture(point.arch)
+        util = report.utilization(arch)
+        rows.append([
+            point.executor, point.model, point.seq_len, point.arch,
+            report.latency_seconds(arch),
+            util[PEArrayKind.ARRAY_2D],
+            report.energy(arch).total_pj / 1e12,
+            report.dram_words(),
+        ])
+    print(format_table(
+        ["executor", "model", "seq", "arch", "latency (s)",
+         "2D util", "energy (J)", "DRAM words"],
+        rows,
+        title=f"sweep over {len(rows)} points (B={args.batch})",
+    ))
+    cache = None if args.no_cache else default_cache()
+    if cache is not None:
+        print(
+            f"cache: {cache.root} "
+            f"({cache.entry_count()} entries on disk)"
+        )
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Re-run the benchmark harness for one paper figure."""
     import subprocess
@@ -322,6 +380,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1024, 8192, 65536],
     )
     decode.set_defaults(fn=cmd_decode)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="price a grid of points via the parallel sweep engine",
+    )
+    sweep.add_argument(
+        "--models", nargs="+", default=["llama3"],
+        choices=sorted(MODEL_ZOO), help="model shape presets",
+    )
+    sweep.add_argument(
+        "--seqs", type=int, nargs="+", default=[1024, 4096, 16384],
+        help="sequence lengths P",
+    )
+    sweep.add_argument(
+        "--archs", nargs="+", default=["cloud"],
+        choices=("cloud", "edge", "edge32", "edge64"),
+        help="architecture presets (Table 3)",
+    )
+    sweep.add_argument(
+        "--executors", nargs="+",
+        default=["unfused", "fusemax", "transfusion"],
+        help="executor registry names",
+    )
+    sweep.add_argument("--batch", type=int, default=64,
+                       help="batch size B")
+    sweep.add_argument("--causal", action="store_true",
+                       help="causally masked self-attention")
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes (default: REPRO_JOBS, else 1)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache for this sweep",
+    )
+    sweep.add_argument(
+        "--warm-start", action="store_true",
+        help=(
+            "warm-start each TileSeek search from the neighboring "
+            "sequence length's best assignment"
+        ),
+    )
+    sweep.set_defaults(fn=cmd_sweep)
 
     figures = sub.add_parser(
         "figures", help="regenerate a paper figure's table"

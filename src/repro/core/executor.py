@@ -33,7 +33,12 @@ from repro.tileseek.search import TileSeek, TileSeekResult
 
 # The ModelConfig itself keys the cache (frozen dataclass): two models
 # with the same *name* but different shapes must not share tilings.
-_TilingKey = Tuple[ModelConfig, int, int, int, bool, str, int, int]
+# Warm-start assignments are part of the key: a warm-started search is
+# a different (possibly better) search than a cold one.
+_TilingKey = Tuple[
+    ModelConfig, int, int, int, bool, str, int, int,
+    Tuple[Tuple[int, ...], ...],
+]
 _TILING_CACHE: Dict[_TilingKey, TileSeekResult] = {}
 
 
@@ -57,14 +62,36 @@ class TransFusionExecutor(ExecutorBase):
         self.dpipe_options = dpipe_options
         self.tileseek_iterations = tileseek_iterations
         self.seed = seed
+        self._warm_start: Tuple[Tuple[int, ...], ...] = ()
 
     # ------------------------------------------------------------------
     # TileSeek integration
     # ------------------------------------------------------------------
+    def set_warm_start(
+        self, assignments: Tuple[Tuple[int, ...], ...]
+    ) -> None:
+        """Inject warm-start assignments for subsequent tiling searches.
+
+        The sweep engine (:mod:`repro.runner.parallel`) threads the
+        best assignment of the neighboring sequence length through
+        here before pricing each grid point; an empty tuple (the
+        default) restores cold-search behavior.
+        """
+        self._warm_start = tuple(
+            tuple(int(v) for v in a) for a in assignments
+        )
+
     def tiling(
         self, workload: Workload, arch: ArchitectureSpec
     ) -> TileSeekResult:
-        """The (memoized) TileSeek result for this workload."""
+        """The (memoized) TileSeek result for this workload.
+
+        Memoized twice over: in-process (repeated sweeps in one
+        process) and on disk via :mod:`repro.runner.cache` (repeated
+        sweeps across processes -- every ``reproduce_all`` benchmark
+        subprocess would otherwise redo the MCTS).
+        """
+        warm = self._warm_start
         key: _TilingKey = (
             workload.model,
             workload.seq_len,
@@ -74,13 +101,53 @@ class TransFusionExecutor(ExecutorBase):
             arch.name,
             self.tileseek_iterations,
             self.seed,
+            warm,
         )
-        if key not in _TILING_CACHE:
-            searcher = TileSeek(
-                iterations=self.tileseek_iterations, seed=self.seed
+        if key in _TILING_CACHE:
+            return _TILING_CACHE[key]
+        # Imported lazily: repro.core.__init__ imports this module, so
+        # a module-level import of repro.runner would be circular.
+        from repro.core.serialize import (
+            tileseek_result_from_dict,
+            tileseek_result_to_dict,
+        )
+        from repro.runner.cache import (
+            arch_fingerprint,
+            code_salt,
+            default_cache,
+            stable_hash,
+            workload_fingerprint,
+        )
+
+        cache = default_cache()
+        payload = disk_key = None
+        if cache is not None:
+            payload = {
+                "kind": "tileseek",
+                "salt": code_salt(),
+                "workload": workload_fingerprint(workload),
+                "arch": arch_fingerprint(arch),
+                "iterations": self.tileseek_iterations,
+                "seed": self.seed,
+                "warm_start": [list(a) for a in warm],
+            }
+            disk_key = stable_hash(payload)
+            document = cache.get("tileseek", disk_key)
+            if document is not None:
+                result = tileseek_result_from_dict(document)
+                _TILING_CACHE[key] = result
+                return result
+        searcher = TileSeek(
+            iterations=self.tileseek_iterations, seed=self.seed
+        )
+        result = searcher.search(workload, arch, warm_start=warm)
+        if cache is not None:
+            cache.put(
+                "tileseek", disk_key,
+                tileseek_result_to_dict(result), payload,
             )
-            _TILING_CACHE[key] = searcher.search(workload, arch)
-        return _TILING_CACHE[key]
+        _TILING_CACHE[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # DPipe integration

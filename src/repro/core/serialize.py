@@ -6,6 +6,13 @@ bipartition and op-to-array assignment hints, and the cost estimates.
 This module flattens :class:`~repro.core.plan.CompiledPlan` into a
 JSON-safe dictionary (and back to disk), so plans can be archived,
 diffed and shipped.
+
+It also provides exact (bit-preserving) round-trips for
+:class:`~repro.sim.stats.RunReport` and
+:class:`~repro.tileseek.search.TileSeekResult` -- the value types the
+persistent sweep cache (:mod:`repro.runner.cache`) stores on disk.
+JSON float serialization uses ``repr``, so every ``float`` survives a
+dump/load cycle bit-identically.
 """
 
 from __future__ import annotations
@@ -14,8 +21,14 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.arch.pe import PEArrayKind
 from repro.arch.spec import ArchitectureSpec
 from repro.core.plan import CompiledPlan
+from repro.sim.stats import PhaseStats, RunReport
+from repro.tileseek.buffer_model import TilingConfig
+from repro.tileseek.evaluate import TilingAssessment
+from repro.tileseek.mcts import MCTSStats
+from repro.tileseek.search import TileSeekResult
 
 
 def plan_to_dict(
@@ -97,3 +110,109 @@ def save_plan(
 def load_plan_dict(path: Union[str, Path]) -> Dict[str, Any]:
     """Read a plan document written by :func:`save_plan`."""
     return json.loads(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# RunReport round-trip
+# ----------------------------------------------------------------------
+def phase_to_dict(phase: PhaseStats) -> Dict[str, Any]:
+    """Flatten one :class:`PhaseStats` into JSON-safe primitives."""
+    return {
+        "name": phase.name,
+        "compute_seconds": phase.compute_seconds,
+        "busy_seconds": {
+            kind.value: seconds
+            for kind, seconds in phase.busy_seconds.items()
+        },
+        "dram_words": phase.dram_words,
+        "overlap_dram": phase.overlap_dram,
+        "ops_2d": phase.ops_2d,
+        "ops_1d": phase.ops_1d,
+        "buffer_words": phase.buffer_words,
+        "rf_words": phase.rf_words,
+    }
+
+
+def phase_from_dict(document: Dict[str, Any]) -> PhaseStats:
+    """Rebuild a :class:`PhaseStats` written by :func:`phase_to_dict`."""
+    return PhaseStats(
+        name=document["name"],
+        compute_seconds=document["compute_seconds"],
+        busy_seconds={
+            PEArrayKind(kind): seconds
+            for kind, seconds in document["busy_seconds"].items()
+        },
+        dram_words=document["dram_words"],
+        overlap_dram=document["overlap_dram"],
+        ops_2d=document["ops_2d"],
+        ops_1d=document["ops_1d"],
+        buffer_words=document["buffer_words"],
+        rf_words=document["rf_words"],
+    )
+
+
+def report_to_dict(report: RunReport) -> Dict[str, Any]:
+    """Flatten a :class:`RunReport` into JSON-safe primitives."""
+    return {
+        "executor": report.executor,
+        "workload": report.workload,
+        "architecture": report.architecture,
+        "phases": [phase_to_dict(ph) for ph in report.phases],
+    }
+
+
+def report_from_dict(document: Dict[str, Any]) -> RunReport:
+    """Rebuild a :class:`RunReport` written by :func:`report_to_dict`."""
+    return RunReport(
+        executor=document["executor"],
+        workload=document["workload"],
+        architecture=document["architecture"],
+        phases=[phase_from_dict(ph) for ph in document["phases"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# TileSeekResult round-trip
+# ----------------------------------------------------------------------
+def tileseek_result_to_dict(result: TileSeekResult) -> Dict[str, Any]:
+    """Flatten a :class:`TileSeekResult` into JSON-safe primitives."""
+    assessment = result.assessment
+    stats = result.stats
+    return {
+        "config": result.config.as_dict(),
+        "assessment": {
+            "feasible": assessment.feasible,
+            "buffer_words_required": assessment.buffer_words_required,
+            "dram_words": assessment.dram_words,
+            "dram_seconds": assessment.dram_seconds,
+            "energy_pj": assessment.energy_pj,
+            "kv_passes": assessment.kv_passes,
+            "weight_passes": assessment.weight_passes,
+        },
+        "stats": {
+            "iterations": stats.iterations,
+            "evaluations": stats.evaluations,
+            "best_reward": stats.best_reward,
+            "best_assignment": list(stats.best_assignment),
+            "tree_nodes": stats.tree_nodes,
+        },
+    }
+
+
+def tileseek_result_from_dict(
+    document: Dict[str, Any]
+) -> TileSeekResult:
+    """Rebuild a :class:`TileSeekResult` written by
+    :func:`tileseek_result_to_dict`."""
+    stats = document["stats"]
+    return TileSeekResult(
+        config=TilingConfig(**document["config"]),
+        assessment=TilingAssessment(**document["assessment"]),
+        stats=MCTSStats(
+            iterations=stats["iterations"],
+            evaluations=stats["evaluations"],
+            best_reward=stats["best_reward"],
+            best_assignment=tuple(stats["best_assignment"]),
+            tree_nodes=stats["tree_nodes"],
+        ),
+    )

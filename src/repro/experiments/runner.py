@@ -1,7 +1,10 @@
 """Shared experiment runner with memoized reports.
 
 Every figure sweeps the same (executor, model, sequence, architecture)
-grid; reports are deterministic, so they are computed once per process.
+grid; reports are deterministic, so they are computed once per process
+(the ``lru_cache`` layer) and once per machine (the persistent
+:mod:`repro.runner.cache` layer -- every ``reproduce_all`` benchmark
+subprocess hits disk instead of re-running TileSeek + DPipe).
 """
 
 from __future__ import annotations
@@ -10,9 +13,7 @@ from functools import lru_cache
 from typing import Tuple
 
 from repro.arch.spec import ArchitectureSpec, named_architecture
-from repro.baselines.registry import named_executor
-from repro.model.config import named_model
-from repro.model.workload import Workload
+from repro.runner.parallel import GridPoint, compute_report
 from repro.sim.stats import RunReport
 
 #: The paper's sequence-length sweep (1K - 1M).
@@ -35,11 +36,14 @@ def get_report(
     arch_name: str,
     batch: int = BATCH,
 ) -> RunReport:
-    """One executor's per-layer report, memoized."""
-    workload = Workload(named_model(model), seq_len=seq_len,
-                        batch=batch)
-    arch = architecture(arch_name)
-    return named_executor(executor).run(workload, arch)
+    """One executor's per-layer report, memoized in-process and
+    served from the persistent sweep cache when available."""
+    return compute_report(
+        GridPoint(
+            executor=executor, model=model, seq_len=seq_len,
+            arch=arch_name, batch=batch,
+        )
+    )
 
 
 @lru_cache(maxsize=None)

@@ -32,7 +32,14 @@ def all_topological_orders(
         A list of node-name tuples, each a valid topological order.
     """
     preds = dag.pred_map()
-    succs = dag.succ_map()
+    rank = {n: i for i, n in enumerate(dag.nodes)}
+    # Successor sets iterate in hash order, which varies between
+    # processes (PYTHONHASHSEED); fix the order so truncated
+    # enumeration (``limit``) explores the same orders in every run.
+    succs: Dict[str, List[str]] = {
+        n: sorted(s, key=rank.__getitem__)
+        for n, s in dag.succ_map().items()
+    }
     indegree: Dict[str, int] = {n: len(preds[n]) for n in dag.nodes}
     ready: List[str] = [n for n in dag.nodes if indegree[n] == 0]
     order: List[str] = []

@@ -1,0 +1,45 @@
+"""The sweep engine: persistent caching + parallel grid evaluation.
+
+Three layers make the framework's own hot path (full figure sweeps)
+fast and incremental:
+
+* :mod:`repro.runner.cache` -- a content-addressed on-disk cache of
+  serialized reports and tiling results, keyed by workload,
+  architecture, search parameters and a code-version salt.
+* :mod:`repro.runner.parallel` -- :func:`run_grid`, a deterministic
+  process-pool fan-out over grid points whose serial and parallel
+  outputs are byte-identical.
+* warm-start hooks in :meth:`repro.tileseek.search.TileSeek.search`,
+  fed by :func:`run_grid`'s per-chain threading of best assignments
+  across neighboring sequence lengths.
+"""
+
+from repro.runner.cache import (
+    PlanCache,
+    cache_enabled,
+    code_salt,
+    default_cache,
+    stable_hash,
+)
+from repro.runner.parallel import (
+    DEFAULT_BATCH,
+    GridPoint,
+    compute_report,
+    report_cache_payload,
+    resolve_jobs,
+    run_grid,
+)
+
+__all__ = [
+    "DEFAULT_BATCH",
+    "GridPoint",
+    "PlanCache",
+    "cache_enabled",
+    "code_salt",
+    "compute_report",
+    "default_cache",
+    "report_cache_payload",
+    "resolve_jobs",
+    "run_grid",
+    "stable_hash",
+]

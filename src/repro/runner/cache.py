@@ -1,0 +1,232 @@
+"""Content-addressed persistent result cache for sweep runs.
+
+Every paper figure re-prices the same (executor, model, sequence,
+architecture) grid, and :mod:`scripts.reproduce_all` spawns one
+benchmark process per figure -- without a persistent cache each
+process pays the full TileSeek + DPipe planning cost from scratch.
+This module keys each result by a stable content hash of *everything
+that determines it*:
+
+* the executor name and its search parameters,
+* the full workload shape (model config, sequence, batch, masking),
+* the full architecture spec (arrays, buffer, DRAM, energy model),
+* any warm-start assignments injected into the tiling search, and
+* a code-version salt (a hash of the ``repro`` source tree), so any
+  change to the cost model or schedulers invalidates every entry
+  automatically.
+
+Values are the JSON documents produced by
+:mod:`repro.core.serialize` (:class:`~repro.sim.stats.RunReport` and
+:class:`~repro.tileseek.search.TileSeekResult` round-trip exactly, so
+a cache hit is byte-identical to a recomputation).
+
+Environment variables:
+
+* ``REPRO_CACHE_DIR`` -- cache root (default
+  ``~/.cache/repro-transfusion``).
+* ``REPRO_CACHE`` -- set to ``0``/``off``/``false`` to disable the
+  persistent layer entirely (in-process memoization still applies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE = "REPRO_CACHE"
+
+#: Bump to invalidate every cache entry across a format change.
+CACHE_SCHEMA = "1"
+
+_FALSY = ("0", "off", "false", "no")
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of the installed ``repro`` source tree (plus the schema
+    version).
+
+    Any edit to any module under ``src/repro`` -- cost model, search,
+    scheduler -- changes the salt and therefore every cache key, so
+    stale results can never leak across code versions.  Computed once
+    per process (~1 MB of source, a few milliseconds).
+    """
+    global _code_salt
+    if _code_salt is None:
+        import repro
+
+        digest = hashlib.sha256()
+        digest.update(CACHE_SCHEMA.encode())
+        digest.update(repro.__version__.encode())
+        package_root = Path(repro.__file__).resolve().parent
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(
+                str(source.relative_to(package_root)).encode()
+            )
+            digest.update(source.read_bytes())
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback encoder for key payloads (enums, dataclasses, sets)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(
+        f"cannot hash {type(value).__name__} into a cache key"
+    )
+
+
+def stable_hash(payload: Mapping[str, Any]) -> str:
+    """Deterministic SHA-256 over a canonical JSON rendering."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"),
+        default=_jsonable,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def workload_fingerprint(workload: Any) -> Dict[str, Any]:
+    """JSON-safe identity of a workload (model shapes included).
+
+    Two models with the same *name* but different shapes must never
+    share cache entries, so the full :class:`ModelConfig` is part of
+    the fingerprint.
+    """
+    return dataclasses.asdict(workload)
+
+
+def arch_fingerprint(arch: Any) -> Dict[str, Any]:
+    """JSON-safe identity of an architecture spec.
+
+    The full spec content is hashed -- arrays, buffer, DRAM, clock,
+    word size and energy model -- so resized (:meth:`with_2d_array`)
+    or sensitivity-scaled variants never collide with the presets
+    they were derived from.
+    """
+    fingerprint = dataclasses.asdict(arch)
+    for key in ("array_2d", "array_1d", "buffer", "dram"):
+        fingerprint[key]["kind"] = fingerprint[key]["kind"].value
+    return fingerprint
+
+
+class PlanCache:
+    """A content-addressed on-disk cache of serialized results.
+
+    Entries live under ``<root>/<kind>/<key[:2]>/<key>.json`` as
+    pretty-printed JSON holding the key payload (for inspection) and
+    the serialized value.  Writes are atomic (temp file + rename);
+    corrupted or truncated entries are deleted on read and treated as
+    misses, so a killed process can never poison later runs.
+
+    Args:
+        root: Cache directory.  ``None`` resolves ``REPRO_CACHE_DIR``
+            and falls back to ``~/.cache/repro-transfusion``.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR) or (
+                Path.home() / ".cache" / "repro-transfusion"
+            )
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """Entry path for one (kind, key) pair."""
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """The stored value document, or ``None`` on miss.
+
+        A corrupted entry (unreadable, invalid JSON, or missing the
+        value field) is removed and reported as a miss.
+        """
+        path = self.path_for(kind, key)
+        try:
+            document = json.loads(path.read_text())
+            value = document["value"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(
+        self,
+        kind: str,
+        key: str,
+        value: Dict[str, Any],
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Store ``value`` under ``(kind, key)`` atomically.
+
+        Args:
+            kind: Entry namespace (``"report"`` / ``"tileseek"``).
+            key: Content hash from :func:`stable_hash`.
+            value: JSON-safe serialized result.
+            payload: The key payload, archived alongside the value so
+                entries stay human-inspectable.
+        """
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"payload": dict(payload or {}), "value": value}
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temp.write_text(
+            json.dumps(document, indent=2, sort_keys=True,
+                       default=_jsonable)
+            + "\n"
+        )
+        os.replace(temp, path)
+        return path
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.rglob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent layer is enabled (``REPRO_CACHE``)."""
+    return os.environ.get(ENV_CACHE, "1").lower() not in _FALSY
+
+
+def default_cache() -> Optional[PlanCache]:
+    """The environment-configured cache, or ``None`` when disabled."""
+    if not cache_enabled():
+        return None
+    return PlanCache()

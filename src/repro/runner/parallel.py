@@ -1,0 +1,303 @@
+"""Parallel sweep engine: fan a report grid out over processes.
+
+:func:`run_grid` evaluates a list of :class:`GridPoint`\\ s -- the
+(executor, model, sequence, architecture) tuples behind every paper
+figure -- with three guarantees:
+
+* **Deterministic ordering** -- results come back keyed in the input
+  order, whatever the execution schedule was.
+* **Serial/parallel equivalence** -- ``jobs=1`` and ``jobs=N``
+  produce byte-identical reports.  Points are grouped into *chains*
+  (one per executor/model/architecture/batch family, sequence lengths
+  ascending); a chain always runs on a single worker, so warm-start
+  threading inside a chain is identical in both modes, and both modes
+  reconstruct reports through the same serialization round-trip.
+* **Persistent caching** -- each point consults the content-addressed
+  :class:`~repro.runner.cache.PlanCache` before computing, so a warm
+  rerun is served from disk.
+
+Warm starting (``warm_start=True``) threads each chain's TileSeek
+best assignment into the next (larger) sequence length's search as an
+additional incumbent -- the DNNFuser-style mapping reuse across
+similar problems.  Warm assignments are part of every cache key, so
+warm and cold sweeps never collide.
+
+``jobs`` resolution order: explicit argument, then ``REPRO_JOBS``,
+then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.arch.spec import named_architecture
+from repro.baselines.registry import named_executor
+from repro.core.serialize import report_from_dict, report_to_dict
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.runner.cache import (
+    ENV_CACHE,
+    ENV_CACHE_DIR,
+    arch_fingerprint,
+    code_salt,
+    default_cache,
+    stable_hash,
+    workload_fingerprint,
+)
+from repro.sim.stats import RunReport
+
+ENV_JOBS = "REPRO_JOBS"
+
+#: Default batch size (Section 6.1: ``B = 64`` throughout).
+DEFAULT_BATCH = 64
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One sweep point: an executor priced on one workload.
+
+    Attributes:
+        executor: Registry name (``unfused`` ... ``transfusion``).
+        model: Model-zoo preset name.
+        seq_len: Sequence length ``P``.
+        arch: Architecture preset name (Table 3).
+        batch: Batch size ``B``.
+        causal: Whether attention is causally masked.
+    """
+
+    executor: str
+    model: str
+    seq_len: int
+    arch: str
+    batch: int = DEFAULT_BATCH
+    causal: bool = False
+
+    def workload(self) -> Workload:
+        """The workload this point prices."""
+        return Workload(
+            named_model(self.model),
+            seq_len=self.seq_len,
+            batch=self.batch,
+            causal=self.causal,
+        )
+
+    def family(self) -> Tuple[str, str, str, int, bool]:
+        """Chain grouping key: everything except the sequence length."""
+        return (
+            self.executor, self.model, self.arch, self.batch,
+            self.causal,
+        )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        jobs = int(env) if env else 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def report_cache_payload(
+    point: GridPoint,
+    warm: Tuple[Tuple[int, ...], ...] = (),
+) -> Dict[str, Any]:
+    """The content-hash payload identifying one point's report."""
+    executor = named_executor(point.executor)
+    params: Dict[str, Any] = {}
+    for attr in ("tileseek_iterations", "seed", "dpipe_options"):
+        if hasattr(executor, attr):
+            params[attr] = getattr(executor, attr)
+    return {
+        "kind": "report",
+        "salt": code_salt(),
+        "executor": point.executor,
+        "executor_params": params,
+        "workload": workload_fingerprint(point.workload()),
+        "arch": arch_fingerprint(named_architecture(point.arch)),
+        "warm_start": [list(a) for a in warm],
+    }
+
+
+def compute_report(
+    point: GridPoint,
+    cache: Union[Any, None] = None,
+    executor: Optional[Any] = None,
+    warm: Tuple[Tuple[int, ...], ...] = (),
+) -> RunReport:
+    """One point's report, served from the persistent cache if possible.
+
+    Args:
+        point: The grid point to price.
+        cache: A :class:`PlanCache`, or ``None`` to use the
+            environment default (which may be disabled).
+        executor: Pre-built executor instance to reuse (the chain
+            runner threads warm-start state through it); ``None``
+            builds a fresh one from the registry.
+        warm: Warm-start assignments for the tiling search (part of
+            the cache key).
+    """
+    if cache is None:
+        cache = default_cache()
+    payload = key = None
+    if cache is not None:
+        payload = report_cache_payload(point, warm)
+        key = stable_hash(payload)
+        document = cache.get("report", key)
+        if document is not None:
+            return report_from_dict(document)
+    if executor is None:
+        executor = named_executor(point.executor)
+    if hasattr(executor, "set_warm_start"):
+        executor.set_warm_start(warm)
+    report = executor.run(point.workload(), named_architecture(point.arch))
+    if cache is not None:
+        cache.put("report", key, report_to_dict(report), payload)
+    return report
+
+
+def _chains(
+    points: Sequence[GridPoint],
+) -> List[List[GridPoint]]:
+    """Group points into per-family chains, sequence ascending.
+
+    Chain order follows first appearance in ``points``; duplicates
+    are dropped (the result dict re-expands them).
+    """
+    grouped: Dict[Tuple, List[GridPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.family(), [])
+        if point not in grouped[point.family()]:
+            grouped[point.family()].append(point)
+    return [
+        sorted(chain, key=lambda p: p.seq_len)
+        for chain in grouped.values()
+    ]
+
+
+def _run_chain(
+    chain: Sequence[GridPoint], warm_start: bool
+) -> List[Dict[str, Any]]:
+    """Price one chain in order, threading warm starts forward.
+
+    Returns serialized report documents (JSON-safe) aligned with the
+    chain -- both the serial and the parallel path reconstruct
+    reports from these documents, which is what makes their outputs
+    byte-identical.
+    """
+    cache = default_cache()
+    executor = named_executor(chain[0].executor)
+    warm: Tuple[Tuple[int, ...], ...] = ()
+    supports_warm = warm_start and hasattr(executor, "set_warm_start")
+    documents = []
+    for point in chain:
+        if supports_warm:
+            # Keep the executor's warm state in sync even when the
+            # report itself is served from disk, so the follow-up
+            # tiling lookup below uses this point's key.
+            executor.set_warm_start(warm)
+        report = compute_report(
+            point, cache=cache, executor=executor,
+            warm=warm if supports_warm else (),
+        )
+        documents.append(report_to_dict(report))
+        if supports_warm:
+            tiling = executor.tiling(
+                point.workload(), named_architecture(point.arch)
+            )
+            warm = (tuple(tiling.stats.best_assignment),)
+    return documents
+
+
+def _cache_env(
+    cache_dir: Union[str, os.PathLike, None], use_cache: bool
+) -> Dict[str, str]:
+    """Environment overrides configuring the cache for one sweep."""
+    env: Dict[str, str] = {}
+    if not use_cache:
+        env[ENV_CACHE] = "0"
+    elif cache_dir is not None:
+        env[ENV_CACHE_DIR] = str(cache_dir)
+    return env
+
+
+def _worker_init(env: Dict[str, str]) -> None:
+    """Pool-worker initializer: point the worker at the sweep cache."""
+    os.environ.update(env)
+
+
+def run_grid(
+    points: Sequence[GridPoint],
+    jobs: Optional[int] = None,
+    cache_dir: Union[str, os.PathLike, None] = None,
+    use_cache: bool = True,
+    warm_start: bool = False,
+) -> "Dict[GridPoint, RunReport]":
+    """Price a grid of points, optionally fanning out over processes.
+
+    Args:
+        points: Grid points; the result preserves their order.
+        jobs: Worker processes (``None``: ``REPRO_JOBS``, else 1).
+            1 runs serially in-process -- byte-identical to any
+            parallel schedule.
+        cache_dir: Persistent-cache root override (``None`` keeps the
+            ``REPRO_CACHE_DIR`` / default resolution).
+        use_cache: ``False`` disables the persistent layer for this
+            sweep.
+        warm_start: Thread each chain's TileSeek best assignment into
+            the next sequence length's search as an extra incumbent.
+
+    Returns:
+        ``{point: report}`` in input order (duplicates collapse onto
+        one entry).
+    """
+    jobs = resolve_jobs(jobs)
+    chains = _chains(points)
+    env = _cache_env(cache_dir, use_cache)
+    if jobs == 1 or len(chains) <= 1:
+        saved = {key: os.environ.get(key) for key in env}
+        os.environ.update(env)
+        try:
+            chain_documents = [
+                _run_chain(chain, warm_start) for chain in chains
+            ]
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chains)),
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(env,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_chain, chain, warm_start)
+                for chain in chains
+            ]
+            chain_documents = [f.result() for f in futures]
+    by_point: Dict[GridPoint, RunReport] = {}
+    for chain, documents in zip(chains, chain_documents):
+        for point, document in zip(chain, documents):
+            by_point[point] = report_from_dict(document)
+    return {point: by_point[point] for point in points}

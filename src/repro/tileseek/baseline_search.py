@@ -31,7 +31,8 @@ class RandomTilingSearch(TileSeek):
     ) -> TileSeekResult:
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
-        reference = self._reference_words(workload, arch, fixed)
+        reference = self._reference_words(workload, arch, fixed,
+                                          grid=grid)
         rng = random.Random(self.seed)
         best_reward = -1.0
         best: Tuple[int, ...] = tuple(
@@ -72,7 +73,8 @@ class ExhaustiveTilingSearch(TileSeek):
     ) -> TileSeekResult:
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
-        reference = self._reference_words(workload, arch, fixed)
+        reference = self._reference_words(workload, arch, fixed,
+                                          grid=grid)
         best_reward = -1.0
         best: Tuple[int, ...] = tuple(
             min(grid[name]) for name in FACTOR_ORDER

@@ -9,7 +9,7 @@ leaves; Timeloop-style evaluation is the expensive step in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.spec import ArchitectureSpec
 from repro.model.workload import Workload
@@ -150,38 +150,84 @@ class TileSeek:
     # Search
     # ------------------------------------------------------------------
     def search(
-        self, workload: Workload, arch: ArchitectureSpec
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        warm_start: Sequence[Sequence[int]] = (),
     ) -> TileSeekResult:
-        """Find the best feasible outer tiling for one fused layer."""
+        """Find the best feasible outer tiling for one fused layer.
+
+        Args:
+            workload: The problem instance.
+            arch: Target architecture.
+            warm_start: Optional known-good assignments (in
+                :data:`FACTOR_ORDER`), typically the best assignment
+                of an adjacent search (same model/architecture,
+                neighboring sequence length).  Each is evaluated as an
+                additional incumbent: the returned config is never
+                worse than any warm start, and the MCTS tree itself is
+                untouched, so results stay deterministic.
+        """
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
         levels = [grid[name] for name in FACTOR_ORDER]
-        reference = self._reference_words(workload, arch, fixed)
-        cache: Dict[Tuple[int, ...], float] = {}
+        warm = self._validated_warm_starts(warm_start)
+        # The minimal (most conservative) assignment doubles as the
+        # reward-normalization reference; seed the evaluation cache
+        # with its assessment so it is never priced twice.
+        minimal = tuple(min(grid[name]) for name in FACTOR_ORDER)
+        reference_assessment = assess_tiling(
+            self._config_from(minimal, fixed), workload, arch
+        )
+        reference = reference_assessment.dram_words
+        cache: Dict[
+            Tuple[int, ...], Tuple[float, TilingAssessment]
+        ] = {
+            minimal: (
+                reward_for(
+                    reference_assessment, reference,
+                    self.reward_metric,
+                ),
+                reference_assessment,
+            )
+        }
 
         def evaluate(assignment: Tuple[int, ...]) -> float:
-            if assignment in cache:
-                return cache[assignment]
-            cfg = self._config_from(assignment, fixed)
-            assessment = assess_tiling(cfg, workload, arch)
-            reward = reward_for(
-                assessment, reference, self.reward_metric
-            )
-            cache[assignment] = reward
-            return reward
+            entry = cache.get(assignment)
+            if entry is None:
+                cfg = self._config_from(assignment, fixed)
+                assessment = assess_tiling(cfg, workload, arch)
+                entry = (
+                    reward_for(
+                        assessment, reference, self.reward_metric
+                    ),
+                    assessment,
+                )
+                cache[assignment] = entry
+            return entry[0]
+
+        # Rollouts revisit the same prefixes constantly; the Table-2
+        # completion check is pure, so memoize it per prefix.
+        prune_cache: Dict[Tuple[int, ...], bool] = {}
 
         def prune(partial: Tuple[int, ...]) -> bool:
             # Lower-bound feasibility: complete the prefix with the
             # smallest remaining candidates; if even that overflows
             # the buffer, no completion is feasible (the Table-2
             # formulas are monotone in every factor).
-            full = list(partial) + [
-                min(grid[name])
-                for name in FACTOR_ORDER[len(partial):]
-            ]
-            cfg = self._config_from(full, fixed)
-            required = fused_buffer_requirement(cfg, workload.model)
-            return required > arch.buffer_words
+            infeasible = prune_cache.get(partial)
+            if infeasible is None:
+                full = list(partial) + [
+                    min(grid[name])
+                    for name in FACTOR_ORDER[len(partial):]
+                ]
+                cfg = self._config_from(full, fixed)
+                required = fused_buffer_requirement(
+                    cfg, workload.model
+                )
+                infeasible = required > arch.buffer_words
+                prune_cache[partial] = infeasible
+            return infeasible
 
         stats = mcts_search(
             levels,
@@ -195,7 +241,8 @@ class TileSeek:
         best_reward = stats.best_reward
         # Greedy incumbent: the anchor line (maximal feasible p with
         # minimal companions) is a strong known-good starting point;
-        # never return anything worse than it.
+        # never return anything worse than it.  Warm starts from
+        # adjacent searches join the same incumbent pool.
         anchor_p = max(
             (p for p in grid["p"] if not prune(
                 (min(grid["b"]), min(grid["d"]), min(grid["m1"]), p)
@@ -206,33 +253,64 @@ class TileSeek:
             min(grid["b"]), min(grid["d"]), min(grid["m1"]),
             anchor_p, min(grid["s"]),
         )
-        incumbent_reward = evaluate(incumbent)
-        if incumbent_reward > best_reward:
-            best_assignment = incumbent
-            best_reward = incumbent_reward
+        for candidate in (incumbent,) + warm:
+            candidate_reward = evaluate(candidate)
+            if candidate_reward > best_reward:
+                best_assignment = candidate
+                best_reward = candidate_reward
+        # The winner was priced through the cache -- reuse its
+        # assessment instead of re-running the simulation step.
+        assessment = cache[best_assignment][1]
         config = self._config_from(best_assignment, fixed)
-        assessment = assess_tiling(config, workload, arch)
         return TileSeekResult(
             config=config,
             assessment=assessment,
             stats=MCTSStats(
                 iterations=stats.iterations,
-                evaluations=stats.evaluations + 1,
+                evaluations=stats.evaluations + 1 + len(warm),
                 best_reward=best_reward,
                 best_assignment=best_assignment,
                 tree_nodes=stats.tree_nodes,
             ),
         )
 
+    @staticmethod
+    def _validated_warm_starts(
+        warm_start: Sequence[Sequence[int]],
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Normalize warm-start assignments, rejecting malformed ones."""
+        validated = []
+        for raw in warm_start:
+            assignment = tuple(int(v) for v in raw)
+            if len(assignment) != len(FACTOR_ORDER):
+                raise ValueError(
+                    f"warm-start assignment {assignment} must have "
+                    f"{len(FACTOR_ORDER)} factors ({FACTOR_ORDER})"
+                )
+            if any(v <= 0 for v in assignment):
+                raise ValueError(
+                    f"warm-start factors must be positive: "
+                    f"{assignment}"
+                )
+            validated.append(assignment)
+        return tuple(validated)
+
     def _reference_words(
         self,
         workload: Workload,
         arch: ArchitectureSpec,
         fixed: Dict[str, int],
+        grid: Optional[Dict[str, List[int]]] = None,
     ) -> float:
         """Traffic of the minimal (most conservative) configuration,
-        used to normalize rewards to O(1)."""
-        grid = self.candidate_grid(workload, arch)
+        used to normalize rewards to O(1).
+
+        Args:
+            grid: The candidate grid, if the caller already built it
+                (avoids recomputing :meth:`candidate_grid`).
+        """
+        if grid is None:
+            grid = self.candidate_grid(workload, arch)
         minimal = self._config_from(
             tuple(min(grid[name]) for name in FACTOR_ORDER), fixed
         )

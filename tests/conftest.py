@@ -2,12 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.arch.spec import cloud_architecture, edge_architecture
 from repro.model.config import ModelConfig, named_model
 from repro.model.workload import Workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_sweep_cache(tmp_path_factory):
+    """Point the persistent sweep cache at a per-session temp dir so
+    tests never touch (or depend on) the user's real cache."""
+    root = tmp_path_factory.mktemp("sweep-cache")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
 
 
 @pytest.fixture

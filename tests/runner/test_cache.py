@@ -1,0 +1,220 @@
+"""Tests for the persistent content-addressed plan cache."""
+
+import json
+
+import pytest
+
+from repro.arch.spec import named_architecture
+from repro.model.workload import Workload
+from repro.runner.cache import (
+    PlanCache,
+    arch_fingerprint,
+    cache_enabled,
+    code_salt,
+    default_cache,
+    stable_hash,
+    workload_fingerprint,
+)
+from repro.runner.parallel import (
+    GridPoint,
+    compute_report,
+    report_cache_payload,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return PlanCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def point():
+    return GridPoint(
+        executor="unfused", model="t5", seq_len=1024,
+        arch="cloud", batch=4,
+    )
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        payload = {"a": 1, "b": [1.5, "x"], "c": {"d": True}}
+        assert stable_hash(payload) == stable_hash(dict(payload))
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_code_salt_stable_within_process(self):
+        assert code_salt() == code_salt()
+        assert len(code_salt()) == 64
+
+
+class TestPlanCache:
+    def test_miss_then_hit_roundtrip(self, cache):
+        key = stable_hash({"k": 1})
+        assert cache.get("report", key) is None
+        assert cache.misses == 1
+        value = {"latency": 1.25, "phases": [{"name": "mha"}]}
+        cache.put("report", key, value, payload={"k": 1})
+        assert cache.get("report", key) == value
+        assert cache.hits == 1
+
+    def test_entry_count_and_clear(self, cache):
+        for i in range(3):
+            cache.put("report", stable_hash({"i": i}), {"i": i})
+        assert cache.entry_count() == 3
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+    def test_corrupted_entry_recovers(self, cache):
+        key = stable_hash({"k": "corrupt"})
+        cache.put("tileseek", key, {"ok": True})
+        path = cache.path_for("tileseek", key)
+        path.write_text("{ not json !!!")
+        assert cache.get("tileseek", key) is None
+        assert not path.exists()
+        # A fresh put works again after recovery.
+        cache.put("tileseek", key, {"ok": True})
+        assert cache.get("tileseek", key) == {"ok": True}
+
+    def test_entry_missing_value_field_is_a_miss(self, cache):
+        key = stable_hash({"k": "truncated"})
+        path = cache.path_for("report", key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"payload": {}}))
+        assert cache.get("report", key) is None
+        assert not path.exists()
+
+    def test_entries_are_inspectable_json(self, cache, point):
+        payload = report_cache_payload(point)
+        key = stable_hash(payload)
+        path = cache.put("report", key, {"v": 1}, payload)
+        document = json.loads(path.read_text())
+        assert document["payload"]["executor"] == "unfused"
+        assert document["value"] == {"v": 1}
+
+
+class TestKeyInvalidation:
+    def test_arch_change_changes_key(self, point):
+        base = report_cache_payload(point)
+        other = report_cache_payload(
+            GridPoint(
+                executor="unfused", model="t5", seq_len=1024,
+                arch="edge", batch=4,
+            )
+        )
+        assert stable_hash(base) != stable_hash(other)
+
+    def test_resized_arch_changes_fingerprint(self):
+        arch = named_architecture("cloud")
+        resized = arch.with_2d_array(128, 128)
+        assert arch_fingerprint(arch) != arch_fingerprint(resized)
+
+    def test_workload_shape_changes_key(self, point):
+        base = report_cache_payload(point)
+        bigger = report_cache_payload(
+            GridPoint(
+                executor="unfused", model="t5", seq_len=2048,
+                arch="cloud", batch=4,
+            )
+        )
+        assert stable_hash(base) != stable_hash(bigger)
+
+    def test_search_params_change_key(self, monkeypatch, point):
+        tf = GridPoint(
+            executor="transfusion", model="t5", seq_len=1024,
+            arch="cloud", batch=4,
+        )
+        base = report_cache_payload(tf)
+        import repro.runner.parallel as parallel
+
+        real = parallel.named_executor
+
+        def tweaked(name):
+            executor = real(name)
+            if hasattr(executor, "tileseek_iterations"):
+                executor.tileseek_iterations = 123
+            return executor
+
+        monkeypatch.setattr(parallel, "named_executor", tweaked)
+        assert stable_hash(base) != stable_hash(
+            report_cache_payload(tf)
+        )
+
+    def test_warm_start_is_part_of_key(self, point):
+        cold = report_cache_payload(point)
+        warm = report_cache_payload(point, ((1, 64, 1, 256, 64),))
+        assert stable_hash(cold) != stable_hash(warm)
+
+    def test_workload_fingerprint_includes_model_shape(self):
+        from repro.model.config import named_model
+
+        fp = workload_fingerprint(
+            Workload(named_model("t5"), seq_len=1024, batch=4)
+        )
+        assert fp["model"]["d_model"] == named_model("t5").d_model
+
+
+class TestEnvironmentControl:
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache_enabled()
+        assert default_cache() is None
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled()
+
+    def test_cache_dir_env_respected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path / "c"
+
+
+class TestComputeReport:
+    def test_second_call_served_from_disk(
+        self, cache, point, monkeypatch
+    ):
+        import repro.runner.parallel as parallel
+
+        calls = {"n": 0}
+        real = parallel.named_executor
+
+        def spy(name):
+            calls["n"] += 1
+            return real(name)
+
+        monkeypatch.setattr(parallel, "named_executor", spy)
+        arch = named_architecture("cloud")
+        first = compute_report(point, cache=cache)
+        built_after_first = calls["n"]
+        second = compute_report(point, cache=cache)
+        # The second call never builds an executor beyond the payload
+        # lookup: the report came off disk.
+        assert calls["n"] == built_after_first + 1
+        assert cache.hits == 1
+        assert first.latency_seconds(arch) == second.latency_seconds(
+            arch
+        )
+        assert [p.name for p in first.phases] == [
+            p.name for p in second.phases
+        ]
+
+    def test_corrupted_report_entry_recomputes(self, cache, point):
+        arch = named_architecture("cloud")
+        first = compute_report(point, cache=cache)
+        payload = report_cache_payload(point)
+        path = cache.path_for("report", stable_hash(payload))
+        assert path.exists()
+        path.write_text("garbage")
+        second = compute_report(point, cache=cache)
+        assert second.latency_seconds(arch) == first.latency_seconds(
+            arch
+        )
+        # The recomputation repaired the entry.
+        assert json.loads(path.read_text())["value"]

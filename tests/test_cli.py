@@ -113,3 +113,42 @@ def test_compile_out_writes_plan(tmp_path, capsys):
 
     document = json.loads(out.read_text())
     assert document["tiling"]["feasible"]
+
+
+class TestSweepCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.models == ["llama3"]
+        assert args.archs == ["cloud"]
+        assert args.jobs is None
+        assert not args.no_cache
+        assert not args.warm_start
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--models", "gpt99"]
+            )
+
+    def test_sweep_prints_grid(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        rc = main([
+            "sweep", "--models", "t5", "--seqs", "1024", "2048",
+            "--executors", "unfused", "transfusion",
+            "--batch", "4", "--jobs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "unfused" in out and "transfusion" in out
+        assert "1024" in out and "2048" in out
+        assert "cache:" in out
+
+    def test_sweep_no_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        rc = main([
+            "sweep", "--models", "t5", "--seqs", "1024",
+            "--executors", "unfused", "--batch", "4", "--no-cache",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache:" not in out

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.model",
     "repro.reference",
+    "repro.runner",
     "repro.sim",
     "repro.tileseek",
 ]
@@ -43,6 +44,8 @@ MODULES = [
     "repro.experiments.batch_sweep",
     "repro.experiments.decode",
     "repro.experiments.sensitivity",
+    "repro.runner.cache",
+    "repro.runner.parallel",
     "repro.tileseek.baseline_search",
 ]
 

@@ -137,3 +137,127 @@ class TestAssessment:
                               p_prime=256)
         assessment = assess_tiling(config, small, cloud)
         assert assessment.kv_passes == 1
+
+
+class TestWarmStart:
+    def test_default_matches_explicit_empty(self, workload, cloud):
+        base = TileSeek(iterations=120, seed=2).search(
+            workload, cloud
+        )
+        explicit = TileSeek(iterations=120, seed=2).search(
+            workload, cloud, warm_start=()
+        )
+        assert base.config == explicit.config
+        assert base.stats == explicit.stats
+
+    def test_never_worse_than_cold(self, workload, cloud):
+        cold = TileSeek(iterations=150, seed=5).search(
+            workload, cloud
+        )
+        warm = TileSeek(iterations=150, seed=5).search(
+            workload, cloud,
+            warm_start=(cold.stats.best_assignment,),
+        )
+        assert warm.stats.best_reward >= cold.stats.best_reward
+
+    def test_strong_warm_start_rescues_tiny_budget(
+        self, workload, cloud
+    ):
+        """A 1-iteration search warm-started from a converged one
+        must recover the converged objective."""
+        converged = TileSeek(iterations=400, seed=0).search(
+            workload, cloud
+        )
+        tiny = TileSeek(iterations=1, seed=0).search(
+            workload, cloud,
+            warm_start=(converged.stats.best_assignment,),
+        )
+        assert tiny.stats.best_reward >= converged.stats.best_reward
+        assert tiny.assessment.dram_words <= (
+            converged.assessment.dram_words * (1 + 1e-9)
+        )
+
+    def test_warm_candidates_counted_as_evaluations(
+        self, workload, cloud
+    ):
+        cold = TileSeek(iterations=100, seed=4).search(
+            workload, cloud
+        )
+        warm = TileSeek(iterations=100, seed=4).search(
+            workload, cloud, warm_start=((1, 16, 1, 64, 16),)
+        )
+        assert warm.stats.evaluations == cold.stats.evaluations + 1
+
+    def test_wrong_length_rejected(self, workload, cloud):
+        with pytest.raises(ValueError):
+            TileSeek(iterations=10).search(
+                workload, cloud, warm_start=((1, 2),)
+            )
+
+    def test_nonpositive_factor_rejected(self, workload, cloud):
+        with pytest.raises(ValueError):
+            TileSeek(iterations=10).search(
+                workload, cloud, warm_start=((1, 16, 0, 64, 16),)
+            )
+
+
+class TestSearchEfficiency:
+    def test_prune_feasibility_checks_memoized(
+        self, workload, cloud, monkeypatch
+    ):
+        """Rollouts revisit prefixes; each Table-2 completion check
+        must run at most once per unique prefix."""
+        import repro.tileseek.search as search_module
+
+        buffer_calls = [0]
+        real_requirement = search_module.fused_buffer_requirement
+
+        def counting_requirement(config, model):
+            buffer_calls[0] += 1
+            return real_requirement(config, model)
+
+        prune_calls = [0]
+        real_mcts = search_module.mcts_search
+
+        def wrapped_mcts(levels, evaluate, **kwargs):
+            inner = kwargs["prune"]
+
+            def counting_prune(partial):
+                prune_calls[0] += 1
+                return inner(partial)
+
+            kwargs["prune"] = counting_prune
+            return real_mcts(levels, evaluate, **kwargs)
+
+        monkeypatch.setattr(
+            search_module, "fused_buffer_requirement",
+            counting_requirement,
+        )
+        monkeypatch.setattr(
+            search_module, "mcts_search", wrapped_mcts
+        )
+        TileSeek(iterations=300, seed=0).search(workload, cloud)
+        assert prune_calls[0] > 0
+        # Strictly fewer buffer evaluations than prune invocations:
+        # repeats were served from the memo.
+        assert buffer_calls[0] < prune_calls[0]
+
+    def test_no_config_assessed_twice(
+        self, workload, cloud, monkeypatch
+    ):
+        """The reference config and the winner are both priced
+        exactly once -- no duplicated assess_tiling work."""
+        import repro.tileseek.search as search_module
+
+        assessed = []
+        real_assess = search_module.assess_tiling
+
+        def recording_assess(config, wl, arch):
+            assessed.append(config)
+            return real_assess(config, wl, arch)
+
+        monkeypatch.setattr(
+            search_module, "assess_tiling", recording_assess
+        )
+        TileSeek(iterations=200, seed=1).search(workload, cloud)
+        assert len(assessed) == len(set(assessed))
