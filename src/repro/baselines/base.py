@@ -36,6 +36,7 @@ from repro.model.workload import Workload
 from repro.sim.latency import op_cycles
 from repro.sim.mapping import inner_tile_extents, layer_mapping
 from repro.sim.stats import PhaseStats, RunReport
+from repro.validate.config import validation_enabled
 
 #: Sub-layer phases of one Transformer layer, in dataflow order.
 #: ``layernorm`` statistics are scaled x2 (one Add & LayerNorm after
@@ -338,6 +339,25 @@ class ExecutorBase(abc.ABC):
             architecture=arch.name,
         )
         report.phases = self.build_phases(workload, arch)
+        if validation_enabled():
+            # Lazy import: the auditors sit above the sim layer.
+            from repro.validate.conservation import (
+                audit_conservation,
+            )
+
+            traffic = None
+            if hasattr(self, "tiling"):
+                from repro.tileseek.evaluate import (
+                    dram_traffic_words,
+                )
+
+                tiling = self.tiling(workload, arch)
+                traffic = dram_traffic_words(
+                    tiling.config, workload, arch.buffer_words
+                )
+            audit_conservation(
+                report, arch, workload=workload, traffic=traffic
+            ).raise_if_failed()
         return report
 
     @abc.abstractmethod

@@ -20,6 +20,10 @@ Commands
 ``sweep``
     Price a grid of (executor, model, sequence, architecture) points
     through the parallel sweep engine and its persistent cache.
+``validate``
+    Audit one grid point (served from the plan cache when possible)
+    with the schedule / tiling / conservation / oracle auditors and
+    optionally write the structured audit report as JSON.
 """
 
 from __future__ import annotations
@@ -291,6 +295,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Audit one grid point (cached plan or fresh computation)."""
+    from repro.core.serialize import save_audit_report
+    from repro.runner import GridPoint
+    from repro.validate.runner import validate_point
+
+    point = GridPoint(
+        executor=args.executor, model=args.model, seq_len=args.seq,
+        arch=args.arch, batch=args.batch, causal=args.causal,
+    )
+    audit, report = validate_point(point)
+    arch = named_architecture(args.arch)
+    rows = [
+        [auditor, passed, total]
+        for auditor, (passed, total) in sorted(
+            audit.counts().items()
+        )
+    ]
+    print(format_table(
+        ["auditor", "passed", "checks"],
+        rows,
+        title=f"audit of {audit.subject}",
+    ))
+    print(
+        f"report: latency {report.latency_seconds(arch):.4e}s, "
+        f"DRAM {report.dram_words():.3e} words, energy "
+        f"{report.energy(arch).total_pj / 1e12:.3f} J"
+    )
+    for check in audit.failures():
+        print(f"FAIL {check.auditor}.{check.name}: {check.detail}")
+    if args.out:
+        path = save_audit_report(audit, args.out)
+        print(f"audit report written to {path}")
+    if audit.ok:
+        print(f"OK: all {len(audit.checks)} checks passed")
+        return 0
+    return 1
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Re-run the benchmark harness for one paper figure."""
     import subprocess
@@ -423,6 +466,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.set_defaults(fn=cmd_sweep)
+
+    validate = sub.add_parser(
+        "validate",
+        help="audit one grid point with every invariant auditor",
+    )
+    _add_workload_args(validate)
+    validate.add_argument(
+        "--executor", default="transfusion",
+        help="executor registry name",
+    )
+    validate.add_argument(
+        "--out", default="",
+        help="write the audit report as JSON to this path",
+    )
+    validate.set_defaults(fn=cmd_validate)
 
     figures = sub.add_parser(
         "figures", help="regenerate a paper figure's table"

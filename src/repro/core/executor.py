@@ -30,6 +30,7 @@ from repro.sim.stats import PhaseStats
 from repro.model.config import ModelConfig
 from repro.tileseek.evaluate import dram_traffic_words
 from repro.tileseek.search import TileSeek, TileSeekResult
+from repro.validate.config import validation_enabled
 
 # The ModelConfig itself keys the cache (frozen dataclass): two models
 # with the same *name* but different shapes must not share tilings.
@@ -91,6 +92,15 @@ class TransFusionExecutor(ExecutorBase):
         sweeps across processes -- every ``reproduce_all`` benchmark
         subprocess would otherwise redo the MCTS).
         """
+        def audited(result: TileSeekResult) -> TileSeekResult:
+            if validation_enabled():
+                from repro.validate.tiling import audit_tiling
+
+                audit_tiling(
+                    result.config, result.assessment, workload, arch
+                ).raise_if_failed()
+            return result
+
         warm = self._warm_start
         key: _TilingKey = (
             workload.model,
@@ -104,7 +114,7 @@ class TransFusionExecutor(ExecutorBase):
             warm,
         )
         if key in _TILING_CACHE:
-            return _TILING_CACHE[key]
+            return audited(_TILING_CACHE[key])
         # Imported lazily: repro.core.__init__ imports this module, so
         # a module-level import of repro.runner would be circular.
         from repro.core.serialize import (
@@ -136,7 +146,7 @@ class TransFusionExecutor(ExecutorBase):
             if document is not None:
                 result = tileseek_result_from_dict(document)
                 _TILING_CACHE[key] = result
-                return result
+                return audited(result)
         searcher = TileSeek(
             iterations=self.tileseek_iterations, seed=self.seed
         )
@@ -147,7 +157,7 @@ class TransFusionExecutor(ExecutorBase):
                 tileseek_result_to_dict(result), payload,
             )
         _TILING_CACHE[key] = result
-        return result
+        return audited(result)
 
     # ------------------------------------------------------------------
     # DPipe integration

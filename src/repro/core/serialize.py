@@ -29,6 +29,7 @@ from repro.tileseek.buffer_model import TilingConfig
 from repro.tileseek.evaluate import TilingAssessment
 from repro.tileseek.mcts import MCTSStats
 from repro.tileseek.search import TileSeekResult
+from repro.validate.report import AuditCheck, AuditReport
 
 
 def plan_to_dict(
@@ -197,6 +198,57 @@ def tileseek_result_to_dict(result: TileSeekResult) -> Dict[str, Any]:
             "tree_nodes": stats.tree_nodes,
         },
     }
+
+
+def audit_report_to_dict(report: AuditReport) -> Dict[str, Any]:
+    """Flatten an :class:`AuditReport` into JSON-safe primitives."""
+    return {
+        "subject": report.subject,
+        "passed": report.ok,
+        "checks": [
+            {
+                "auditor": check.auditor,
+                "name": check.name,
+                "passed": check.passed,
+                "detail": check.detail,
+            }
+            for check in report.checks
+        ],
+    }
+
+
+def audit_report_from_dict(document: Dict[str, Any]) -> AuditReport:
+    """Rebuild an :class:`AuditReport` written by
+    :func:`audit_report_to_dict`."""
+    return AuditReport(
+        subject=document["subject"],
+        checks=[
+            AuditCheck(
+                auditor=check["auditor"],
+                name=check["name"],
+                passed=check["passed"],
+                detail=check["detail"],
+            )
+            for check in document["checks"]
+        ],
+    )
+
+
+def save_audit_report(
+    report: AuditReport, path: Union[str, Path]
+) -> Path:
+    """Write an audit report to ``path`` as canonical JSON.
+
+    Key-sorted, ``repr``-rendered floats: byte-stable across processes
+    and ``PYTHONHASHSEED`` values (the determinism suite asserts it).
+    """
+    path = Path(path)
+    path.write_text(
+        json.dumps(audit_report_to_dict(report), indent=2,
+                   sort_keys=True)
+        + "\n"
+    )
+    return path
 
 
 def tileseek_result_from_dict(

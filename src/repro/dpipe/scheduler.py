@@ -20,6 +20,7 @@ from typing import Dict, Mapping, Sequence, Set, Tuple
 
 from repro.arch.pe import PEArrayKind
 from repro.dpipe.latency import LatencyTable
+from repro.validate.config import validation_enabled
 
 #: Both scheduling resources, in deterministic tie-break order: the 2D
 #: array wins ties so GEMM-heavy schedules stay on the wide array.
@@ -109,9 +110,17 @@ def dp_schedule(
         time[best_kind] = best_end  # Eq. 46
         busy[best_kind] += best_latency
     makespan = max(end.values(), default=0.0)
-    return ScheduleResult(
+    result = ScheduleResult(
         makespan=makespan,
         assignment=assignment,
         end_times=end,
         busy_seconds=busy,
     )
+    if validation_enabled():
+        # Lazy import: the auditor imports this module for the replay.
+        from repro.validate.schedule import audit_schedule
+
+        audit_schedule(
+            order, preds, table, result, zero_latency
+        ).raise_if_failed()
+    return result

@@ -15,6 +15,7 @@ from typing import Tuple
 from repro.arch.spec import ArchitectureSpec, named_architecture
 from repro.runner.parallel import GridPoint, compute_report
 from repro.sim.stats import RunReport
+from repro.validate.config import validation_enabled
 
 #: The paper's sequence-length sweep (1K - 1M).
 DEFAULT_SEQ_LENGTHS: Tuple[int, ...] = (
@@ -38,12 +39,21 @@ def get_report(
 ) -> RunReport:
     """One executor's per-layer report, memoized in-process and
     served from the persistent sweep cache when available."""
-    return compute_report(
+    report = compute_report(
         GridPoint(
             executor=executor, model=model, seq_len=seq_len,
             arch=arch_name, batch=batch,
         )
     )
+    if validation_enabled():
+        # Cache-served reports skip the executor's run() hook; audit
+        # their conservation invariants here instead.
+        from repro.validate.conservation import audit_conservation
+
+        audit_conservation(
+            report, architecture(arch_name)
+        ).raise_if_failed()
+    return report
 
 
 @lru_cache(maxsize=None)

@@ -67,12 +67,19 @@ class TilingConfig:
         }
 
 
-def qkv_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
+def qkv_buffer_words(cfg: TilingConfig, model: ModelConfig) -> int:
     """Table 2, row 1: QKV projection tile footprint.
 
     The weight-slice term generalizes to grouped-query attention: the
     K and V slices carry ``kv_heads`` instead of ``heads`` (equal for
     classic MHA, recovering the paper's ``3*D*H*E``).
+
+    All Table-2 footprints are exact integer word counts: every term
+    is a product of integer tile factors, and the one fractional
+    quantity in the model -- tokens per PE row -- is ceil'd into
+    ``p_prime`` before it ever enters a formula.  Feasibility
+    comparisons against the (integer) buffer capacity are therefore
+    exact, with no float rounding at the boundary.
     """
     h, e = model.heads, model.e_head
     hk = model.effective_kv_heads
@@ -83,7 +90,7 @@ def qkv_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
     )
 
 
-def mha_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
+def mha_buffer_words(cfg: TilingConfig, model: ModelConfig) -> int:
     """Table 2, row 2: MHA tile footprint (inputs, recurrent state,
     output and per-Einsum staging buffers).
 
@@ -102,13 +109,13 @@ def mha_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
 
 def layernorm_buffer_words(
     cfg: TilingConfig, model: ModelConfig
-) -> float:
+) -> int:
     """Table 2, row 3: Add & LayerNorm tile footprint."""
     h, f = model.heads, model.f_head
     return 3 * cfg.b * h * f * cfg.p + 4 * h * f * cfg.p_prime
 
 
-def ffn_buffer_words(cfg: TilingConfig, model: ModelConfig) -> float:
+def ffn_buffer_words(cfg: TilingConfig, model: ModelConfig) -> int:
     """Table 2, row 4: FFN tile footprint."""
     h, f = model.heads, model.f_head
     return (
@@ -128,7 +135,7 @@ _MODULE_FNS = {
 
 def layer_buffer_requirement(
     module: str, cfg: TilingConfig, model: ModelConfig
-) -> float:
+) -> int:
     """Buffer words one fused module needs under ``cfg``."""
     if module not in _MODULE_FNS:
         raise KeyError(
@@ -140,7 +147,7 @@ def layer_buffer_requirement(
 
 def fused_buffer_requirement(
     cfg: TilingConfig, model: ModelConfig
-) -> float:
+) -> int:
     """Peak buffer words across the fused encoder layer.
 
     Modules execute one tile at a time, so the binding constraint is
@@ -156,13 +163,45 @@ def intra_tile_p_prime(p: int, rows: int) -> int:
     """Table 2's ``P'``: intra-tile sequence length per PE row.
 
     A ``p``-token tile spread over ``rows`` PE rows leaves each row
-    ``ceil(p / rows)`` tokens of pipeline-staging state.
+    ``ceil(p / rows)`` tokens of pipeline-staging state.  Integer
+    ceiling division (not float division + round) keeps the boundary
+    exact for tiles whose footprint lands on the capacity itself.
     """
     if p <= 0 or rows <= 0:
         raise ValueError("p and rows must be positive")
-    import math
+    return -(-p // rows)
 
-    return math.ceil(p / rows)
+
+#: Conservative minimal values for the factors a Q-tile bound does not
+#: search: one batch element, thin weight/hidden slices, one resident
+#: K/V tile.  Shared by the heuristic tiler, TileSeek's grid anchor
+#: and the tiling auditor, so their feasibility frontiers agree.
+MIN_COMPANION_FACTORS = {"b": 1, "d": 16, "m1": 1, "s": 16}
+
+
+def q_tile_fits(
+    p: int,
+    model: ModelConfig,
+    buffer_words: int,
+    m0: int,
+    rows: int,
+    modules: tuple = FUSED_MODULES,
+) -> bool:
+    """Whether a ``p``-token Q tile fits the buffer.
+
+    Evaluated with :data:`MIN_COMPANION_FACTORS` for the non-sequence
+    factors -- the most generous assumption, so this is the exact
+    feasibility frontier :func:`max_feasible_q_tile` bisects.
+    """
+    cfg = TilingConfig(
+        m0=m0, p=p, p_prime=intra_tile_p_prime(p, rows),
+        **MIN_COMPANION_FACTORS,
+    )
+    need = max(
+        layer_buffer_requirement(module, cfg, model)
+        for module in modules
+    )
+    return need <= buffer_words
 
 
 def max_feasible_q_tile(
@@ -192,19 +231,16 @@ def max_feasible_q_tile(
             fusion (FLAT / FuseMax).
 
     Returns:
-        The largest feasible ``p`` in ``[1, seq_len]``.
+        The largest feasible ``p`` in ``[1, seq_len]`` (the bound is
+        *tight*: ``p`` fits and ``p + 1`` does not, unless ``p`` is
+        the full sequence or even ``p = 1`` overflows).
     """
 
     def feasible(p: int) -> bool:
-        cfg = TilingConfig(
-            b=1, d=16, m1=1, m0=m0, p=p, s=16,
-            p_prime=intra_tile_p_prime(p, rows),
+        return q_tile_fits(
+            p, model, buffer_words, m0=m0, rows=rows,
+            modules=modules,
         )
-        need = max(
-            layer_buffer_requirement(module, cfg, model)
-            for module in modules
-        )
-        return need <= buffer_words
 
     low, high = 1, max(1, seq_len)
     if feasible(high):

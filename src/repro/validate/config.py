@@ -1,0 +1,52 @@
+"""Validation flag resolution (``REPRO_VALIDATE``).
+
+Auditing every schedule and tiling roughly doubles the cost of the
+planner's inner loops, so validation is *opt-in at runtime*: hot sweep
+paths leave it off, the test suite turns it on (``tests/conftest.py``
+defaults the environment variable to ``1``), and the ``repro
+validate`` CLI forces it for the point being audited.
+
+This module must stay dependency-free (standard library only): it is
+imported at module level by scheduler/executor hot paths, where any
+import back into the simulator would create a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment flag: truthy values enable auditing everywhere.
+ENV_VALIDATE = "REPRO_VALIDATE"
+
+#: Values of :data:`ENV_VALIDATE` read as "disabled".
+_FALSE_VALUES = ("", "0", "false", "no", "off")
+
+#: Programmatic override; ``None`` defers to the environment.
+_forced: Optional[bool] = None
+
+
+def validation_enabled() -> bool:
+    """Whether auditors should run (override, else environment)."""
+    if _forced is not None:
+        return _forced
+    value = os.environ.get(ENV_VALIDATE, "").strip().lower()
+    return value not in _FALSE_VALUES
+
+
+@contextmanager
+def force_validation(enabled: bool) -> Iterator[None]:
+    """Force validation on or off within a scope.
+
+    Used by the ``repro validate`` CLI (audit one point regardless of
+    the environment) and by sweep internals that must *never* audit
+    (e.g. when re-pricing a plan whose audit already ran).
+    """
+    global _forced
+    saved = _forced
+    _forced = bool(enabled)
+    try:
+        yield
+    finally:
+        _forced = saved

@@ -1,0 +1,188 @@
+"""Conservation auditor: words and energy must balance.
+
+Checks a :class:`~repro.sim.stats.RunReport` for physical
+consistency:
+
+* every extensive quantity is finite and non-negative,
+* per phase and per PE array, busy time never exceeds the phase
+  makespan, and the scalar-op count never exceeds what the array
+  could execute in its busy time (``PEs x clock x busy``),
+* register-file traffic covers at least the two accesses every scalar
+  op performs (operand fetch + accumulate),
+* the report's energy breakdown equals an independent
+  Sum(accesses x per-access energy) over the
+  :class:`~repro.arch.energy.EnergyModel` table, component by
+  component,
+* for the fused executor (when the TileSeek traffic decomposition is
+  supplied), per-phase DRAM words balance exactly against the tensor
+  footprints and streaming terms: activations + QKV weights for QKV,
+  K/V spill + reloads for MHA, zero for the on-chip LayerNorm, FFN
+  weights + activations for FFN -- and the phase total equals the
+  assessment's total.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from repro.arch.pe import PEArrayKind
+from repro.arch.spec import ArchitectureSpec
+from repro.model.workload import Workload
+from repro.sim.stats import RunReport
+from repro.validate.report import AuditReport
+
+AUDITOR = "conservation"
+
+#: Relative slack for inequalities over accumulated floats.
+REL_TOL = 1e-9
+
+
+def _close_or_below(value: float, bound: float) -> bool:
+    """``value <= bound`` up to accumulated rounding."""
+    return value <= bound * (1.0 + REL_TOL) + 1e-300
+
+
+def audit_conservation(
+    run: RunReport,
+    arch: ArchitectureSpec,
+    workload: Optional[Workload] = None,
+    traffic: Optional[Mapping[str, float]] = None,
+    subject: Optional[str] = None,
+    report: Optional[AuditReport] = None,
+) -> AuditReport:
+    """Audit one run report's word/energy balance."""
+    out = report if report is not None else AuditReport(
+        subject or f"{run.executor}:{run.workload}"
+    )
+
+    finite_ok = True
+    for phase in run.phases:
+        values = [
+            phase.compute_seconds, phase.dram_words, phase.ops_2d,
+            phase.ops_1d, phase.buffer_words, phase.rf_words,
+            *phase.busy_seconds.values(),
+        ]
+        bad = [v for v in values if not math.isfinite(v) or v < 0.0]
+        if bad:
+            finite_ok = out.record(
+                AUDITOR, "finite_nonnegative", False,
+                f"phase {phase.name!r} has {bad[0]!r}",
+            )
+            break
+    if finite_ok:
+        out.record(AUDITOR, "finite_nonnegative", True)
+    if not finite_ok:
+        return out
+
+    busy_ok = throughput_ok = rf_ok = True
+    for phase in run.phases:
+        ops = {
+            PEArrayKind.ARRAY_2D: phase.ops_2d,
+            PEArrayKind.ARRAY_1D: phase.ops_1d,
+        }
+        for kind, busy in phase.busy_seconds.items():
+            if busy_ok and not _close_or_below(
+                busy, phase.compute_seconds
+            ):
+                busy_ok = out.record(
+                    AUDITOR, "busy_within_makespan", False,
+                    f"phase {phase.name!r}: {kind.value} busy "
+                    f"{busy!r} > makespan {phase.compute_seconds!r}",
+                )
+            peak = arch.array(kind).num_pes * arch.clock_hz * busy
+            if throughput_ok and not _close_or_below(
+                ops[kind], peak
+            ):
+                throughput_ok = out.record(
+                    AUDITOR, "throughput_bound", False,
+                    f"phase {phase.name!r}: {ops[kind]!r} ops on "
+                    f"{kind.value} exceed peak {peak!r} for busy "
+                    f"{busy!r}s",
+                )
+        floor = 2.0 * (phase.ops_2d + phase.ops_1d)
+        if rf_ok and not _close_or_below(floor, phase.rf_words):
+            rf_ok = out.record(
+                AUDITOR, "register_floor", False,
+                f"phase {phase.name!r}: rf accesses "
+                f"{phase.rf_words!r} below 2 x ops = {floor!r}",
+            )
+    if busy_ok:
+        out.record(AUDITOR, "busy_within_makespan", True)
+    if throughput_ok:
+        out.record(AUDITOR, "throughput_bound", True)
+    if rf_ok:
+        out.record(AUDITOR, "register_floor", True)
+
+    # Energy: independent accumulation against the per-access table.
+    model = arch.energy
+    dram = buffer = rf = pe = 0.0
+    for phase in run.phases:
+        dram += phase.dram_words * model.dram_pj_per_word
+        buffer += phase.buffer_words * model.buffer_pj_per_word
+        rf += phase.rf_words * model.rf_pj_per_word
+        pe += (
+            phase.ops_2d * model.pe_2d_pj_per_op
+            + phase.ops_1d * model.pe_1d_pj_per_op
+        )
+    breakdown = run.energy(arch)
+    out.record(
+        AUDITOR, "energy_recompute",
+        breakdown.dram_pj == dram
+        and breakdown.buffer_pj == buffer
+        and breakdown.rf_pj == rf
+        and breakdown.pe_pj == pe,
+        f"recomputed (dram={dram!r}, buffer={buffer!r}, rf={rf!r}, "
+        f"pe={pe!r}) vs report ({breakdown.dram_pj!r}, "
+        f"{breakdown.buffer_pj!r}, {breakdown.rf_pj!r}, "
+        f"{breakdown.pe_pj!r})",
+    )
+
+    if traffic is not None and workload is not None:
+        activations = workload.activation_words
+        expected = {
+            "qkv": activations + traffic["qkv_weight_words"],
+            "mha": traffic["kv_words"],
+            "layernorm": 0.0,
+            "ffn": traffic["ffn_weight_words"] + activations,
+        }
+        balance_ok = True
+        for phase in run.phases:
+            want = expected.get(phase.name)
+            if want is None:
+                continue
+            if phase.dram_words != want:
+                balance_ok = out.record(
+                    AUDITOR, "phase_traffic_balance", False,
+                    f"phase {phase.name!r}: {phase.dram_words!r} "
+                    f"words, footprint model says {want!r}",
+                )
+                break
+        if balance_ok:
+            out.record(AUDITOR, "phase_traffic_balance", True)
+        total = sum(ph.dram_words for ph in run.phases)
+        out.record(
+            AUDITOR, "total_traffic_balance",
+            total == traffic["total"],
+            f"phase sum {total!r} vs assessment "
+            f"{traffic['total']!r}",
+        )
+        model_cfg = workload.model
+        qkv_floor = (
+            model_cfg.d_model * model_cfg.e_head
+            * (model_cfg.heads + 2 * model_cfg.effective_kv_heads)
+        )
+        ffn_floor = 2.0 * model_cfg.d_model * model_cfg.ffn_hidden
+        out.record(
+            AUDITOR, "weight_footprint_floor",
+            traffic["qkv_weight_words"] >= qkv_floor
+            and traffic["ffn_weight_words"] >= ffn_floor,
+            "streamed weights cover at least one full pass",
+        )
+        out.record(
+            AUDITOR, "kv_spill_floor",
+            traffic["kv_words"] >= workload.kv_spill_words,
+            f"K/V traffic {traffic['kv_words']!r} vs spill "
+            f"footprint {workload.kv_spill_words!r}",
+        )
+    return out

@@ -1,0 +1,221 @@
+"""Differential oracle: cascade DAGs vs simulator vs NumPy reference.
+
+Two independent cross-checks tie the simulator's compute accounting to
+ground truth:
+
+* **Operation counts** (:func:`audit_compute_counts`) -- the scalar-op
+  counts a fused report charges per phase must equal the cascade DAG's
+  Eq. 40 compute load summed over its operations: ``ops_2d + ops_1d =
+  scale x n_epochs x Sum(op loads on one tile)``, with ``scale`` the
+  causal work fraction for masked MHA and 2 for the twice-executed
+  Add & LayerNorm.  Independently, the cascade's GEMM loads at the
+  *full-problem* extents must reproduce the workload's closed-form MAC
+  counts (Eq. 25-27, QK/AV, Eq. 37/39) -- two derivations of the same
+  quantity that share no code.
+* **Numerics** (:func:`audit_cascade_numerics`) -- small random
+  problems executed through every Einsum cascade must match the
+  textbook :mod:`repro.reference.functional` implementation to float
+  tolerance, including the 1-pass streaming-softmax attention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.spec import ArchitectureSpec
+from repro.baselines.base import SUBLAYERS
+from repro.model.workload import Workload
+from repro.reference.functional import (
+    causal_mask,
+    feed_forward,
+    layer_norm,
+    multi_head_attention,
+    qkv_projection,
+)
+from repro.sim.stats import RunReport
+from repro.validate.report import AuditReport
+
+AUDITOR = "oracle"
+
+#: Relative tolerance for count identities (pure-float re-derivations).
+REL_TOL = 1e-9
+
+#: Absolute tolerance for numeric cascade-vs-reference comparisons.
+NUMERIC_ATOL = 1e-8
+
+
+def _isclose(a: float, b: float) -> bool:
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b), 1.0)
+
+
+def audit_compute_counts(
+    executor,
+    workload: Workload,
+    arch: ArchitectureSpec,
+    run: RunReport,
+    subject: str = "compute-counts",
+    report: Optional[AuditReport] = None,
+) -> AuditReport:
+    """Check a fused report's op counts against the cascade DAG.
+
+    Args:
+        executor: A fused executor exposing ``cascades`` /
+            ``inner_tile`` / ``epoch_count`` (the TransFusion
+            executor); its phase op counts are
+            ``n_epochs x per-tile cascade load``.
+        workload: The problem instance.
+        arch: Target architecture.
+        run: The report whose counts are audited.
+    """
+    out = report if report is not None else AuditReport(subject)
+    cascades = executor.cascades(
+        workload.model, masked=workload.causal
+    )
+    phase_scale = {
+        "mha": workload.attention_work_fraction,
+        "layernorm": 2.0,
+    }
+    counts_ok = True
+    for layer in SUBLAYERS:
+        cascade = cascades[layer]
+        tile = executor.inner_tile(workload, layer, arch)
+        n_epochs = executor.epoch_count(workload, layer, tile)
+        per_tile = sum(
+            op.compute_load(tile) for op in cascade.all_ops
+        )
+        expected = phase_scale.get(layer, 1.0) * n_epochs * per_tile
+        phase = run.phase(layer)
+        actual = phase.ops_2d + phase.ops_1d
+        if counts_ok and not _isclose(actual, expected):
+            counts_ok = out.record(
+                AUDITOR, "phase_op_counts", False,
+                f"phase {layer!r}: report charges {actual!r} ops, "
+                f"cascade DAG implies {expected!r} "
+                f"({n_epochs} epochs x {per_tile!r}/tile)",
+            )
+    if counts_ok:
+        out.record(AUDITOR, "phase_op_counts", True)
+
+    # GEMM loads at full extents vs the workload's closed-form MACs.
+    # The cascade prices dense attention; divide the analytic count by
+    # the causal work fraction to compare like with like.
+    analytic = {
+        "qkv": workload.qkv_macs / workload.batch,
+        "mha": (
+            workload.attention_macs
+            / workload.batch
+            / workload.attention_work_fraction
+        ),
+        "ffn": workload.ffn_macs / workload.batch,
+    }
+    macs_ok = True
+    for layer, expected in analytic.items():
+        extents = executor.layer_extents(workload, layer)
+        gemm_load = sum(
+            op.compute_load(extents)
+            for op in cascades[layer].all_ops
+            if op.is_gemm_like
+        )
+        if macs_ok and not _isclose(gemm_load, expected):
+            macs_ok = out.record(
+                AUDITOR, "gemm_macs_identity", False,
+                f"layer {layer!r}: cascade GEMMs carry "
+                f"{gemm_load!r} MACs/batch, closed form says "
+                f"{expected!r}",
+            )
+    if macs_ok:
+        out.record(AUDITOR, "gemm_macs_identity", True)
+    return out
+
+
+def audit_cascade_numerics(
+    activation: str = "gelu",
+    masked: bool = False,
+    seed: int = 1234,
+    extents: Optional[Dict[str, int]] = None,
+    subject: str = "cascade-numerics",
+    report: Optional[AuditReport] = None,
+) -> AuditReport:
+    """Execute every cascade on a small problem vs the NumPy reference."""
+    from repro.einsum.builders import (
+        attention_cascade,
+        ffn_cascade,
+        layernorm_cascade,
+        qkv_cascade,
+    )
+    from repro.einsum.evaluator import evaluate_cascade
+
+    out = report if report is not None else AuditReport(subject)
+    ext = dict(extents) if extents else {
+        "h": 2, "e": 3, "f": 3, "p": 4, "m1": 2, "m0": 3,
+        "d": 6, "s": 5,
+    }
+    rng = np.random.default_rng(seed)
+    h, e, f = ext["h"], ext["e"], ext["f"]
+    p, m1, m0 = ext["p"], ext["m1"], ext["m0"]
+    d, s = ext["d"], ext["s"]
+    m = m1 * m0
+
+    def close(label: str, got: np.ndarray, want: np.ndarray) -> None:
+        delta = float(np.max(np.abs(got - want))) if got.size else 0.0
+        out.record(
+            AUDITOR, label,
+            bool(np.all(np.isfinite(got)))
+            and delta <= NUMERIC_ATOL,
+            f"max abs deviation {delta:.3e}",
+        )
+
+    inp_q = rng.normal(size=(d, p))
+    inp_kv = rng.normal(size=(d, m1, m0))
+    wq = rng.normal(size=(d, h, e))
+    wk = rng.normal(size=(d, h, e))
+    wv = rng.normal(size=(d, h, f))
+    got = evaluate_cascade(
+        qkv_cascade(),
+        {"INP_Q": inp_q, "INP_KV": inp_kv, "WQ": wq, "WK": wk,
+         "WV": wv},
+        ext,
+    )
+    ref = qkv_projection(inp_q, inp_kv.reshape(d, m), wq, wk, wv)
+    close("qkv_numerics_q", got["Q"], ref["Q"])
+    close("qkv_numerics_k", got["BK"].reshape(h, e, m), ref["K"])
+    close("qkv_numerics_v", got["BV"].reshape(h, f, m), ref["V"])
+
+    q = rng.normal(size=(h, e, p))
+    bk = rng.normal(size=(h, e, m1, m0))
+    bv = rng.normal(size=(h, f, m1, m0))
+    inputs = {"Q": q, "BK": bk, "BV": bv}
+    mask = None
+    if masked:
+        mask = causal_mask(m, p)
+        inputs["MASK"] = mask.reshape(m1, m0, p)
+    got = evaluate_cascade(attention_cascade(masked=masked),
+                           inputs, ext)
+    ref_av = multi_head_attention(
+        q, bk.reshape(h, e, m), bv.reshape(h, f, m), mask=mask
+    )
+    close("attention_numerics", got["AV"], ref_av)
+
+    inp = rng.normal(size=(h, f, p))
+    av = rng.normal(size=(h, f, p))
+    got = evaluate_cascade(
+        layernorm_cascade(), {"INP": inp, "AV": av}, ext
+    )
+    close("layernorm_numerics", got["NR"], layer_norm(inp, av))
+
+    nr = rng.normal(size=(h, f, p))
+    wf1 = rng.normal(size=(h, f, s))
+    bf1 = rng.normal(size=(s,))
+    wf2 = rng.normal(size=(h, f, s))
+    bf2 = rng.normal(size=(h, f))
+    got = evaluate_cascade(
+        ffn_cascade(activation),
+        {"NR": nr, "WF1": wf1, "BF1": bf1, "WF2": wf2, "BF2": bf2},
+        ext,
+    )
+    ref_ffn = feed_forward(nr, wf1, bf1, wf2, bf2,
+                           activation=activation)
+    close("ffn_numerics", got["FFN2"], ref_ffn)
+    return out

@@ -1,0 +1,112 @@
+"""Structured audit outcomes.
+
+Every auditor records its individual checks into an
+:class:`AuditReport`; hooks raise :class:`AuditViolation` (carrying
+the report) when any check fails, and the ``repro validate`` CLI
+serializes the full report via :mod:`repro.core.serialize`.
+
+This module must stay free of simulator imports -- it is re-exported
+from ``repro.validate`` and imported by :mod:`repro.core.serialize`,
+which sits underneath most of the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class AuditCheck:
+    """One verified invariant.
+
+    Attributes:
+        auditor: Which auditor ran the check (``schedule`` /
+            ``tiling`` / ``conservation`` / ``oracle``).
+        name: Short invariant identifier (e.g. ``dependency_order``).
+        passed: Whether the invariant held.
+        detail: Human-readable context; failure details include the
+            observed vs expected quantities.
+    """
+
+    auditor: str
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+class AuditViolation(AssertionError):
+    """An audited invariant failed.
+
+    Derives from :class:`AssertionError` so hook-raised violations
+    fail tests loudly; carries the full report for diagnostics.
+    """
+
+    def __init__(self, report: "AuditReport") -> None:
+        self.report = report
+        lines = [
+            f"{check.auditor}.{check.name}: {check.detail or 'failed'}"
+            for check in report.failures()
+        ]
+        super().__init__(
+            f"audit of {report.subject!r} failed "
+            f"{len(lines)} check(s):\n  " + "\n  ".join(lines)
+        )
+
+
+@dataclass
+class AuditReport:
+    """Accumulated checks from one or more auditors.
+
+    Attributes:
+        subject: What was audited (a workload/schedule label).
+        checks: Every check recorded, in execution order.
+    """
+
+    subject: str
+    checks: List[AuditCheck] = field(default_factory=list)
+
+    def record(
+        self,
+        auditor: str,
+        name: str,
+        passed: bool,
+        detail: str = "",
+    ) -> bool:
+        """Append one check outcome; returns ``passed`` for chaining."""
+        self.checks.append(
+            AuditCheck(
+                auditor=auditor, name=name, passed=bool(passed),
+                detail=detail,
+            )
+        )
+        return bool(passed)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every recorded check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> List[AuditCheck]:
+        """The failed checks, in order."""
+        return [check for check in self.checks if not check.passed]
+
+    def merge(self, other: "AuditReport") -> "AuditReport":
+        """Absorb another report's checks (returns ``self``)."""
+        self.checks.extend(other.checks)
+        return self
+
+    def counts(self) -> Dict[str, Tuple[int, int]]:
+        """Per-auditor ``(passed, total)`` counts."""
+        totals: Dict[str, Tuple[int, int]] = {}
+        for check in self.checks:
+            passed, total = totals.get(check.auditor, (0, 0))
+            totals[check.auditor] = (
+                passed + (1 if check.passed else 0), total + 1
+            )
+        return totals
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`AuditViolation` if any check failed."""
+        if not self.ok:
+            raise AuditViolation(self)

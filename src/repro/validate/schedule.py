@@ -1,0 +1,188 @@
+"""Schedule auditor: is a :class:`ScheduleResult` self-consistent?
+
+Given the same inputs the DP scheduler saw (topological order,
+predecessor map, latency table), the auditor proves four properties of
+a recorded schedule:
+
+* **Coverage / dependency order** -- every node is scheduled exactly
+  once and no node precedes a predecessor.
+* **Epoch legality** -- inside a pipeline window (Figure 7d), the
+  current epoch's subgraph may feed the next epoch's, never the
+  reverse: a ``cur.``-prefixed node must not depend on a ``nxt.`` one.
+* **Exclusive PE-array booking** -- the execution intervals implied by
+  the recorded end times and latencies never overlap on either array.
+* **Exact earliest-finish replay** -- re-running the Eq. 43-46
+  arithmetic under the *recorded* array choices reproduces every end
+  time, the busy accounting and the makespan bit-for-bit, and every
+  recorded choice is Eq. 45's argmin (with the 2D tie-break).
+
+All comparisons are exact float equality: the replay performs the
+identical arithmetic, so any drift signals a real inconsistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.dpipe.latency import LatencyTable
+from repro.dpipe.pipeline import CURRENT, NEXT
+from repro.dpipe.scheduler import ARRAYS, ScheduleResult, _strip_epoch
+from repro.validate.report import AuditReport
+
+AUDITOR = "schedule"
+
+
+def _node_latency(
+    node: str,
+    kind: PEArrayKind,
+    table: LatencyTable,
+    zero_latency: Set[str],
+) -> float:
+    if node in zero_latency:
+        return 0.0
+    return table.latency(_strip_epoch(node), kind)
+
+
+def audit_schedule(
+    order: Sequence[str],
+    preds: Mapping[str, Set[str]],
+    table: LatencyTable,
+    result: ScheduleResult,
+    zero_latency: Set[str] = frozenset(),
+    subject: str = "schedule",
+    report: Optional[AuditReport] = None,
+) -> AuditReport:
+    """Audit one schedule against the inputs that produced it."""
+    out = report if report is not None else AuditReport(subject)
+    nodes = list(order)
+    node_set = set(nodes)
+
+    out.record(
+        AUDITOR, "coverage",
+        len(nodes) == len(node_set)
+        and set(result.assignment) == node_set
+        and set(result.end_times) == node_set,
+        f"{len(nodes)} order entries, "
+        f"{len(result.assignment)} assigned, "
+        f"{len(result.end_times)} end times",
+    )
+
+    seen: Set[str] = set()
+    order_ok = True
+    for node in nodes:
+        for pred in preds.get(node, ()):
+            if pred in node_set and pred not in seen:
+                order_ok = out.record(
+                    AUDITOR, "dependency_order", False,
+                    f"{node!r} scheduled before predecessor {pred!r}",
+                )
+                break
+        seen.add(node)
+        if not order_ok:
+            break
+    if order_ok:
+        out.record(AUDITOR, "dependency_order", True)
+
+    epoch_ok = True
+    for node in nodes:
+        if not node.startswith(CURRENT):
+            continue
+        bad = [
+            pred for pred in preds.get(node, ())
+            if pred.startswith(NEXT)
+        ]
+        if bad:
+            epoch_ok = out.record(
+                AUDITOR, "epoch_legality", False,
+                f"current-epoch node {node!r} depends on "
+                f"next-epoch {bad[0]!r}",
+            )
+            break
+    if epoch_ok:
+        out.record(AUDITOR, "epoch_legality", True)
+
+    if not out.ok:
+        return out  # replay needs a well-formed schedule
+
+    # Exact replay of Eq. 43-46 under the recorded assignment.
+    time: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    end: Dict[str, float] = {}
+    busy: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    intervals: Dict[PEArrayKind, List[Tuple[float, float, str]]] = {
+        kind: [] for kind in ARRAYS
+    }
+    replay_ok = greedy_ok = True
+    for node in nodes:
+        dep_ready = max(
+            (end[p] for p in preds.get(node, ()) if p in end),
+            default=0.0,
+        )
+        best_kind = ARRAYS[0]
+        best_end = float("inf")
+        for kind in ARRAYS:
+            latency = _node_latency(node, kind, table, zero_latency)
+            finish = max(time[kind], dep_ready) + latency
+            if finish < best_end:  # strict: 2D wins ties (Eq. 45)
+                best_kind = kind
+                best_end = finish
+        kind = result.assignment[node]
+        if greedy_ok and (
+            kind is not best_kind
+            or best_end != result.end_times[node]
+        ):
+            greedy_ok = out.record(
+                AUDITOR, "greedy_optimality", False,
+                f"{node!r} assigned to {kind.value} finishing at "
+                f"{result.end_times[node]!r}; Eq. 45 picks "
+                f"{best_kind.value} finishing at {best_end!r}",
+            )
+        latency = _node_latency(node, kind, table, zero_latency)
+        start = max(time[kind], dep_ready)  # Eq. 43
+        finish = start + latency  # Eq. 44
+        if replay_ok and finish != result.end_times.get(node):
+            replay_ok = out.record(
+                AUDITOR, "earliest_finish", False,
+                f"{node!r}: recorded end "
+                f"{result.end_times.get(node)!r}, replay {finish!r}",
+            )
+        if latency > 0.0:
+            intervals[kind].append((start, finish, node))
+        end[node] = finish
+        time[kind] = finish  # Eq. 46
+        busy[kind] += latency
+    if replay_ok:
+        out.record(AUDITOR, "earliest_finish", True)
+    if greedy_ok:
+        out.record(AUDITOR, "greedy_optimality", True)
+
+    booking_ok = True
+    for kind in ARRAYS:
+        slots = sorted(intervals[kind])
+        for (s0, e0, n0), (s1, e1, n1) in zip(slots, slots[1:]):
+            if s1 < e0:
+                booking_ok = out.record(
+                    AUDITOR, "array_exclusive", False,
+                    f"{kind.value}: {n0!r} [{s0!r}, {e0!r}) overlaps "
+                    f"{n1!r} [{s1!r}, {e1!r})",
+                )
+                break
+        if not booking_ok:
+            break
+    if booking_ok:
+        out.record(AUDITOR, "array_exclusive", True)
+
+    expected_makespan = max(end.values(), default=0.0)
+    out.record(
+        AUDITOR, "makespan",
+        result.makespan == expected_makespan,
+        f"recorded {result.makespan!r}, "
+        f"recomputed {expected_makespan!r}",
+    )
+    out.record(
+        AUDITOR, "busy_accounting",
+        all(result.busy_seconds[kind] == busy[kind]
+            for kind in ARRAYS),
+        "per-array assigned-latency totals",
+    )
+    return out

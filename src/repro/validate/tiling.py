@@ -1,0 +1,155 @@
+"""Tiling auditor: accepted tilings fit, rejected ones don't.
+
+Re-derives every quantity in a :class:`TilingAssessment` from first
+principles -- the Table-2 buffer model and the fused-dataflow traffic
+model -- and compares exactly:
+
+* the tiling's fixed factors match the PE mapping (``m0`` = 2D-array
+  columns, ``p' = ceil(p / rows)``),
+* the recorded peak buffer requirement equals a fresh
+  :func:`fused_buffer_requirement` evaluation, and the feasibility
+  flag equals ``requirement <= capacity``,
+* an *accepted* configuration (TileSeek's winner) genuinely fits,
+* DRAM words, transfer seconds, DRAM energy and the K/V / weight pass
+  counts all equal a fresh :func:`dram_traffic_words` pricing,
+* the heuristic Q-tile bound is *tight*: the returned ``p`` fits and
+  ``p + 1`` does not (unless ``p`` is the full sequence),
+* every explicitly *rejected* incumbent genuinely overflows the
+  buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.spec import ArchitectureSpec
+from repro.model.workload import Workload
+from repro.tileseek.buffer_model import (
+    TilingConfig,
+    fused_buffer_requirement,
+    intra_tile_p_prime,
+    max_feasible_q_tile,
+    q_tile_fits,
+)
+from repro.tileseek.evaluate import (
+    TilingAssessment,
+    dram_traffic_words,
+)
+from repro.validate.report import AuditReport
+
+AUDITOR = "tiling"
+
+
+def audit_tiling(
+    config: TilingConfig,
+    assessment: TilingAssessment,
+    workload: Workload,
+    arch: ArchitectureSpec,
+    rejected: Sequence[TilingConfig] = (),
+    subject: str = "tiling",
+    report: Optional[AuditReport] = None,
+) -> AuditReport:
+    """Audit one accepted tiling (and optional rejected incumbents)."""
+    out = report if report is not None else AuditReport(subject)
+    model = workload.model
+    array = arch.array_2d
+
+    out.record(
+        AUDITOR, "m0_matches_array",
+        config.m0 == array.cols,
+        f"m0={config.m0}, 2D columns={array.cols}",
+    )
+    expected_p_prime = intra_tile_p_prime(config.p, array.rows)
+    out.record(
+        AUDITOR, "p_prime_ceil",
+        config.p_prime == expected_p_prime,
+        f"p'={config.p_prime}, ceil({config.p}/{array.rows})="
+        f"{expected_p_prime}",
+    )
+
+    required = fused_buffer_requirement(config, model)
+    out.record(
+        AUDITOR, "buffer_recompute",
+        required == assessment.buffer_words_required,
+        f"recorded {assessment.buffer_words_required!r}, "
+        f"recomputed {required!r}",
+    )
+    fits = required <= arch.buffer_words
+    out.record(
+        AUDITOR, "feasibility_flag",
+        assessment.feasible == fits,
+        f"flag {assessment.feasible}, requirement {required!r} vs "
+        f"capacity {arch.buffer_words}",
+    )
+    out.record(
+        AUDITOR, "accepted_fits",
+        fits,
+        f"accepted tiling needs {required!r} of "
+        f"{arch.buffer_words} words",
+    )
+
+    traffic = dram_traffic_words(config, workload, arch.buffer_words)
+    out.record(
+        AUDITOR, "traffic_recompute",
+        traffic["total"] == assessment.dram_words,
+        f"recorded {assessment.dram_words!r}, "
+        f"recomputed {traffic['total']!r}",
+    )
+    out.record(
+        AUDITOR, "pass_counts",
+        int(traffic["kv_passes"]) == assessment.kv_passes
+        and int(traffic["weight_passes"])
+        == assessment.weight_passes,
+        f"kv {assessment.kv_passes} vs {traffic['kv_passes']}, "
+        f"weights {assessment.weight_passes} vs "
+        f"{traffic['weight_passes']}",
+    )
+    out.record(
+        AUDITOR, "dram_seconds",
+        assessment.dram_seconds == arch.dram_seconds(
+            traffic["total"]
+        ),
+        "transfer time equals words / bandwidth",
+    )
+    out.record(
+        AUDITOR, "dram_energy",
+        assessment.energy_pj == arch.energy.dram_energy_pj(
+            traffic["total"]
+        ),
+        "DRAM energy equals words x per-access energy",
+    )
+
+    bound = max_feasible_q_tile(
+        model, workload.seq_len, arch.buffer_words,
+        m0=array.cols, rows=array.rows,
+    )
+    tight = q_tile_fits(
+        bound, model, arch.buffer_words, m0=array.cols,
+        rows=array.rows,
+    ) and (
+        bound == max(1, workload.seq_len)
+        or not q_tile_fits(
+            bound + 1, model, arch.buffer_words, m0=array.cols,
+            rows=array.rows,
+        )
+    )
+    # A fully infeasible axis legitimately returns the p=1 floor.
+    if bound == 1 and not q_tile_fits(
+        1, model, arch.buffer_words, m0=array.cols, rows=array.rows
+    ):
+        tight = True
+    out.record(
+        AUDITOR, "q_tile_bound_tight",
+        tight,
+        f"max_feasible_q_tile={bound} for P={workload.seq_len}",
+    )
+
+    for index, incumbent in enumerate(rejected):
+        need = fused_buffer_requirement(incumbent, model)
+        out.record(
+            AUDITOR, "rejected_overflows",
+            need > arch.buffer_words,
+            f"rejected[{index}] {incumbent.as_dict()} needs "
+            f"{need!r} of {arch.buffer_words} words",
+        )
+    return out

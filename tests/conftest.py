@@ -12,6 +12,12 @@ from repro.model.config import ModelConfig, named_model
 from repro.model.workload import Workload
 
 
+#: Validation is on by default in the suite (explicit REPRO_VALIDATE=0
+#: still wins): every schedule, tiling and report the tests produce is
+#: audited in place.
+os.environ.setdefault("REPRO_VALIDATE", "1")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_sweep_cache(tmp_path_factory):
     """Point the persistent sweep cache at a per-session temp dir so

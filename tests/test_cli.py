@@ -152,3 +152,40 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "cache:" not in out
+
+
+class TestValidateCommand:
+    def test_validate_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.executor == "transfusion"
+        assert not args.out
+
+    def test_validate_passes_and_writes_report(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        out_path = tmp_path / "audit.json"
+        rc = main([
+            "validate", "--model", "bert", "--seq", "512",
+            "--batch", "4", "--arch", "edge",
+            "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for auditor in ("schedule", "tiling", "conservation",
+                        "oracle"):
+            assert auditor in out
+        assert "OK" in out
+        document = json.loads(out_path.read_text())
+        assert document["passed"] is True
+        assert document["checks"]
+
+    def test_validate_unfused_runs_subset(self, capsys):
+        rc = main([
+            "validate", "--executor", "unfused", "--model", "t5",
+            "--seq", "512", "--batch", "4", "--arch", "edge",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conservation" in out and "oracle" in out

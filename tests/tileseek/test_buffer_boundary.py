@@ -1,0 +1,130 @@
+"""Boundary behaviour of the integer Table-2 buffer model.
+
+The footprint formulas are exact integer arithmetic -- the only
+fractional quantity (tokens per PE row) is ceil'd into ``p_prime``
+before entering any formula -- so feasibility at the capacity
+boundary is exact: a tiling needing exactly the buffer fits, one word
+over does not, with no float rounding to blur the edge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+from repro.arch.spec import edge_architecture
+from repro.model.config import named_model
+from repro.tileseek.buffer_model import (
+    FUSED_MODULES,
+    MIN_COMPANION_FACTORS,
+    TilingConfig,
+    fused_buffer_requirement,
+    intra_tile_p_prime,
+    layer_buffer_requirement,
+    max_feasible_q_tile,
+    q_tile_fits,
+)
+from repro.tileseek.evaluate import assess_tiling
+
+
+def sample_config() -> TilingConfig:
+    return TilingConfig(b=2, d=32, m1=2, m0=16, p=48, s=32, p_prime=3)
+
+
+class TestIntegerWords:
+    def test_every_row_returns_int(self):
+        model = named_model("bert")
+        cfg = sample_config()
+        for module in FUSED_MODULES:
+            need = layer_buffer_requirement(module, cfg, model)
+            assert type(need) is int
+        assert type(fused_buffer_requirement(cfg, model)) is int
+
+    def test_p_prime_is_exact_ceiling(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            p = rng.randint(1, 10000)
+            rows = rng.randint(1, 512)
+            assert intra_tile_p_prime(p, rows) == math.ceil(p / rows)
+
+    def test_p_prime_row_boundary(self):
+        assert intra_tile_p_prime(128, 128) == 1
+        assert intra_tile_p_prime(129, 128) == 2
+        assert intra_tile_p_prime(1, 128) == 1
+
+
+class TestExactCapacityBoundary:
+    def test_exact_fit_feasible_one_word_under_not(self):
+        model = named_model("bert")
+        arch = edge_architecture()
+        rows, cols = arch.array_2d.rows, arch.array_2d.cols
+        p = 64
+        cfg = TilingConfig(
+            m0=cols, p=p, p_prime=intra_tile_p_prime(p, rows),
+            **MIN_COMPANION_FACTORS,
+        )
+        need = fused_buffer_requirement(cfg, model)
+        assert q_tile_fits(p, model, need, m0=cols, rows=rows)
+        assert not q_tile_fits(p, model, need - 1, m0=cols, rows=rows)
+
+    def test_assess_tiling_flips_at_the_boundary(self, small_workload):
+        arch = edge_architecture()
+        rows, cols = arch.array_2d.rows, arch.array_2d.cols
+        cfg = TilingConfig(
+            m0=cols, p=32, p_prime=intra_tile_p_prime(32, rows),
+            **MIN_COMPANION_FACTORS,
+        )
+        need = fused_buffer_requirement(cfg, small_workload.model)
+        word = arch.word_bytes
+        exact = dataclasses.replace(
+            arch,
+            buffer=dataclasses.replace(
+                arch.buffer, capacity_bytes=need * word
+            ),
+        )
+        assert exact.buffer_words == need
+        assert assess_tiling(cfg, small_workload, exact).feasible
+        under = dataclasses.replace(
+            arch,
+            buffer=dataclasses.replace(
+                arch.buffer, capacity_bytes=(need - 1) * word
+            ),
+        )
+        assert not assess_tiling(cfg, small_workload, under).feasible
+
+
+class TestQTileBoundTightness:
+    def test_bound_is_tight_across_random_budgets(self):
+        model = named_model("t5")
+        arch = edge_architecture()
+        rows, cols = arch.array_2d.rows, arch.array_2d.cols
+        rng = random.Random(11)
+        seq = 4096
+        for _ in range(50):
+            budget = rng.randint(10_000, 5_000_000)
+            bound = max_feasible_q_tile(
+                model, seq, budget, m0=cols, rows=rows
+            )
+            assert 1 <= bound <= seq
+            if q_tile_fits(1, model, budget, m0=cols, rows=rows):
+                assert q_tile_fits(
+                    bound, model, budget, m0=cols, rows=rows
+                )
+                if bound < seq:
+                    assert not q_tile_fits(
+                        bound + 1, model, budget, m0=cols, rows=rows
+                    )
+            else:
+                # Even one token overflows: the p = 1 floor stands in.
+                assert bound == 1
+
+    def test_full_sequence_returned_when_everything_fits(self):
+        model = named_model("bert")
+        arch = edge_architecture()
+        rows, cols = arch.array_2d.rows, arch.array_2d.cols
+        seq = 64
+        huge = 1 << 40
+        assert max_feasible_q_tile(
+            model, seq, huge, m0=cols, rows=rows
+        ) == seq
