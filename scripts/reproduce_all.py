@@ -29,7 +29,7 @@ def run(args: list) -> int:
     return subprocess.call(args, cwd=REPO)
 
 
-def prewarm(jobs: int) -> None:
+def prewarm(jobs: int, retries: int, timeout: float) -> bool:
     """Populate the persistent cache over the main figure grid.
 
     The grid matches Figures 8-13's hot loop (Llama3 across the
@@ -37,6 +37,14 @@ def prewarm(jobs: int) -> None:
     edge); warm starting is left off so the cache keys match
     the figures' cold :func:`repro.experiments.runner.get_report`
     lookups exactly.
+
+    Runs fault-tolerantly: failed chains retry with deterministic
+    backoff, completed points are journaled (so a killed prewarm
+    resumes where it stopped on the next invocation), and any point
+    that still fails is reported and *skipped* -- the per-figure
+    benchmark that needs it will recompute it, so a flaky chain
+    never sinks the whole reproduction.  Returns whether every point
+    prewarmed cleanly.
     """
     from repro.experiments.fig08_speedup import EXECUTORS
     from repro.experiments.runner import (
@@ -44,7 +52,7 @@ def prewarm(jobs: int) -> None:
         DEFAULT_SEQ_LENGTHS,
         EVAL_MODELS,
     )
-    from repro.runner import GridPoint, run_grid
+    from repro.runner import GridPoint, default_journal_path, run_grid
 
     executors = ("unfused",) + EXECUTORS
     points = [
@@ -61,12 +69,29 @@ def prewarm(jobs: int) -> None:
         for model in EVAL_MODELS
     ]
     start = time.perf_counter()
-    run_grid(points, jobs=jobs)
+    result = run_grid(
+        points,
+        jobs=jobs,
+        retries=retries,
+        timeout=timeout if timeout > 0 else None,
+        strict=False,
+        journal=default_journal_path(points),
+        resume=True,
+    )
+    counts = ", ".join(
+        f"{status}={count}"
+        for status, count in sorted(result.counts().items())
+    )
     print(
-        f"prewarmed {len(set(points))} grid points in "
-        f"{time.perf_counter() - start:.1f}s (jobs={jobs})",
+        f"prewarmed {len(result)}/{len(result.points)} grid points "
+        f"in {time.perf_counter() - start:.1f}s "
+        f"(jobs={jobs}; {counts})",
         flush=True,
     )
+    for point in result.failed_points():
+        print(f"  PREWARM {result.statuses[point].upper()}: "
+              f"{result.failures[point]}", flush=True)
+    return result.ok
 
 
 def headline() -> None:
@@ -114,9 +139,19 @@ def main() -> int:
         "--jobs", type=int, default=1,
         help="processes used to prewarm the sweep cache",
     )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed prewarm chain",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-chain prewarm timeout in seconds (0: unlimited)",
+    )
     args = parser.parse_args()
     sys.path.insert(0, str(REPO / "src"))
-    prewarm(args.jobs)
+    if not prewarm(args.jobs, args.retries, args.timeout):
+        print("prewarm left gaps; benchmarks will recompute them",
+              flush=True)
     if not args.skip_tests:
         rc = run([sys.executable, "-m", "pytest", "tests/"])
         if rc:

@@ -251,7 +251,12 @@ def cmd_decode(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Price a grid of points through the sweep engine."""
-    from repro.runner import GridPoint, default_cache, run_grid
+    from repro.runner import (
+        GridPoint,
+        default_cache,
+        default_journal_path,
+        run_grid,
+    )
 
     points = [
         GridPoint(
@@ -263,11 +268,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for executor in args.executors
         for seq in args.seqs
     ]
+    journal = args.journal or None
+    if journal is None and args.resume:
+        # --resume without --journal: the canonical per-grid journal
+        # under the cache root, so a rerun of the same command line
+        # finds the previous run's checkpoints automatically.
+        journal = default_journal_path(points, args.warm_start)
+    if journal is not None and args.no_cache:
+        print(
+            "warning: --no-cache disables the persistent layer; the "
+            "journal cannot checkpoint or resume without it",
+            file=sys.stderr,
+        )
+        journal = None
     reports = run_grid(
         points,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         warm_start=args.warm_start,
+        timeout=args.timeout,
+        retries=args.retries,
+        strict=not args.keep_going,
+        journal=journal,
+        resume=args.resume,
     )
     rows = []
     for point, report in reports.items():
@@ -280,19 +303,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             report.energy(arch).total_pj / 1e12,
             report.dram_words(),
         ])
+    counts = reports.counts()
+    summary = ", ".join(
+        f"{status}={count}" for status, count in sorted(counts.items())
+    )
     print(format_table(
         ["executor", "model", "seq", "arch", "latency (s)",
          "2D util", "energy (J)", "DRAM words"],
         rows,
-        title=f"sweep over {len(rows)} points (B={args.batch})",
+        title=(
+            f"sweep over {len(reports.points)} points "
+            f"(B={args.batch}; {summary})"
+        ),
     ))
+    for point in reports.failed_points():
+        failure = reports.failures[point]
+        print(
+            f"{reports.statuses[point].upper()} {point.executor}/"
+            f"{point.model}/seq={point.seq_len}/{point.arch}: "
+            f"{failure}",
+            file=sys.stderr,
+        )
     cache = None if args.no_cache else default_cache()
     if cache is not None:
         print(
             f"cache: {cache.root} "
             f"({cache.entry_count()} entries on disk)"
         )
-    return 0
+    if journal is not None:
+        print(f"journal: {journal}")
+    return 0 if reports.ok else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -463,6 +503,42 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "warm-start each TileSeek search from the neighboring "
             "sequence length's best assignment"
+        ),
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-chain timeout in seconds (default: REPRO_TIMEOUT, "
+            "else unlimited; enforced with --jobs > 1)"
+        ),
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help=(
+            "extra attempts per failed chain with deterministic "
+            "backoff (default: REPRO_RETRIES, else 0)"
+        ),
+    )
+    sweep.add_argument(
+        "--keep-going", action="store_true",
+        help=(
+            "degrade gracefully: report per-point failures instead "
+            "of aborting on the first one (exit 1 if any failed)"
+        ),
+    )
+    sweep.add_argument(
+        "--journal", default="", metavar="PATH",
+        help=(
+            "checkpoint each completed point's cache key to this "
+            "file as chains finish"
+        ),
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "reload the journal (default: the canonical per-grid "
+            "path under the cache root) and skip points already "
+            "completed by a previous, possibly killed, run"
         ),
     )
     sweep.set_defaults(fn=cmd_sweep)

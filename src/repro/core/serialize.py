@@ -17,6 +17,7 @@ dump/load cycle bit-identically.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -170,6 +171,119 @@ def report_from_dict(document: Dict[str, Any]) -> RunReport:
         architecture=document["architecture"],
         phases=[phase_from_dict(ph) for ph in document["phases"]],
     )
+
+
+# ----------------------------------------------------------------------
+# SweepResult / failure-taxonomy round-trip
+# ----------------------------------------------------------------------
+#: Constructor-aligned fields per serializable failure type.
+_FAILURE_FIELDS = {
+    "PointFailure": (
+        "point", "chain_index", "attempt", "error_type", "message",
+    ),
+    "ChainTimeout": ("chain_index", "seconds", "attempt"),
+    "WorkerCrash": ("chain_index", "attempt", "detail"),
+    "CacheCorruption": ("path", "detail"),
+}
+
+
+def failure_to_dict(failure: Any) -> Dict[str, Any]:
+    """Flatten one :class:`~repro.runner.faults.SweepError` into
+    JSON-safe primitives.
+
+    Typed failures round-trip field by field; anything else degrades
+    to a generic ``SweepError`` entry carrying its message.
+    """
+    name = type(failure).__name__
+    fields = _FAILURE_FIELDS.get(name)
+    if fields is None:
+        return {"type": "SweepError", "message": str(failure)}
+    document: Dict[str, Any] = {"type": name}
+    for field in fields:
+        value = getattr(failure, field)
+        if dataclasses.is_dataclass(value) and not isinstance(
+            value, type
+        ):
+            value = dataclasses.asdict(value)
+        elif isinstance(value, Path):
+            value = str(value)
+        document[field] = value
+    return document
+
+
+def failure_from_dict(document: Dict[str, Any]) -> Any:
+    """Rebuild a failure written by :func:`failure_to_dict`."""
+    from repro.runner import faults
+    from repro.runner.parallel import GridPoint
+
+    name = document["type"]
+    fields = _FAILURE_FIELDS.get(name)
+    if fields is None:
+        return faults.SweepError(document.get("message", ""))
+    values = []
+    for field in fields:
+        value = document[field]
+        if name == "PointFailure" and field == "point" and isinstance(
+            value, dict
+        ):
+            value = GridPoint(**value)
+        values.append(value)
+    return getattr(faults, name)(*values)
+
+
+def sweep_result_to_dict(result: Any) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.runner.parallel.SweepResult` into
+    JSON-safe primitives (reports, statuses and typed failures, all
+    aligned with the point list)."""
+    points = result.points
+    return {
+        "points": [dataclasses.asdict(point) for point in points],
+        "statuses": [result.statuses[point] for point in points],
+        "reports": [
+            report_to_dict(result[point])
+            if point not in result.failures else None
+            for point in points
+        ],
+        "failures": [
+            failure_to_dict(result.failures[point])
+            if point in result.failures else None
+            for point in points
+        ],
+    }
+
+
+def sweep_result_from_dict(document: Dict[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.runner.parallel.SweepResult` written
+    by :func:`sweep_result_to_dict`."""
+    from repro.runner.parallel import GridPoint, SweepResult
+
+    points = [GridPoint(**entry) for entry in document["points"]]
+    reports = {
+        point: report_from_dict(entry)
+        for point, entry in zip(points, document["reports"])
+        if entry is not None
+    }
+    statuses = dict(zip(points, document["statuses"]))
+    failures = {
+        point: failure_from_dict(entry)
+        for point, entry in zip(points, document["failures"])
+        if entry is not None
+    }
+    return SweepResult(points, reports, statuses, failures)
+
+
+def save_sweep_result(
+    result: Any, path: Union[str, Path]
+) -> Path:
+    """Write a sweep result to ``path`` as canonical JSON (key-sorted,
+    ``repr``-rendered floats -- byte-stable across processes)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(sweep_result_to_dict(result), indent=2,
+                   sort_keys=True)
+        + "\n"
+    )
+    return path
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,7 @@ from functools import lru_cache
 from typing import Tuple
 
 from repro.arch.spec import ArchitectureSpec, named_architecture
+from repro.runner.faults import PointFailure, SweepError
 from repro.runner.parallel import GridPoint, compute_report
 from repro.sim.stats import RunReport
 from repro.validate.config import validation_enabled
@@ -38,13 +39,27 @@ def get_report(
     batch: int = BATCH,
 ) -> RunReport:
     """One executor's per-layer report, memoized in-process and
-    served from the persistent sweep cache when available."""
-    report = compute_report(
-        GridPoint(
-            executor=executor, model=model, seq_len=seq_len,
-            arch=arch_name, batch=batch,
-        )
+    served from the persistent sweep cache when available.
+
+    Failures surface as typed
+    :class:`~repro.runner.faults.PointFailure`\\ s naming the exact
+    grid point, so a figure generator that dies deep inside
+    TileSeek/DPipe still reports *which* of its hundreds of points
+    was responsible.
+    """
+    point = GridPoint(
+        executor=executor, model=model, seq_len=seq_len,
+        arch=arch_name, batch=batch,
     )
+    try:
+        report = compute_report(point)
+    except (SweepError, KeyboardInterrupt):
+        raise
+    except Exception as error:
+        raise PointFailure(
+            point, chain_index=-1, attempt=0,
+            error_type=type(error).__name__, message=str(error),
+        ) from error
     if validation_enabled():
         # Cache-served reports skip the executor's run() hook; audit
         # their conservation invariants here instead.

@@ -1,17 +1,27 @@
-"""The sweep engine: persistent caching + parallel grid evaluation.
+"""The sweep engine: caching + parallel + fault-tolerant execution.
 
-Three layers make the framework's own hot path (full figure sweeps)
-fast and incremental:
+Four layers make the framework's own hot path (full figure sweeps)
+fast, incremental and crash-safe:
 
 * :mod:`repro.runner.cache` -- a content-addressed on-disk cache of
   serialized reports and tiling results, keyed by workload,
-  architecture, search parameters and a code-version salt.
+  architecture, search parameters and a code-version salt; corrupted
+  entries are quarantined with a :class:`CacheCorruption` warning.
 * :mod:`repro.runner.parallel` -- :func:`run_grid`, a deterministic
   process-pool fan-out over grid points whose serial and parallel
-  outputs are byte-identical.
-* warm-start hooks in :meth:`repro.tileseek.search.TileSeek.search`,
-  fed by :func:`run_grid`'s per-chain threading of best assignments
-  across neighboring sequence lengths.
+  outputs are byte-identical, returning a :class:`SweepResult` with
+  per-point statuses.
+* :mod:`repro.runner.faults` -- the typed failure taxonomy
+  (:class:`SweepError` and friends), per-chain timeouts + bounded
+  deterministic retries (``REPRO_TIMEOUT`` / ``REPRO_RETRIES``), and
+  the ``REPRO_FAULTS`` deterministic fault-injection harness.
+* :mod:`repro.runner.journal` -- a sweep journal checkpointing every
+  completed point's cache key, so ``run_grid(..., resume=True)`` /
+  ``sweep --resume`` skips finished work after a crash.
+
+Warm-start hooks in :meth:`repro.tileseek.search.TileSeek.search` are
+fed by :func:`run_grid`'s per-chain threading of best assignments
+across neighboring sequence lengths.
 """
 
 from repro.runner.cache import (
@@ -21,9 +31,35 @@ from repro.runner.cache import (
     default_cache,
     stable_hash,
 )
+from repro.runner.faults import (
+    CacheCorruption,
+    ChainTimeout,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    PointFailure,
+    SweepConfigError,
+    SweepError,
+    WorkerCrash,
+    active_plan,
+    backoff_seconds,
+    parse_faults,
+    resolve_retries,
+    resolve_timeout,
+)
+from repro.runner.journal import (
+    SweepJournal,
+    default_journal_path,
+    point_fingerprint,
+)
 from repro.runner.parallel import (
     DEFAULT_BATCH,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
     GridPoint,
+    SweepResult,
     compute_report,
     report_cache_payload,
     resolve_jobs,
@@ -32,14 +68,36 @@ from repro.runner.parallel import (
 
 __all__ = [
     "DEFAULT_BATCH",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "STATUS_TIMEOUT",
+    "CacheCorruption",
+    "ChainTimeout",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
     "GridPoint",
     "PlanCache",
+    "PointFailure",
+    "SweepConfigError",
+    "SweepError",
+    "SweepJournal",
+    "SweepResult",
+    "WorkerCrash",
+    "active_plan",
+    "backoff_seconds",
     "cache_enabled",
     "code_salt",
     "compute_report",
     "default_cache",
+    "default_journal_path",
+    "parse_faults",
+    "point_fingerprint",
     "report_cache_payload",
     "resolve_jobs",
+    "resolve_retries",
+    "resolve_timeout",
     "run_grid",
     "stable_hash",
 ]

@@ -35,11 +35,17 @@ import enum
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from repro.runner.faults import CacheCorruption
+
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
 
 #: Bump to invalidate every cache entry across a format change.
 CACHE_SCHEMA = "1"
@@ -127,8 +133,11 @@ class PlanCache:
     Entries live under ``<root>/<kind>/<key[:2]>/<key>.json`` as
     pretty-printed JSON holding the key payload (for inspection) and
     the serialized value.  Writes are atomic (temp file + rename);
-    corrupted or truncated entries are deleted on read and treated as
-    misses, so a killed process can never poison later runs.
+    corrupted or truncated entries are moved to
+    ``<root>/quarantine/`` on read -- surfacing a
+    :class:`~repro.runner.faults.CacheCorruption` warning and leaving
+    the bad bytes inspectable -- and treated as misses, so a killed
+    process can never poison later runs.
 
     Args:
         root: Cache directory.  ``None`` resolves ``REPRO_CACHE_DIR``
@@ -152,7 +161,9 @@ class PlanCache:
         """The stored value document, or ``None`` on miss.
 
         A corrupted entry (unreadable, invalid JSON, or missing the
-        value field) is removed and reported as a miss.
+        value field) is quarantined with a
+        :class:`~repro.runner.faults.CacheCorruption` warning and
+        reported as a miss.
         """
         path = self.path_for(kind, key)
         try:
@@ -161,16 +172,38 @@ class PlanCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupted entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            self.quarantine(path, error)
             self.misses += 1
             return None
         self.hits += 1
         return value
+
+    def quarantine(self, path: Path, error: Exception) -> None:
+        """Move a corrupted entry aside and surface a warning.
+
+        The bad file is preserved under ``<root>/quarantine/<name>``
+        for post-mortem inspection (falling back to deletion if the
+        move itself fails), and a
+        :class:`~repro.runner.faults.CacheCorruption` warning names
+        both the entry and the parse error -- silent data loss is
+        how cost-model bugs hide.
+        """
+        detail = f"{type(error).__name__}: {error}"
+        destination = self.root / QUARANTINE_DIR / path.name
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+            detail = f"{detail} (quarantined to {destination})"
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            detail = f"{detail} (quarantine failed; entry deleted)"
+        warnings.warn(
+            CacheCorruption(path, detail), stacklevel=3
+        )
 
     def put(
         self,
@@ -200,18 +233,24 @@ class PlanCache:
         os.replace(temp, path)
         return path
 
+    def _entries(self):
+        """Live entry files (quarantined files are not entries)."""
+        if not self.root.exists():
+            return
+        for entry in self.root.rglob("*.json"):
+            relative = entry.relative_to(self.root)
+            if relative.parts and relative.parts[0] == QUARANTINE_DIR:
+                continue
+            yield entry
+
     def entry_count(self) -> int:
         """Number of entries currently on disk."""
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.rglob("*.json"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        if not self.root.exists():
-            return removed
-        for entry in self.root.rglob("*.json"):
+        for entry in self._entries():
             try:
                 entry.unlink()
                 removed += 1

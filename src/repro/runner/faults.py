@@ -1,0 +1,448 @@
+"""Typed failure taxonomy + deterministic fault injection for sweeps.
+
+The sweep engine prices hundreds of grid points per run; a production
+sweep must survive a crashed worker, a hung TileSeek search or a
+corrupted cache entry without losing the rest of the grid.  This
+module provides the two halves of that story:
+
+* **A structured error taxonomy** -- every failure the engine can
+  surface is a :class:`SweepError` subclass carrying enough structure
+  to be reported, serialized and retried:
+
+  - :class:`PointFailure` -- one grid point raised during pricing.
+  - :class:`ChainTimeout` -- a chain exceeded ``REPRO_TIMEOUT``.
+  - :class:`WorkerCrash` -- a pool worker died (``BrokenProcessPool``).
+  - :class:`CacheCorruption` -- a persistent-cache entry failed to
+    parse (also a :class:`Warning`, so the cache can surface it via
+    :mod:`warnings` without aborting the read).
+  - :class:`SweepConfigError` -- malformed configuration
+    (``REPRO_JOBS`` / ``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / fault
+    specs).  Also a :class:`ValueError` for backward compatibility.
+
+* **A deterministic fault-injection harness** -- ``REPRO_FAULTS``
+  holds a spec such as ``crash:chain=2,attempt=0;hang:point=5`` and
+  the chain runner consults it at every point boundary, so the test
+  suite (and the CI chaos job) can exercise every recovery path
+  reproducibly.  Grammar::
+
+      spec    := rule (";" rule)*
+      rule    := kind [":" field "=" value ("," field "=" value)*]
+      kind    := "crash" | "hang" | "exit"
+      field   := "chain" | "point" | "attempt" | "seconds"
+
+  ``chain`` matches the chain index (grouping order of
+  :func:`repro.runner.parallel._chains`), ``point`` the global point
+  index in the sweep's input order, ``attempt`` the retry attempt
+  (0-based).  A rule with no fields matches everywhere.  ``seconds``
+  is a parameter, not a matcher: how long an injected ``hang`` sleeps
+  in a pool worker before giving up (default 30).
+
+  Fault kinds:
+
+  - ``crash`` raises :class:`InjectedCrash` (an ordinary exception --
+    exercises the per-point failure + retry path).
+  - ``hang`` simulates a stuck search: in a pool worker it sleeps
+    ``seconds`` then raises :class:`InjectedHang` (the parent's
+    per-chain ``future.result(timeout=...)`` fires first when a
+    timeout is configured); serially it raises :class:`InjectedHang`
+    immediately (a cooperative timeout).
+  - ``exit`` kills the worker process with ``os._exit`` -- the real
+    ``BrokenProcessPool`` path; serially it raises
+    :class:`InjectedWorkerExit`, which the engine maps to
+    :class:`WorkerCrash` so serial and parallel recover identically.
+
+Retry backoff is deterministic: ``backoff_seconds`` derives a jitter
+factor from a SHA-256 over (key, attempt), so reruns sleep the same
+schedule and serial/parallel results stay byte-identical under
+retries.
+
+Environment variables: ``REPRO_FAULTS`` (injection spec),
+``REPRO_TIMEOUT`` (per-chain seconds, float), ``REPRO_RETRIES``
+(extra attempts per chain, int), ``REPRO_BACKOFF`` (base backoff
+seconds, default 0).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_TIMEOUT = "REPRO_TIMEOUT"
+ENV_RETRIES = "REPRO_RETRIES"
+ENV_BACKOFF = "REPRO_BACKOFF"
+
+#: How long an injected ``hang`` occupies a pool worker before it
+#: gives up on its own (so an un-timed-out sweep still terminates).
+DEFAULT_HANG_SECONDS = 30.0
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+class SweepError(Exception):
+    """Base class for every structured sweep-engine failure."""
+
+
+class SweepConfigError(SweepError, ValueError):
+    """Malformed sweep configuration (env var or argument).
+
+    Also a :class:`ValueError` so pre-taxonomy callers that caught
+    ``ValueError`` keep working.
+    """
+
+
+class FaultSpecError(SweepConfigError):
+    """A ``REPRO_FAULTS`` spec that does not parse."""
+
+
+class PointFailure(SweepError):
+    """One grid point raised during pricing.
+
+    Args:
+        point: The failing :class:`~repro.runner.parallel.GridPoint`
+            (any object with a ``repr`` works; kept whole so callers
+            can re-queue it).
+        chain_index: Which chain the point ran in.
+        attempt: 0-based retry attempt that failed.
+        error_type: Class name of the underlying exception.
+        message: The underlying exception's message.
+    """
+
+    def __init__(
+        self,
+        point: Any,
+        chain_index: int,
+        attempt: int,
+        error_type: str,
+        message: str,
+    ) -> None:
+        super().__init__(
+            f"point {point} failed on attempt {attempt} "
+            f"(chain {chain_index}): {error_type}: {message}"
+        )
+        self.point = point
+        self.chain_index = chain_index
+        self.attempt = attempt
+        self.error_type = error_type
+        self.message = message
+
+    def __reduce__(self):
+        # Exceptions pickle through ``args`` by default, which does
+        # not match this __init__ signature -- workers hand these
+        # across the process boundary, so rebuild explicitly.
+        return (
+            PointFailure,
+            (self.point, self.chain_index, self.attempt,
+             self.error_type, self.message),
+        )
+
+
+class ChainTimeout(SweepError):
+    """A whole chain exceeded its per-chain timeout."""
+
+    def __init__(
+        self, chain_index: int, seconds: float, attempt: int
+    ) -> None:
+        super().__init__(
+            f"chain {chain_index} exceeded the {seconds:g}s timeout "
+            f"on attempt {attempt}"
+        )
+        self.chain_index = chain_index
+        self.seconds = seconds
+        self.attempt = attempt
+
+    def __reduce__(self):
+        return (
+            ChainTimeout,
+            (self.chain_index, self.seconds, self.attempt),
+        )
+
+
+class WorkerCrash(SweepError):
+    """A pool worker died mid-chain (``BrokenProcessPool``)."""
+
+    def __init__(
+        self, chain_index: int, attempt: int, detail: str = ""
+    ) -> None:
+        message = (
+            f"worker running chain {chain_index} died on attempt "
+            f"{attempt}"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.chain_index = chain_index
+        self.attempt = attempt
+        self.detail = detail
+
+    def __reduce__(self):
+        return (
+            WorkerCrash,
+            (self.chain_index, self.attempt, self.detail),
+        )
+
+
+class CacheCorruption(SweepError, Warning):
+    """A persistent-cache entry failed to parse.
+
+    Doubles as a :class:`Warning` category: the cache quarantines the
+    bad file and warns with an instance of this class rather than
+    aborting the read (a corrupted entry is always recomputable).
+    """
+
+    def __init__(self, path: Any, detail: str) -> None:
+        super().__init__(f"corrupted cache entry {path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+    def __reduce__(self):
+        return (CacheCorruption, (self.path, self.detail))
+
+
+# ----------------------------------------------------------------------
+# Injected-fault exception types
+# ----------------------------------------------------------------------
+class InjectedFault(RuntimeError):
+    """Base class for faults raised by the injection harness."""
+
+
+class InjectedCrash(InjectedFault):
+    """An injected in-point crash (ordinary exception path)."""
+
+
+class InjectedHang(InjectedFault):
+    """An injected hang: the engine treats it as a chain timeout."""
+
+
+class InjectedWorkerExit(InjectedFault):
+    """Serial-mode stand-in for a worker process dying."""
+
+
+# ----------------------------------------------------------------------
+# Fault spec parsing
+# ----------------------------------------------------------------------
+_FAULT_KINDS = ("crash", "hang", "exit")
+_MATCH_FIELDS = ("chain", "point", "attempt")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: a kind plus the sites it fires at.
+
+    Attributes:
+        kind: ``crash`` / ``hang`` / ``exit``.
+        where: Matcher fields (``chain`` / ``point`` / ``attempt``)
+            that must all equal the current context for the rule to
+            fire; an empty mapping matches every site.
+        seconds: ``hang`` only -- worker-side sleep before giving up.
+    """
+
+    kind: str
+    where: Mapping[str, int] = field(default_factory=dict)
+    seconds: float = DEFAULT_HANG_SECONDS
+
+    def matches(self, context: Mapping[str, int]) -> bool:
+        """Whether this rule fires at ``context``."""
+        return all(
+            key in context and context[key] == value
+            for key, value in self.where.items()
+        )
+
+    def describe(self) -> str:
+        """The rule rendered back in spec grammar."""
+        fields = ",".join(
+            f"{key}={value}"
+            for key, value in sorted(self.where.items())
+        )
+        return f"{self.kind}:{fields}" if fields else self.kind
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` spec."""
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def matching(self, **context: int) -> Optional[FaultRule]:
+        """The first rule firing at ``context``, or ``None``."""
+        for rule in self.rules:
+            if rule.matches(context):
+                return rule
+        return None
+
+    def fire(self, serial: bool, **context: int) -> None:
+        """Raise (or exit) if any rule matches the current site.
+
+        Args:
+            serial: Whether we are in the parent process (serial
+                mode).  ``exit`` only calls ``os._exit`` in a pool
+                worker; serially it raises
+                :class:`InjectedWorkerExit` instead, and ``hang``
+                raises immediately rather than sleeping (the serial
+                path has no external timeout to trip).
+            context: The site: ``chain``, ``point``, ``attempt``.
+        """
+        rule = self.matching(**context)
+        if rule is None:
+            return
+        site = ", ".join(
+            f"{key}={value}" for key, value in sorted(context.items())
+        )
+        if rule.kind == "crash":
+            raise InjectedCrash(f"injected crash at {site}")
+        if rule.kind == "hang":
+            if not serial:
+                time.sleep(rule.seconds)
+            raise InjectedHang(f"injected hang at {site}")
+        if rule.kind == "exit":
+            if serial:
+                raise InjectedWorkerExit(
+                    f"injected worker exit at {site}"
+                )
+            os._exit(13)
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec into a :class:`FaultPlan`.
+
+    Raises:
+        FaultSpecError: On unknown kinds, unknown fields or
+            non-numeric values, naming the offending fragment.
+    """
+    rules = []
+    for fragment in spec.split(";"):
+        fragment = fragment.strip()
+        if not fragment:
+            continue
+        kind, _, tail = fragment.partition(":")
+        kind = kind.strip().lower()
+        if kind not in _FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r} in {ENV_FAULTS} "
+                f"fragment {fragment!r}; choose from "
+                f"{sorted(_FAULT_KINDS)}"
+            )
+        where: Dict[str, int] = {}
+        seconds = DEFAULT_HANG_SECONDS
+        for clause in filter(None, tail.split(",")):
+            name, eq, value = clause.partition("=")
+            name = name.strip().lower()
+            if not eq:
+                raise FaultSpecError(
+                    f"expected field=value, got {clause!r} in "
+                    f"{ENV_FAULTS} fragment {fragment!r}"
+                )
+            if name == "seconds":
+                try:
+                    seconds = float(value)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"seconds must be a number, got {value!r} "
+                        f"in {ENV_FAULTS} fragment {fragment!r}"
+                    ) from None
+                continue
+            if name not in _MATCH_FIELDS:
+                raise FaultSpecError(
+                    f"unknown fault field {name!r} in {ENV_FAULTS} "
+                    f"fragment {fragment!r}; choose from "
+                    f"{sorted(_MATCH_FIELDS + ('seconds',))}"
+                )
+            try:
+                where[name] = int(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"{name} must be an integer, got {value!r} in "
+                    f"{ENV_FAULTS} fragment {fragment!r}"
+                ) from None
+        rules.append(
+            FaultRule(kind=kind, where=where, seconds=seconds)
+        )
+    return FaultPlan(tuple(rules))
+
+
+def active_plan() -> FaultPlan:
+    """The fault plan configured via ``REPRO_FAULTS`` (may be empty).
+
+    Parsed on every call: the spec is tiny, and tests toggle the env
+    var between sweeps.
+    """
+    spec = os.environ.get(ENV_FAULTS, "").strip()
+    return parse_faults(spec) if spec else FaultPlan()
+
+
+# ----------------------------------------------------------------------
+# Timeout / retry / backoff resolution
+# ----------------------------------------------------------------------
+def resolve_timeout(
+    timeout: Optional[float] = None,
+) -> Optional[float]:
+    """Per-chain timeout: explicit arg, else ``REPRO_TIMEOUT``, else
+    no timeout.  ``0`` (or negative) disables."""
+    if timeout is None:
+        env = os.environ.get(ENV_TIMEOUT, "").strip()
+        if not env:
+            return None
+        try:
+            timeout = float(env)
+        except ValueError:
+            raise SweepConfigError(
+                f"{ENV_TIMEOUT} must be a number of seconds, got "
+                f"{env!r}"
+            ) from None
+    return timeout if timeout > 0 else None
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Extra attempts per chain: arg, else ``REPRO_RETRIES``, else 0."""
+    if retries is None:
+        env = os.environ.get(ENV_RETRIES, "").strip()
+        if not env:
+            return 0
+        try:
+            retries = int(env)
+        except ValueError:
+            raise SweepConfigError(
+                f"{ENV_RETRIES} must be an integer attempt count, "
+                f"got {env!r}"
+            ) from None
+    if retries < 0:
+        raise SweepConfigError(
+            f"retries must be >= 0, got {retries}"
+        )
+    return retries
+
+
+def backoff_seconds(
+    key: str, attempt: int, base: Optional[float] = None
+) -> float:
+    """Deterministic backoff before retry ``attempt + 1``.
+
+    Exponential in the attempt with a seeded jitter factor in
+    [1, 2) derived from SHA-256 over ``(key, attempt)`` -- the same
+    chain backs off the same way in every rerun, keeping retried
+    sweeps reproducible.  ``base`` defaults to ``REPRO_BACKOFF``
+    (0 -- no sleeping -- unless configured).
+    """
+    if base is None:
+        env = os.environ.get(ENV_BACKOFF, "").strip()
+        try:
+            base = float(env) if env else 0.0
+        except ValueError:
+            raise SweepConfigError(
+                f"{ENV_BACKOFF} must be a number of seconds, got "
+                f"{env!r}"
+            ) from None
+    if base <= 0:
+        return 0.0
+    digest = hashlib.sha256(
+        f"{key}:{attempt}".encode()
+    ).hexdigest()
+    jitter = 1.0 + int(digest[:8], 16) / 0xFFFFFFFF
+    return base * (2 ** attempt) * jitter

@@ -1,0 +1,135 @@
+"""Sweep journal: checkpoint completed grid points for resume.
+
+A sweep that dies halfway -- killed process, crashed worker, power
+loss -- should not have to re-derive what it already finished.  The
+engine appends one JSON line per completed point to a journal file::
+
+    {"v": 1, "fingerprint": ..., "key": ..., "point": {...}}
+
+``fingerprint`` identifies the point (full :class:`GridPoint` fields
+plus the warm-start flag); ``key`` is the content-address of the
+point's report in the persistent :class:`~repro.runner.cache.PlanCache`.
+On ``run_grid(..., resume=True)`` the engine reloads the journal and
+serves any chain whose every point is journaled *and* still present
+in the cache straight from disk -- no executor is even constructed.
+
+Staleness is handled by construction: the journal stores cache keys,
+and cache keys embed the code salt, so a journal written by an older
+source tree simply misses the cache and the points recompute.
+
+Appends are line-buffered single ``write`` calls of complete lines,
+so a journal truncated by a crash loses at most its torn final line
+(which :meth:`SweepJournal.load` skips).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.runner.cache import PlanCache, stable_hash
+
+#: Journal schema version; bump on incompatible line-format changes.
+JOURNAL_VERSION = 1
+
+
+def point_fingerprint(point: Any, warm_start: bool) -> str:
+    """Stable identity of one sweep point within a journal.
+
+    Warm and cold pricings of the same point are distinct results, so
+    the warm-start flag is part of the identity (mirroring the cache
+    key, which embeds the actual warm assignments).
+    """
+    return stable_hash({
+        "point": dataclasses.asdict(point),
+        "warm_start": bool(warm_start),
+    })
+
+
+class SweepJournal:
+    """Append-only journal of completed sweep points.
+
+    Args:
+        path: Journal file (created on first record; parent
+            directories are created as needed).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+
+    def record(
+        self, point: Any, key: Optional[str], warm_start: bool
+    ) -> None:
+        """Append one completed point.
+
+        Points priced with the cache disabled have no key and are not
+        journaled -- there is nothing on disk to resume them from.
+        """
+        if key is None:
+            return
+        line = json.dumps({
+            "v": JOURNAL_VERSION,
+            "fingerprint": point_fingerprint(point, warm_start),
+            "key": key,
+            "point": dataclasses.asdict(point),
+        }, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+
+    def load(self) -> Dict[str, str]:
+        """``{fingerprint: cache key}`` for every journaled point.
+
+        Missing files load as empty; malformed or torn lines (a crash
+        mid-append) and lines from other schema versions are skipped
+        -- the worst outcome of a bad journal line is recomputing one
+        point.
+        """
+        completed: Dict[str, str] = {}
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return completed
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                if entry.get("v") != JOURNAL_VERSION:
+                    continue
+                completed[entry["fingerprint"]] = entry["key"]
+            except (ValueError, KeyError, TypeError):
+                continue
+        return completed
+
+    def clear(self) -> None:
+        """Delete the journal file (a completed sweep's checkpoint
+        has nothing left to resume)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def default_journal_path(
+    points: Sequence[Any],
+    warm_start: bool = False,
+    root: Union[str, os.PathLike, None] = None,
+) -> Path:
+    """Canonical journal location for one sweep definition.
+
+    Keyed by a stable hash over the full point list (order included)
+    and the warm-start flag, under ``<cache root>/journal/`` -- so
+    ``sweep --resume`` finds the previous run's journal from the grid
+    definition alone, and different sweeps never share a journal.
+    """
+    grid_hash = stable_hash({
+        "points": [dataclasses.asdict(point) for point in points],
+        "warm_start": bool(warm_start),
+    })
+    base = PlanCache(root).root
+    return base / "journal" / f"{grid_hash}.jsonl"

@@ -2,7 +2,7 @@
 
 :func:`run_grid` evaluates a list of :class:`GridPoint`\\ s -- the
 (executor, model, sequence, architecture) tuples behind every paper
-figure -- with three guarantees:
+figure -- with four guarantees:
 
 * **Deterministic ordering** -- results come back keyed in the input
   order, whatever the execution schedule was.
@@ -12,9 +12,22 @@ figure -- with three guarantees:
   ascending); a chain always runs on a single worker, so warm-start
   threading inside a chain is identical in both modes, and both modes
   reconstruct reports through the same serialization round-trip.
+  Retries and resume preserve the equivalence: a retried chain
+  recomputes deterministically, and a resumed chain is served from
+  the same cache documents an uninterrupted run produces.
 * **Persistent caching** -- each point consults the content-addressed
   :class:`~repro.runner.cache.PlanCache` before computing, so a warm
   rerun is served from disk.
+* **Fault tolerance** -- each chain gets a per-run timeout
+  (``REPRO_TIMEOUT``) and bounded deterministic retries
+  (``REPRO_RETRIES``); a crashed pool worker (``BrokenProcessPool``)
+  only re-runs the chains that were lost with it, on a respawned
+  pool.  ``strict=False`` degrades gracefully: the returned
+  :class:`SweepResult` carries per-point status (``ok`` / ``failed``
+  / ``timeout`` / ``skipped``) and the partial reports instead of
+  raising on the first failure.  A :class:`~repro.runner.journal.
+  SweepJournal` checkpoints every completed point's cache key, so
+  ``run_grid(..., resume=True)`` skips finished work after a crash.
 
 Warm starting (``warm_start=True``) threads each chain's TileSeek
 best assignment into the next (larger) sequence length's search as an
@@ -30,17 +43,25 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Dict,
+    Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
     Union,
 )
+
+from collections.abc import Mapping as MappingABC
 
 from repro.arch.spec import named_architecture
 from repro.baselines.registry import named_executor
@@ -56,12 +77,32 @@ from repro.runner.cache import (
     stable_hash,
     workload_fingerprint,
 )
+from repro.runner.faults import (
+    ChainTimeout,
+    InjectedHang,
+    InjectedWorkerExit,
+    PointFailure,
+    SweepConfigError,
+    SweepError,
+    WorkerCrash,
+    active_plan,
+    backoff_seconds,
+    resolve_retries,
+    resolve_timeout,
+)
+from repro.runner.journal import SweepJournal, point_fingerprint
 from repro.sim.stats import RunReport
 
 ENV_JOBS = "REPRO_JOBS"
 
 #: Default batch size (Section 6.1: ``B = 64`` throughout).
 DEFAULT_BATCH = 64
+
+#: Per-point sweep statuses carried by :class:`SweepResult`.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_SKIPPED = "skipped"
 
 
 @dataclass(frozen=True)
@@ -101,13 +142,105 @@ class GridPoint:
         )
 
 
+class SweepResult(MappingABC):
+    """The outcome of one :func:`run_grid` sweep, point by point.
+
+    A :class:`~collections.abc.Mapping` over the points that produced
+    reports (``ok`` and ``skipped``), in input order -- so existing
+    ``{point: report}`` call sites (iteration, ``.items()``,
+    indexing) keep working unchanged -- plus per-point ``statuses``
+    and typed ``failures`` for everything that did not.
+
+    Attributes:
+        statuses: ``{point: status}`` for *every* requested point
+            (``ok`` / ``failed`` / ``timeout`` / ``skipped``).
+        failures: ``{point: SweepError}`` for failed/timed-out points.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[GridPoint],
+        reports: Mapping[GridPoint, RunReport],
+        statuses: Mapping[GridPoint, str],
+        failures: Mapping[GridPoint, SweepError],
+    ) -> None:
+        self._points = list(points)
+        self._reports = dict(reports)
+        self.statuses = dict(statuses)
+        self.failures = dict(failures)
+
+    def __getitem__(self, point: GridPoint) -> RunReport:
+        try:
+            return self._reports[point]
+        except KeyError:
+            if point in self.failures:
+                raise KeyError(
+                    f"{point} has no report: "
+                    f"{self.failures[point]}"
+                ) from None
+            raise
+
+    def __iter__(self) -> Iterator[GridPoint]:
+        return (p for p in self._points if p in self._reports)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    @property
+    def points(self) -> List[GridPoint]:
+        """Every requested point (deduped, input order), whatever its
+        status."""
+        return list(self._points)
+
+    @property
+    def reports(self) -> Dict[GridPoint, RunReport]:
+        """``{point: report}`` for the points that completed."""
+        return {p: self._reports[p] for p in self}
+
+    @property
+    def ok(self) -> bool:
+        """Whether every requested point has a report."""
+        return not self.failures
+
+    def counts(self) -> Dict[str, int]:
+        """``{status: point count}`` over the whole sweep."""
+        return dict(Counter(self.statuses.values()))
+
+    def failed_points(self) -> List[GridPoint]:
+        """Points without a report, in input order."""
+        return [p for p in self._points if p in self.failures]
+
+    def raise_if_failed(self) -> "SweepResult":
+        """Raise the first failure in input order, if any."""
+        for point in self._points:
+            if point in self.failures:
+                raise self.failures[point]
+        return self
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(self.counts().items())
+        )
+        return f"SweepResult({len(self._points)} points: {counts})"
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: explicit arg, else ``REPRO_JOBS``, else 1."""
     if jobs is None:
         env = os.environ.get(ENV_JOBS, "").strip()
-        jobs = int(env) if env else 1
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise SweepConfigError(
+                    f"{ENV_JOBS} must be an integer worker count, "
+                    f"got {env!r}"
+                ) from None
+        else:
+            jobs = 1
     if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+        raise SweepConfigError(f"jobs must be >= 1, got {jobs}")
     return jobs
 
 
@@ -132,6 +265,37 @@ def report_cache_payload(
     }
 
 
+def _point_document(
+    point: GridPoint,
+    cache: Union[Any, None],
+    executor: Optional[Any] = None,
+    warm: Tuple[Tuple[int, ...], ...] = (),
+) -> Tuple[Optional[str], Dict[str, Any]]:
+    """(cache key, serialized report document) for one point.
+
+    The document is served from the persistent cache when possible;
+    both the serial and the parallel path reconstruct reports from
+    these documents, which is what makes their outputs byte-identical.
+    The key is ``None`` when the cache is disabled.
+    """
+    key = payload = None
+    if cache is not None:
+        payload = report_cache_payload(point, warm)
+        key = stable_hash(payload)
+        document = cache.get("report", key)
+        if document is not None:
+            return key, document
+    if executor is None:
+        executor = named_executor(point.executor)
+    if hasattr(executor, "set_warm_start"):
+        executor.set_warm_start(warm)
+    report = executor.run(point.workload(), named_architecture(point.arch))
+    document = report_to_dict(report)
+    if cache is not None:
+        cache.put("report", key, document, payload)
+    return key, document
+
+
 def compute_report(
     point: GridPoint,
     cache: Union[Any, None] = None,
@@ -152,21 +316,8 @@ def compute_report(
     """
     if cache is None:
         cache = default_cache()
-    payload = key = None
-    if cache is not None:
-        payload = report_cache_payload(point, warm)
-        key = stable_hash(payload)
-        document = cache.get("report", key)
-        if document is not None:
-            return report_from_dict(document)
-    if executor is None:
-        executor = named_executor(point.executor)
-    if hasattr(executor, "set_warm_start"):
-        executor.set_warm_start(warm)
-    report = executor.run(point.workload(), named_architecture(point.arch))
-    if cache is not None:
-        cache.put("report", key, report_to_dict(report), payload)
-    return report
+    _, document = _point_document(point, cache, executor, warm)
+    return report_from_dict(document)
 
 
 def _chains(
@@ -189,37 +340,68 @@ def _chains(
 
 
 def _run_chain(
-    chain: Sequence[GridPoint], warm_start: bool
-) -> List[Dict[str, Any]]:
+    chain: Sequence[GridPoint],
+    warm_start: bool,
+    chain_index: int = 0,
+    attempt: int = 0,
+    indices: Optional[Sequence[int]] = None,
+    serial: bool = True,
+) -> List[Tuple[Optional[str], Dict[str, Any]]]:
     """Price one chain in order, threading warm starts forward.
 
-    Returns serialized report documents (JSON-safe) aligned with the
-    chain -- both the serial and the parallel path reconstruct
-    reports from these documents, which is what makes their outputs
-    byte-identical.
+    Returns ``(cache key, serialized report document)`` pairs aligned
+    with the chain.  Consults the ``REPRO_FAULTS`` injection plan at
+    every point boundary, and wraps any per-point exception into a
+    typed :class:`PointFailure` naming the point, chain and attempt.
+
+    Args:
+        chain: The points of one family, sequence ascending.
+        warm_start: Thread TileSeek warm starts through the chain.
+        chain_index: This chain's index in the sweep (fault-injection
+            and error-attribution context).
+        attempt: 0-based retry attempt (fault-injection context).
+        indices: Global input index of each chain point (fault
+            ``point=`` matchers); defaults to chain positions.
+        serial: Whether this call runs in the parent process.
     """
+    plan = active_plan()
     cache = default_cache()
     executor = named_executor(chain[0].executor)
     warm: Tuple[Tuple[int, ...], ...] = ()
     supports_warm = warm_start and hasattr(executor, "set_warm_start")
-    documents = []
-    for point in chain:
-        if supports_warm:
-            # Keep the executor's warm state in sync even when the
-            # report itself is served from disk, so the follow-up
-            # tiling lookup below uses this point's key.
-            executor.set_warm_start(warm)
-        report = compute_report(
-            point, cache=cache, executor=executor,
-            warm=warm if supports_warm else (),
-        )
-        documents.append(report_to_dict(report))
-        if supports_warm:
-            tiling = executor.tiling(
-                point.workload(), named_architecture(point.arch)
+    results = []
+    for position, point in enumerate(chain):
+        index = indices[position] if indices is not None else position
+        try:
+            plan.fire(
+                serial=serial, chain=chain_index, point=index,
+                attempt=attempt,
             )
-            warm = (tuple(tiling.stats.best_assignment),)
-    return documents
+            if supports_warm:
+                # Keep the executor's warm state in sync even when
+                # the report itself is served from disk, so the
+                # follow-up tiling lookup below uses this point's key.
+                executor.set_warm_start(warm)
+            key, document = _point_document(
+                point, cache=cache, executor=executor,
+                warm=warm if supports_warm else (),
+            )
+            if supports_warm:
+                tiling = executor.tiling(
+                    point.workload(), named_architecture(point.arch)
+                )
+                warm = (tuple(tiling.stats.best_assignment),)
+        except (InjectedHang, InjectedWorkerExit):
+            raise
+        except SweepError:
+            raise
+        except Exception as error:
+            raise PointFailure(
+                point, chain_index, attempt,
+                type(error).__name__, str(error),
+            ) from error
+        results.append((key, document))
+    return results
 
 
 def _cache_env(
@@ -239,13 +421,224 @@ def _worker_init(env: Dict[str, str]) -> None:
     os.environ.update(env)
 
 
+@dataclass
+class _ChainOutcome:
+    """One chain's terminal state after retries."""
+
+    status: str
+    results: List[Tuple[Optional[str], Dict[str, Any]]] = field(
+        default_factory=list
+    )
+    error: Optional[SweepError] = None
+
+
+def _failure_status(error: SweepError) -> str:
+    return (
+        STATUS_TIMEOUT if isinstance(error, ChainTimeout)
+        else STATUS_FAILED
+    )
+
+
+def _journal_chain(
+    journal: Optional[SweepJournal],
+    chain: Sequence[GridPoint],
+    outcome: _ChainOutcome,
+    warm_start: bool,
+) -> None:
+    """Checkpoint a freshly completed chain's points."""
+    if journal is None or outcome.status != STATUS_OK:
+        return
+    for point, (key, _) in zip(chain, outcome.results):
+        journal.record(point, key, warm_start)
+
+
+def _serial_outcomes(
+    chains: Sequence[Sequence[GridPoint]],
+    chain_ids: Sequence[int],
+    indices: Sequence[Sequence[int]],
+    warm_start: bool,
+    retries: int,
+    timeout: Optional[float],
+    strict: bool,
+    journal: Optional[SweepJournal],
+    outcomes: List[Optional[_ChainOutcome]],
+) -> None:
+    """Run the pending chains in-process, with retries.
+
+    Injected hangs surface as cooperative :class:`ChainTimeout`\\ s
+    (an in-process computation cannot be preempted); real per-chain
+    wall-clock timeouts require ``jobs > 1``.
+    """
+    for chain_id in chain_ids:
+        chain = chains[chain_id]
+        attempt = 0
+        while True:
+            error: SweepError
+            try:
+                outcome = _ChainOutcome(
+                    STATUS_OK,
+                    results=_run_chain(
+                        chain, warm_start, chain_id, attempt,
+                        indices[chain_id], serial=True,
+                    ),
+                )
+                outcomes[chain_id] = outcome
+                _journal_chain(journal, chain, outcome, warm_start)
+                break
+            except InjectedHang:
+                error = ChainTimeout(chain_id, timeout or 0.0, attempt)
+            except InjectedWorkerExit as exc:
+                error = WorkerCrash(chain_id, attempt, str(exc))
+            except SweepError as exc:
+                error = exc
+            except Exception as exc:
+                error = PointFailure(
+                    chain[0], chain_id, attempt,
+                    type(exc).__name__, str(exc),
+                )
+            if attempt < retries:
+                time.sleep(backoff_seconds(f"chain-{chain_id}", attempt))
+                attempt += 1
+                continue
+            if strict:
+                raise error
+            outcomes[chain_id] = _ChainOutcome(
+                _failure_status(error), error=error
+            )
+            break
+
+
+def _parallel_outcomes(
+    chains: Sequence[Sequence[GridPoint]],
+    chain_ids: Sequence[int],
+    indices: Sequence[Sequence[int]],
+    warm_start: bool,
+    retries: int,
+    timeout: Optional[float],
+    strict: bool,
+    journal: Optional[SweepJournal],
+    jobs: int,
+    env: Dict[str, str],
+    outcomes: List[Optional[_ChainOutcome]],
+) -> None:
+    """Fan the pending chains over a process pool, with recovery.
+
+    Each retry round runs on a fresh pool, so a broken
+    (``BrokenProcessPool``) or abandoned (hung worker) pool never
+    leaks into the next attempt; only the chains that were actually
+    lost are resubmitted.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    pending: Dict[int, int] = {i: 0 for i in chain_ids}
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(env,),
+        )
+        futures = {
+            chain_id: pool.submit(
+                _run_chain, chains[chain_id], warm_start, chain_id,
+                attempt, indices[chain_id], False,
+            )
+            for chain_id, attempt in sorted(pending.items())
+        }
+        failures: Dict[int, SweepError] = {}
+        abandoned = False
+        for chain_id in sorted(futures):
+            attempt = pending[chain_id]
+            chain = chains[chain_id]
+            try:
+                outcome = _ChainOutcome(
+                    STATUS_OK,
+                    results=futures[chain_id].result(timeout=timeout),
+                )
+                outcomes[chain_id] = outcome
+                _journal_chain(journal, chain, outcome, warm_start)
+            except FutureTimeout:
+                # The worker is stuck; abandon this pool (workers are
+                # not joined) and recover on a fresh one.
+                failures[chain_id] = ChainTimeout(
+                    chain_id, timeout or 0.0, attempt
+                )
+                abandoned = True
+            except BrokenProcessPool as exc:
+                failures[chain_id] = WorkerCrash(
+                    chain_id, attempt,
+                    str(exc) or type(exc).__name__,
+                )
+                abandoned = True
+            except InjectedHang:
+                failures[chain_id] = ChainTimeout(
+                    chain_id, timeout or 0.0, attempt
+                )
+            except SweepError as exc:
+                failures[chain_id] = exc
+            except Exception as exc:
+                failures[chain_id] = PointFailure(
+                    chain[0], chain_id, attempt,
+                    type(exc).__name__, str(exc),
+                )
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+        attempts = pending
+        pending = {}
+        for chain_id, error in sorted(failures.items()):
+            attempt = attempts[chain_id]
+            if attempt < retries:
+                time.sleep(
+                    backoff_seconds(f"chain-{chain_id}", attempt)
+                )
+                pending[chain_id] = attempt + 1
+            elif strict:
+                raise error
+            else:
+                outcomes[chain_id] = _ChainOutcome(
+                    _failure_status(error), error=error
+                )
+
+
+def _resume_chain(
+    chain: Sequence[GridPoint],
+    completed: Mapping[str, str],
+    cache: Optional[Any],
+    warm_start: bool,
+) -> Optional[List[Tuple[Optional[str], Dict[str, Any]]]]:
+    """Serve a fully journaled chain straight from the cache.
+
+    Returns ``None`` (run the chain normally) unless *every* point is
+    journaled and its document is still cached -- partially finished
+    chains recompute, hitting the cache for their completed prefix.
+    """
+    if not completed or cache is None:
+        return None
+    results = []
+    for point in chain:
+        key = completed.get(point_fingerprint(point, warm_start))
+        if key is None:
+            return None
+        document = cache.get("report", key)
+        if document is None:
+            return None
+        results.append((key, document))
+    return results
+
+
 def run_grid(
     points: Sequence[GridPoint],
     jobs: Optional[int] = None,
     cache_dir: Union[str, os.PathLike, None] = None,
     use_cache: bool = True,
     warm_start: bool = False,
-) -> "Dict[GridPoint, RunReport]":
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    strict: bool = True,
+    journal: Union[str, os.PathLike, SweepJournal, None] = None,
+    resume: bool = False,
+) -> SweepResult:
     """Price a grid of points, optionally fanning out over processes.
 
     Args:
@@ -258,46 +651,96 @@ def run_grid(
         use_cache: ``False`` disables the persistent layer for this
             sweep.
         warm_start: Thread each chain's TileSeek best assignment into
-            the next sequence length's search as an extra incumbent.
+            the next (larger) sequence length's search as an extra
+            incumbent.
+        timeout: Per-chain timeout in seconds (``None``:
+            ``REPRO_TIMEOUT``, else unlimited).  Enforced as a
+            wall-clock bound on pool futures when ``jobs > 1``;
+            serial mode honors cooperative (injected) hangs only.
+        retries: Extra attempts per failed chain (``None``:
+            ``REPRO_RETRIES``, else 0), with deterministic seeded
+            backoff (``REPRO_BACKOFF``).
+        strict: ``True`` (default) raises the first typed failure
+            once its retries are exhausted -- the historical
+            all-or-nothing behavior.  ``False`` degrades gracefully:
+            every chain runs, and failures come back as statuses.
+        journal: Checkpoint file (path or
+            :class:`~repro.runner.journal.SweepJournal`) recording
+            each completed point's cache key as chains finish.
+        resume: Reload ``journal`` first and serve fully completed
+            chains straight from the persistent cache (status
+            ``skipped``) instead of re-running them.
 
     Returns:
-        ``{point: report}`` in input order (duplicates collapse onto
-        one entry).
+        A :class:`SweepResult` -- a mapping ``{point: report}`` in
+        input order (duplicates collapse onto one entry) carrying
+        per-point statuses and typed failures.
     """
     jobs = resolve_jobs(jobs)
+    timeout = resolve_timeout(timeout)
+    retries = resolve_retries(retries)
     chains = _chains(points)
+    first_index: Dict[GridPoint, int] = {}
+    for position, point in enumerate(points):
+        first_index.setdefault(point, position)
+    indices = [
+        [first_index[point] for point in chain] for chain in chains
+    ]
     env = _cache_env(cache_dir, use_cache)
-    if jobs == 1 or len(chains) <= 1:
-        saved = {key: os.environ.get(key) for key in env}
-        os.environ.update(env)
-        try:
-            chain_documents = [
-                _run_chain(chain, warm_start) for chain in chains
-            ]
-        finally:
-            for key, value in saved.items():
-                if value is None:
-                    os.environ.pop(key, None)
-                else:
-                    os.environ[key] = value
+    log: Optional[SweepJournal]
+    if isinstance(journal, SweepJournal) or journal is None:
+        log = journal
     else:
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chains)),
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(env,),
-        ) as pool:
-            futures = [
-                pool.submit(_run_chain, chain, warm_start)
-                for chain in chains
-            ]
-            chain_documents = [f.result() for f in futures]
-    by_point: Dict[GridPoint, RunReport] = {}
-    for chain, documents in zip(chains, chain_documents):
-        for point, document in zip(chain, documents):
-            by_point[point] = report_from_dict(document)
-    return {point: by_point[point] for point in points}
+        log = SweepJournal(journal)
+    outcomes: List[Optional[_ChainOutcome]] = [None] * len(chains)
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update(env)
+    try:
+        completed = log.load() if (log and resume) else {}
+        cache = default_cache()
+        pending_ids = []
+        for chain_id, chain in enumerate(chains):
+            served = _resume_chain(chain, completed, cache, warm_start)
+            if served is not None:
+                outcomes[chain_id] = _ChainOutcome(
+                    STATUS_SKIPPED, results=served
+                )
+            else:
+                pending_ids.append(chain_id)
+        if pending_ids:
+            if jobs == 1 or len(pending_ids) <= 1:
+                _serial_outcomes(
+                    chains, pending_ids, indices, warm_start,
+                    retries, timeout, strict, log, outcomes,
+                )
+            else:
+                _parallel_outcomes(
+                    chains, pending_ids, indices, warm_start,
+                    retries, timeout, strict, log, jobs, env,
+                    outcomes,
+                )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    reports: Dict[GridPoint, RunReport] = {}
+    statuses: Dict[GridPoint, str] = {}
+    failures: Dict[GridPoint, SweepError] = {}
+    for chain, outcome in zip(chains, outcomes):
+        assert outcome is not None
+        if outcome.status in (STATUS_OK, STATUS_SKIPPED):
+            for point, (_, document) in zip(chain, outcome.results):
+                reports[point] = report_from_dict(document)
+                statuses[point] = outcome.status
+        else:
+            for point in chain:
+                statuses[point] = outcome.status
+                assert outcome.error is not None
+                failures[point] = outcome.error
+    ordered = list(dict.fromkeys(points))
+    result = SweepResult(ordered, reports, statuses, failures)
+    if strict:
+        result.raise_if_failed()
+    return result

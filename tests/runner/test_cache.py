@@ -7,6 +7,7 @@ import pytest
 from repro.arch.spec import named_architecture
 from repro.model.workload import Workload
 from repro.runner.cache import (
+    CacheCorruption,
     PlanCache,
     arch_fingerprint,
     cache_enabled,
@@ -75,7 +76,8 @@ class TestPlanCache:
         cache.put("tileseek", key, {"ok": True})
         path = cache.path_for("tileseek", key)
         path.write_text("{ not json !!!")
-        assert cache.get("tileseek", key) is None
+        with pytest.warns(CacheCorruption):
+            assert cache.get("tileseek", key) is None
         assert not path.exists()
         # A fresh put works again after recovery.
         cache.put("tileseek", key, {"ok": True})
@@ -86,8 +88,37 @@ class TestPlanCache:
         path = cache.path_for("report", key)
         path.parent.mkdir(parents=True)
         path.write_text(json.dumps({"payload": {}}))
-        assert cache.get("report", key) is None
+        with pytest.warns(CacheCorruption):
+            assert cache.get("report", key) is None
         assert not path.exists()
+
+    def test_corrupted_entry_quarantined_for_inspection(self, cache):
+        """The bad bytes move to <root>/quarantine/ instead of
+        vanishing, and the warning names both file and cause."""
+        key = stable_hash({"k": "quarantine-me"})
+        cache.put("report", key, {"ok": True})
+        path = cache.path_for("report", key)
+        path.write_text("{ not json !!!")
+        with pytest.warns(CacheCorruption) as caught:
+            cache.get("report", key)
+        quarantined = cache.root / "quarantine" / path.name
+        assert quarantined.exists()
+        assert quarantined.read_text() == "{ not json !!!"
+        message = str(caught[0].message)
+        assert path.name in message
+        assert "quarantine" in message
+
+    def test_quarantined_entries_are_not_entries(self, cache):
+        key = stable_hash({"k": "not-counted"})
+        cache.put("report", key, {"ok": True})
+        assert cache.entry_count() == 1
+        cache.path_for("report", key).write_text("garbage")
+        with pytest.warns(CacheCorruption):
+            cache.get("report", key)
+        assert cache.entry_count() == 0
+        # clear() leaves the quarantined file for post-mortems.
+        assert cache.clear() == 0
+        assert (cache.root / "quarantine").exists()
 
     def test_entries_are_inspectable_json(self, cache, point):
         payload = report_cache_payload(point)
