@@ -201,9 +201,18 @@ class PlanCache:
             except OSError:
                 pass
             detail = f"{detail} (quarantine failed; entry deleted)"
-        warnings.warn(
-            CacheCorruption(path, detail), stacklevel=3
-        )
+        try:
+            warnings.warn(
+                CacheCorruption(path, detail), stacklevel=3
+            )
+        except CacheCorruption:
+            # Under error warning filters (pytest filterwarnings =
+            # error, python -W error) warn() raises the warning
+            # instance itself.  A corrupted entry must stay a
+            # recoverable miss -- it is always recomputable -- so
+            # swallow the escalation; the quarantined file remains
+            # the durable trace.
+            pass
 
     def put(
         self,

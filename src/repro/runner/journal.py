@@ -13,9 +13,13 @@ On ``run_grid(..., resume=True)`` the engine reloads the journal and
 serves any chain whose every point is journaled *and* still present
 in the cache straight from disk -- no executor is even constructed.
 
-Staleness is handled by construction: the journal stores cache keys,
-and cache keys embed the code salt, so a journal written by an older
-source tree simply misses the cache and the points recompute.
+Staleness is rejected explicitly: every line records the
+:func:`~repro.runner.cache.code_salt` of the source tree that wrote
+it, and :meth:`SweepJournal.load` drops lines whose salt differs
+from the current tree's.  (Merely storing salted cache keys would
+not be enough -- old-salt cache entries are never evicted, so a
+stale journaled key would still *hit* the stale entry.  The salt
+check makes an edited source tree recompute instead.)
 
 Appends are line-buffered single ``write`` calls of complete lines,
 so a journal truncated by a crash loses at most its torn final line
@@ -30,7 +34,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
-from repro.runner.cache import PlanCache, stable_hash
+from repro.runner.cache import PlanCache, code_salt, stable_hash
 
 #: Journal schema version; bump on incompatible line-format changes.
 JOURNAL_VERSION = 1
@@ -72,6 +76,7 @@ class SweepJournal:
             return
         line = json.dumps({
             "v": JOURNAL_VERSION,
+            "salt": code_salt(),
             "fingerprint": point_fingerprint(point, warm_start),
             "key": key,
             "point": dataclasses.asdict(point),
@@ -84,15 +89,17 @@ class SweepJournal:
         """``{fingerprint: cache key}`` for every journaled point.
 
         Missing files load as empty; malformed or torn lines (a crash
-        mid-append) and lines from other schema versions are skipped
-        -- the worst outcome of a bad journal line is recomputing one
-        point.
+        mid-append), lines from other schema versions, and lines
+        written by a different code version (salt mismatch) are
+        skipped -- the worst outcome of a bad or stale journal line
+        is recomputing one point, never serving a stale report.
         """
         completed: Dict[str, str] = {}
         try:
             text = self.path.read_text()
         except (FileNotFoundError, OSError):
             return completed
+        salt = code_salt()
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -100,6 +107,8 @@ class SweepJournal:
             try:
                 entry = json.loads(line)
                 if entry.get("v") != JOURNAL_VERSION:
+                    continue
+                if entry.get("salt") != salt:
                     continue
                 completed[entry["fingerprint"]] = entry["key"]
             except (ValueError, KeyError, TypeError):

@@ -18,11 +18,15 @@ figure -- with four guarantees:
 * **Persistent caching** -- each point consults the content-addressed
   :class:`~repro.runner.cache.PlanCache` before computing, so a warm
   rerun is served from disk.
-* **Fault tolerance** -- each chain gets a per-run timeout
-  (``REPRO_TIMEOUT``) and bounded deterministic retries
-  (``REPRO_RETRIES``); a crashed pool worker (``BrokenProcessPool``)
-  only re-runs the chains that were lost with it, on a respawned
-  pool.  ``strict=False`` degrades gracefully: the returned
+* **Fault tolerance** -- each chain gets a per-chain timeout
+  (``REPRO_TIMEOUT``, measured from when the chain is first observed
+  executing on its worker, so queue time is not charged and a hung
+  early chain is detected while later chains keep finishing) and
+  bounded deterministic retries (``REPRO_RETRIES``); a crashed pool
+  worker (``BrokenProcessPool``) only re-runs the chains that were
+  lost with it, on a respawned pool, and the abandoned pool's
+  workers are killed so a genuinely hung search cannot keep burning
+  CPU or stall interpreter exit.  ``strict=False`` degrades gracefully: the returned
   :class:`SweepResult` carries per-point status (``ok`` / ``failed``
   / ``timeout`` / ``skipped``) and the partial reports instead of
   raising on the first failure.  A :class:`~repro.runner.journal.
@@ -45,8 +49,8 @@ import multiprocessing
 import os
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as wait_futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
@@ -508,6 +512,160 @@ def _serial_outcomes(
             break
 
 
+#: How often the parallel collector re-polls while enforcing
+#: per-chain deadlines (to stamp the clock of chains that just left
+#: the queue and started executing).
+_DEADLINE_POLL_SECONDS = 0.25
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcefully terminate the workers of an abandoned pool.
+
+    ``shutdown(wait=False)`` alone is not enough when a worker is
+    genuinely hung: pool workers are non-daemon processes that
+    ``concurrent.futures`` joins at interpreter exit, so a wedged
+    worker would keep burning CPU alongside the respawned retry pool
+    and then stall process shutdown.  SIGKILL is safe here -- a
+    finished chain's results already crossed the result pipe, cache
+    writes are atomic (temp file + rename), and the lost chains are
+    re-run on a fresh pool -- but it cannot be trapped, so any
+    worker-side state outside those channels would be lost.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+
+
+def _harvest_future(
+    chain_id: int,
+    future: Any,
+    chain: Sequence[GridPoint],
+    attempt: int,
+    timeout: Optional[float],
+    journal: Optional[SweepJournal],
+    warm_start: bool,
+    outcomes: List[Optional[_ChainOutcome]],
+    failures: Dict[int, SweepError],
+) -> bool:
+    """Fold one settled future into ``outcomes`` / ``failures``.
+
+    Returns whether the pool must be abandoned (its worker died).
+    """
+    try:
+        outcome = _ChainOutcome(STATUS_OK, results=future.result())
+        outcomes[chain_id] = outcome
+        _journal_chain(journal, chain, outcome, warm_start)
+    except BrokenProcessPool as exc:
+        failures[chain_id] = WorkerCrash(
+            chain_id, attempt, str(exc) or type(exc).__name__
+        )
+        return True
+    except InjectedHang:
+        # The injected hang gave up on its own (no timeout was
+        # configured to preempt it); the worker is healthy again.
+        failures[chain_id] = ChainTimeout(
+            chain_id, timeout or 0.0, attempt
+        )
+    except SweepError as exc:
+        failures[chain_id] = exc
+    except Exception as exc:
+        failures[chain_id] = PointFailure(
+            chain[0], chain_id, attempt,
+            type(exc).__name__, str(exc),
+        )
+    return False
+
+
+def _collect_round(
+    futures: Dict[int, Any],
+    chains: Sequence[Sequence[GridPoint]],
+    attempts: Mapping[int, int],
+    timeout: Optional[float],
+    journal: Optional[SweepJournal],
+    warm_start: bool,
+    outcomes: List[Optional[_ChainOutcome]],
+    failures: Dict[int, SweepError],
+) -> Tuple[bool, List[int]]:
+    """Settle one pool round's futures under per-chain deadlines.
+
+    Each chain's timeout clock starts when its future is first
+    observed executing on a worker (polled every
+    ``_DEADLINE_POLL_SECONDS``), not when the parent happens to ask
+    for its result -- so queue time behind a busy pool is never
+    charged, and a hung early chain is flagged promptly even while
+    later chains keep finishing.  Detection granularity is the poll
+    interval.
+
+    Returns ``(abandoned, stranded)``: whether the pool must be
+    abandoned (a worker hung or died), and the chains whose futures
+    never started because every worker was wedged -- those rerun on
+    the next round's fresh pool without being charged an attempt.
+    """
+    abandoned = False
+    deadlines: Dict[int, float] = {}
+    waiting = dict(futures)
+    stranded: List[int] = []
+    while waiting:
+        if timeout is not None:
+            now = time.monotonic()
+            for chain_id, future in waiting.items():
+                if chain_id not in deadlines and future.running():
+                    deadlines[chain_id] = now + timeout
+            remaining = [
+                max(0.0, deadlines[chain_id] - now)
+                for chain_id in waiting if chain_id in deadlines
+            ]
+            wait_for = min([_DEADLINE_POLL_SECONDS] + remaining)
+            done, _ = wait_futures(
+                list(waiting.values()), timeout=wait_for,
+                return_when=FIRST_COMPLETED,
+            )
+        else:
+            done, _ = wait_futures(
+                list(waiting.values()), return_when=FIRST_COMPLETED
+            )
+        settled = sorted(
+            chain_id for chain_id, future in waiting.items()
+            if future in done
+        )
+        for chain_id in settled:
+            abandoned |= _harvest_future(
+                chain_id, waiting.pop(chain_id), chains[chain_id],
+                attempts[chain_id], timeout, journal, warm_start,
+                outcomes, failures,
+            )
+        if timeout is None:
+            continue
+        now = time.monotonic()
+        expired = sorted(
+            chain_id for chain_id in waiting
+            if deadlines.get(chain_id, now + 1.0) <= now
+        )
+        for chain_id in expired:
+            # The worker is stuck; drop the chain here and recover
+            # it on a fresh pool (this one's workers get killed).
+            failures[chain_id] = ChainTimeout(
+                chain_id, timeout, attempts[chain_id]
+            )
+            waiting.pop(chain_id).cancel()
+            abandoned = True
+        if abandoned and waiting and not any(
+            future.running() or future.done()
+            for future in waiting.values()
+        ):
+            # Every worker is wedged on a timed-out chain, so the
+            # queued futures can never start on this pool.  Send
+            # them to the next round's fresh pool without charging
+            # an attempt -- they never ran.
+            stranded = sorted(waiting)
+            for chain_id in stranded:
+                waiting.pop(chain_id).cancel()
+    return abandoned, stranded
+
+
 def _parallel_outcomes(
     chains: Sequence[Sequence[GridPoint]],
     chain_ids: Sequence[int],
@@ -526,7 +684,8 @@ def _parallel_outcomes(
     Each retry round runs on a fresh pool, so a broken
     (``BrokenProcessPool``) or abandoned (hung worker) pool never
     leaks into the next attempt; only the chains that were actually
-    lost are resubmitted.
+    lost are resubmitted, and an abandoned pool's workers are
+    explicitly killed (see :func:`_kill_pool_workers`).
     """
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
@@ -548,44 +707,20 @@ def _parallel_outcomes(
             for chain_id, attempt in sorted(pending.items())
         }
         failures: Dict[int, SweepError] = {}
-        abandoned = False
-        for chain_id in sorted(futures):
-            attempt = pending[chain_id]
-            chain = chains[chain_id]
-            try:
-                outcome = _ChainOutcome(
-                    STATUS_OK,
-                    results=futures[chain_id].result(timeout=timeout),
-                )
-                outcomes[chain_id] = outcome
-                _journal_chain(journal, chain, outcome, warm_start)
-            except FutureTimeout:
-                # The worker is stuck; abandon this pool (workers are
-                # not joined) and recover on a fresh one.
-                failures[chain_id] = ChainTimeout(
-                    chain_id, timeout or 0.0, attempt
-                )
-                abandoned = True
-            except BrokenProcessPool as exc:
-                failures[chain_id] = WorkerCrash(
-                    chain_id, attempt,
-                    str(exc) or type(exc).__name__,
-                )
-                abandoned = True
-            except InjectedHang:
-                failures[chain_id] = ChainTimeout(
-                    chain_id, timeout or 0.0, attempt
-                )
-            except SweepError as exc:
-                failures[chain_id] = exc
-            except Exception as exc:
-                failures[chain_id] = PointFailure(
-                    chain[0], chain_id, attempt,
-                    type(exc).__name__, str(exc),
-                )
+        abandoned, stranded = _collect_round(
+            futures, chains, pending, timeout, journal, warm_start,
+            outcomes, failures,
+        )
+        if abandoned:
+            # Kill before shutdown(): shutdown drops the executor's
+            # process references, after which the workers could no
+            # longer be reached.
+            _kill_pool_workers(pool)
         pool.shutdown(wait=not abandoned, cancel_futures=True)
         attempts = pending
-        pending = {}
+        pending = {
+            chain_id: attempts[chain_id] for chain_id in stranded
+        }
         for chain_id, error in sorted(failures.items()):
             attempt = attempts[chain_id]
             if attempt < retries:
@@ -654,9 +789,13 @@ def run_grid(
             the next (larger) sequence length's search as an extra
             incumbent.
         timeout: Per-chain timeout in seconds (``None``:
-            ``REPRO_TIMEOUT``, else unlimited).  Enforced as a
-            wall-clock bound on pool futures when ``jobs > 1``;
-            serial mode honors cooperative (injected) hangs only.
+            ``REPRO_TIMEOUT``, else unlimited).  When ``jobs > 1``
+            each chain's clock starts when it is first observed
+            executing on a worker (polled, so detection granularity
+            is ~0.25 s) -- queue time behind a busy pool is not
+            charged, and a hung chain is detected even while other
+            chains are still running.  Serial mode honors
+            cooperative (injected) hangs only.
         retries: Extra attempts per failed chain (``None``:
             ``REPRO_RETRIES``, else 0), with deterministic seeded
             backoff (``REPRO_BACKOFF``).

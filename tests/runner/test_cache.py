@@ -108,6 +108,25 @@ class TestPlanCache:
         assert path.name in message
         assert "quarantine" in message
 
+    def test_corruption_stays_a_miss_under_error_filters(self, cache):
+        """With warnings escalated to errors (pytest
+        filterwarnings=error, python -W error), a corrupted entry
+        must still be a recoverable miss, not a hard failure -- the
+        quarantined file is the durable trace."""
+        import warnings
+
+        key = stable_hash({"k": "strict-filters"})
+        cache.put("report", key, {"ok": True})
+        path = cache.path_for("report", key)
+        path.write_text("{ not json !!!")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get("report", key) is None
+        assert (cache.root / "quarantine" / path.name).exists()
+        # Recovery proceeds exactly as in the warning path.
+        cache.put("report", key, {"ok": True})
+        assert cache.get("report", key) == {"ok": True}
+
     def test_quarantined_entries_are_not_entries(self, cache):
         key = stable_hash({"k": "not-counted"})
         cache.put("report", key, {"ok": True})

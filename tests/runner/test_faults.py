@@ -336,6 +336,52 @@ class TestParallelRecovery:
         assert recovered.ok
         assert rendered(recovered) == rendered(clean)
 
+    def test_hung_workers_are_killed_after_recovery(
+        self, tmp_path, monkeypatch
+    ):
+        """Abandoning a timed-out pool must not leave its hung
+        worker burning CPU: run_grid kills the abandoned workers, so
+        no child outlives the sweep (a 60 s injected hang would
+        otherwise linger)."""
+        import multiprocessing
+        import time
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "hang:chain=0,attempt=0,seconds=60"
+        )
+        start = time.monotonic()
+        result = run_grid(grid(), jobs=2, cache_dir=tmp_path / "c",
+                          timeout=3.0, retries=1)
+        assert result.ok
+        # Detection is prompt (deadline-based), nowhere near the 60 s
+        # the injected hang would sleep.
+        assert time.monotonic() - start < 30
+        deadline = time.monotonic() + 10
+        while (multiprocessing.active_children()
+               and time.monotonic() < deadline):
+            time.sleep(0.1)
+        assert multiprocessing.active_children() == []
+
+    def test_queued_chain_survives_all_workers_hanging(
+        self, tmp_path, monkeypatch
+    ):
+        """With every worker wedged on a timed-out chain, a chain
+        still waiting in the queue is re-run on the fresh pool
+        without being charged an attempt -- it never started, so it
+        must not burn a retry or be reported as a timeout."""
+        points = grid(
+            executors=("unfused", "fusemax", "transfusion")
+        )
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "hang:chain=0,attempt=0,seconds=60;"
+            "hang:chain=1,attempt=0,seconds=60",
+        )
+        result = run_grid(points, jobs=2, cache_dir=tmp_path / "c",
+                          timeout=5.0, retries=1)
+        assert result.ok
+        assert set(result.statuses.values()) == {"ok"}
+
 
 class TestSweepResultSerialization:
     def test_round_trip_with_failures(self, tmp_path, monkeypatch):

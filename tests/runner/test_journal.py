@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.serialize import report_to_dict
+from repro.runner.cache import code_salt
 from repro.runner.journal import (
     SweepJournal,
     default_journal_path,
@@ -66,6 +67,25 @@ class TestJournalFile:
         journal = SweepJournal(tmp_path / "j.jsonl")
         journal.path.write_text(
             '{"v": 99, "fingerprint": "f", "key": "k"}\n'
+        )
+        assert journal.load() == {}
+
+    def test_other_code_versions_skipped(self, tmp_path, point):
+        """Lines written by a different source tree are rejected:
+        old-salt cache entries are never evicted, so serving a stale
+        journaled key would *hit* the stale entry."""
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(point, "abc123", warm_start=False)
+        stale = journal.path.read_text().replace(
+            code_salt(), "0" * 64
+        )
+        journal.path.write_text(stale)
+        assert journal.load() == {}
+
+    def test_saltless_legacy_lines_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.path.write_text(
+            '{"v": 1, "fingerprint": "f", "key": "k"}\n'
         )
         assert journal.load() == {}
 
@@ -185,6 +205,25 @@ class TestResume:
         first = run_grid(points, jobs=1, cache_dir=tmp_path / "c",
                          journal=journal)
         PlanCache(tmp_path / "c").clear()
+        resumed = run_grid(points, jobs=1, cache_dir=tmp_path / "c",
+                           journal=journal, resume=True)
+        assert set(resumed.statuses.values()) == {"ok"}
+        assert rendered(resumed) == rendered(first)
+
+    def test_resume_recomputes_after_code_change(
+        self, tmp_path, monkeypatch
+    ):
+        """A journal from an older source tree must recompute, not
+        serve the (never-evicted) old-salt cache entries as
+        'skipped'."""
+        import repro.runner.cache as cache_mod
+
+        points = grid(executors=("unfused",))
+        journal = tmp_path / "j.jsonl"
+        first = run_grid(points, jobs=1, cache_dir=tmp_path / "c",
+                         journal=journal)
+        # Simulate editing src/repro between the runs.
+        monkeypatch.setattr(cache_mod, "_code_salt", "f" * 64)
         resumed = run_grid(points, jobs=1, cache_dir=tmp_path / "c",
                            journal=journal, resume=True)
         assert set(resumed.statuses.values()) == {"ok"}

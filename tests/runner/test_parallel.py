@@ -11,6 +11,7 @@ from repro.core.serialize import report_to_dict
 from repro.runner.cache import PlanCache
 from repro.runner.parallel import (
     GridPoint,
+    SweepResult,
     _chains,
     resolve_jobs,
     run_grid,
@@ -131,6 +132,22 @@ class TestRunGrid:
             assert warm[point].dram_words() <= (
                 cold[point].dram_words() * (1 + 1e-9)
             )
+
+
+class TestSweepResultEquality:
+    def test_value_equality_with_plain_dict(self):
+        """run_grid used to return a plain dict; existing call sites
+        comparing the result to a {point: report} dict must keep
+        getting value equality (Mapping's __eq__ mixin), not
+        identity."""
+        point = GridPoint(executor="unfused", model="t5",
+                          seq_len=512, arch="cloud", batch=4)
+        result = SweepResult([point], {point: "report"},
+                             {point: "ok"}, {})
+        assert result == {point: "report"}
+        assert {point: "report"} == result
+        assert result != {point: "other"}
+        assert result != {}
 
 
 class TestCrossProcessDeterminism:
