@@ -8,6 +8,7 @@ series as an aligned table, and archives the table under
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -19,6 +20,31 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def _perf_records(results_dir):
+    """Collects framework-perf metrics across the session and writes
+    ``results/BENCH_framework.json`` at teardown (machine-readable
+    counterpart of the per-figure ``.txt`` tables; CI archives it as
+    an artifact so perf history is diffable across runs)."""
+    records: dict = {}
+    yield records
+    if records:
+        path = results_dir / "BENCH_framework.json"
+        path.write_text(
+            json.dumps(records, indent=2, sort_keys=True) + "\n"
+        )
+
+
+@pytest.fixture
+def perf_log(_perf_records):
+    """Record one benchmark's metrics under a stable key."""
+
+    def _log(name: str, metrics: dict) -> None:
+        _perf_records[name] = metrics
+
+    return _log
 
 
 @pytest.fixture

@@ -143,8 +143,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_inspect(args: argparse.Namespace) -> int:
     """Render one sub-layer's DPipe schedule as an ASCII Gantt."""
     from repro.dpipe.latency import build_latency_table
-    from repro.dpipe.pipeline import ROOT, best_window_schedule
-    from repro.dpipe.planner import plan_cascade
+    from repro.dpipe.pipeline import ROOT
+    from repro.dpipe.planner import plan_cascade, plan_window_schedule
     from repro.dpipe.visualize import render_gantt, schedule_timeline
     from repro.core.executor import TransFusionExecutor
     from repro.graph.dag import ComputationDAG
@@ -157,18 +157,24 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     )[args.layer]
     tile = executor.inner_tile(workload, args.layer, arch)
     n_epochs = executor.epoch_count(workload, args.layer, tile)
-    plan = plan_cascade(cascade, args.layer, tile, arch, n_epochs)
+    options = executor.dpipe_options
+    plan = plan_cascade(
+        cascade, args.layer, tile, arch, n_epochs, options
+    )
     table = build_latency_table(cascade, args.layer, tile, arch)
     print(
         f"{args.layer} on {arch.name}: {n_epochs:,} epochs, "
         f"steady-state period {plan.epoch_seconds:.3e}s, "
         f"pipelined={plan.pipelined}"
     )
-    if plan.bipartition is not None and plan.window_order:
-        dag = ComputationDAG.from_cascade(cascade)
-        window = best_window_schedule(
-            dag, plan.bipartition, table, max_orders=48
-        )
+    # Re-derive the window through the planner's own search entry so
+    # the rendered Gantt always matches the plan (same fused search,
+    # same options -- previously this re-searched with a hardcoded
+    # max_orders and could drift from the planner).
+    window = plan_window_schedule(
+        cascade, args.layer, tile, arch, plan, options
+    )
+    if window is not None:
         timeline = schedule_timeline(
             window.schedule, table, zero_latency={ROOT}
         )

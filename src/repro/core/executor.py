@@ -14,7 +14,13 @@ Combines all three mechanisms on top of the shared cost model:
 
 TileSeek results are memoized per (model, sequence, batch,
 architecture): the search is deterministic, and the evaluation sweeps
-revisit the same workloads many times.
+revisit the same workloads many times.  DPipe planning is memoized one
+level below, inside :mod:`repro.dpipe.planner`: the ``n_epochs``-free
+schedule kernel of each (cascade, layer, tile, arch, options) point is
+cached in-process and persistently (plan-cache kind
+``"dpipe-kernel"``), so every executor instance -- and every sweep
+worker sharing the cache directory -- pays each layer's
+branch-and-bound search at most once.
 """
 
 from __future__ import annotations

@@ -13,15 +13,30 @@ schedule in three steps:
 """
 
 from repro.dpipe.latency import LatencyTable, build_latency_table
-from repro.dpipe.planner import DPipeOptions, DPipePlan, plan_cascade
+from repro.dpipe.planner import (
+    DPipeOptions,
+    DPipePlan,
+    clear_kernel_cache,
+    kernel_cache_size,
+    plan_cascade,
+    plan_cascade_legacy,
+    plan_window_schedule,
+)
 from repro.dpipe.scheduler import ScheduleResult, dp_schedule
+from repro.dpipe.search import InternedProblem, fused_best_order
 
 __all__ = [
     "DPipeOptions",
     "DPipePlan",
+    "InternedProblem",
     "LatencyTable",
     "ScheduleResult",
     "build_latency_table",
+    "clear_kernel_cache",
     "dp_schedule",
+    "fused_best_order",
+    "kernel_cache_size",
     "plan_cascade",
+    "plan_cascade_legacy",
+    "plan_window_schedule",
 ]

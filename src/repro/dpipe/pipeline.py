@@ -70,6 +70,24 @@ class WindowSchedule:
         return self.schedule.makespan
 
 
+def _window_weights(
+    window: ComputationDAG, table: LatencyTable
+) -> dict:
+    """Best-case (min-over-arrays) op latencies for the critical-path
+    heuristic order."""
+    return {
+        node: min(
+            table.latency(node.split(".", 1)[1], kind)
+            for kind in (
+                PEArrayKind.ARRAY_2D, PEArrayKind.ARRAY_1D,
+            )
+        )
+        if node != ROOT
+        else 0.0
+        for node in window.nodes
+    }
+
+
 def best_window_schedule(
     dag: ComputationDAG,
     bipartition: Bipartition,
@@ -83,24 +101,49 @@ def best_window_schedule(
     critical-path list-scheduling order (long chains first) -- cheap
     insurance against the enumeration cap missing good interleavings
     on wide windows.
+
+    Runs the fused branch-and-bound search
+    (:func:`repro.dpipe.search.fused_best_order`), which evaluates the
+    identical candidate set in the identical order and returns a
+    byte-identical winner; :func:`legacy_window_schedule` keeps the
+    original two-pass search as the differential reference.
+    """
+    from repro.dpipe.search import fused_best_order
+
+    window = build_window(dag, bipartition)
+    order, result = fused_best_order(
+        window, table, max_orders, zero_latency={ROOT},
+        extra_orders=(
+            critical_path_order(window, _window_weights(window,
+                                                        table)),
+        ),
+    )
+    return WindowSchedule(
+        bipartition=bipartition, order=order, schedule=result
+    )
+
+
+def legacy_window_schedule(
+    dag: ComputationDAG,
+    bipartition: Bipartition,
+    table: LatencyTable,
+    max_orders: int,
+) -> WindowSchedule:
+    """The original enumerate-then-score window search.
+
+    Kept verbatim as the differential reference for
+    :func:`best_window_schedule`: property tests and the framework
+    benchmarks assert the fused search returns identical results at a
+    fraction of the cost.
     """
     window = build_window(dag, bipartition)
     preds = window.pred_map()
     candidates = list(
         all_topological_orders(window, limit=max_orders)
     )
-    weights = {
-        node: min(
-            table.latency(node.split(".", 1)[1], kind)
-            for kind in (
-                PEArrayKind.ARRAY_2D, PEArrayKind.ARRAY_1D,
-            )
-        )
-        if node != ROOT
-        else 0.0
-        for node in window.nodes
-    }
-    candidates.append(critical_path_order(window, weights))
+    candidates.append(
+        critical_path_order(window, _window_weights(window, table))
+    )
     best: Optional[WindowSchedule] = None
     for order in candidates:
         result = dp_schedule(

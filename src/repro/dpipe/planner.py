@@ -12,26 +12,63 @@ an inner tile and an epoch count it
 
 The returned plan carries busy time and compute-load splits per PE
 array so executors can report utilization and energy.
+
+Two performance layers sit between the public API and the DP:
+
+* **Fused search** -- every candidate-order evaluation goes through
+  :func:`repro.dpipe.search.fused_best_order`, a branch-and-bound DFS
+  that schedules shared order prefixes once and prunes against the
+  incumbent (byte-identical winners; see that module's docstring).
+* **Kernel memoization** -- everything scheduled here depends only on
+  ``(cascade, layer, tile, arch, options)``; ``n_epochs`` merely
+  scales totals.  ``plan_cascade`` therefore computes an
+  ``n_epochs``-free *schedule kernel* (per-epoch periods, fill/drain
+  makespans, per-epoch busy/load splits and the winning orders) and
+  caches it in-process across layers, executors and sweep points,
+  plus persistently through :mod:`repro.runner.cache` (kind
+  ``dpipe-kernel``, salted by the code version).  Building a
+  :class:`DPipePlan` from a cached kernel replays the exact legacy
+  float expressions, so plans are byte-identical to a from-scratch
+  search.  When validation is enabled the memo is bypassed and the
+  kernel rebuilt with the schedule auditor armed, so ``repro
+  validate`` always replays real DP passes.
+
+``plan_cascade_legacy`` keeps the original enumerate-then-score
+implementation verbatim as the differential reference; the property
+suite and ``benchmarks/bench_framework_perf.py`` assert fused == legacy.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.arch.pe import PEArrayKind
 from repro.arch.spec import ArchitectureSpec
 from repro.dpipe.latency import LatencyTable, build_latency_table
 from repro.dpipe.pipeline import (
+    ROOT,
     WindowSchedule,
     best_window_schedule,
+    build_paired_window,
+    legacy_window_schedule,
     subgraph_makespan,
 )
 from repro.dpipe.scheduler import ARRAYS, ScheduleResult, dp_schedule
+from repro.dpipe.search import fused_best_order
 from repro.einsum.cascade import Cascade
 from repro.graph.dag import ComputationDAG
 from repro.graph.partition import Bipartition, enumerate_bipartitions
 from repro.graph.toposort import all_topological_orders
+from repro.validate.config import validation_enabled
 
 
 @dataclass(frozen=True)
@@ -114,6 +151,524 @@ def _pinned_table(
     return LatencyTable(seconds=seconds, loads=dict(table.loads))
 
 
+def _planning_table(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    options: DPipeOptions,
+) -> LatencyTable:
+    """The latency table the search prices candidates with."""
+    table = build_latency_table(cascade, layer, tile, arch)
+    if not options.enable_dp_assignment:
+        table = _pinned_table(cascade, table)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Schedule kernels: everything n_epochs-free about a layer's search
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SingleKernel:
+    """Best single-epoch schedule (the unpipelined fallback)."""
+
+    makespan: float
+    busy: Mapping[PEArrayKind, float]
+    load: Mapping[PEArrayKind, float]
+
+
+@dataclass(frozen=True)
+class _StaticKernel:
+    """FuseMax-style static pipeline (per-array latency sums)."""
+
+    period: float
+    fill: float
+    sums: Mapping[PEArrayKind, float]
+    loads: Mapping[PEArrayKind, float]
+
+
+@dataclass(frozen=True)
+class _PairedKernel:
+    """Two whole consecutive epochs priced as one DP problem."""
+
+    pair_makespan: float
+    busy: Mapping[PEArrayKind, float]
+    load: Mapping[PEArrayKind, float]
+
+
+@dataclass(frozen=True)
+class _WindowKernel:
+    """One bipartition's window search outcome + fill/drain terms."""
+
+    bipartition: Bipartition
+    order: Tuple[str, ...]
+    period: float
+    fill: float
+    drain: float
+    busy: Mapping[PEArrayKind, float]
+    load: Mapping[PEArrayKind, float]
+
+
+@dataclass(frozen=True)
+class _PipelineKernel:
+    static: _StaticKernel
+    paired: _PairedKernel
+    windows: Tuple[_WindowKernel, ...]
+
+
+@dataclass(frozen=True)
+class _CascadeKernel:
+    """The n_epochs-free factor of ``plan_cascade``.
+
+    ``single`` is always present; ``pipeline`` is populated lazily
+    (only plans with ``enable_pipelining`` and ``n_epochs >= 2`` need
+    it, and building it is the expensive part).
+    """
+
+    single: _SingleKernel
+    pipeline: Optional[_PipelineKernel]
+
+
+#: In-process kernel memo: key is the content hash of everything the
+#: kernel depends on (cascade, layer, tile, arch, search caps,
+#: assignment mode, code salt).  ``objective`` and
+#: ``enable_pipelining`` are deliberately excluded -- the objective
+#: only reweighs candidates at plan-construction time and pipelining
+#: only gates which kernel half is consulted -- so energy/EDP sweeps
+#: and ablation variants share kernels.
+_KERNEL_CACHE: Dict[str, _CascadeKernel] = {}
+
+
+def clear_kernel_cache() -> None:
+    """Drop the in-process kernel memo (tests and benchmarks)."""
+    _KERNEL_CACHE.clear()
+
+
+def kernel_cache_size() -> int:
+    """Number of kernels currently memoized in-process."""
+    return len(_KERNEL_CACHE)
+
+
+def _kernel_payload(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    options: DPipeOptions,
+    salt: str,
+) -> Dict[str, Any]:
+    # Lazy import: repro.runner sits above the planner in the layer
+    # diagram; only its content-hash helpers are borrowed here.
+    from repro.runner.cache import arch_fingerprint
+
+    return {
+        "kind": "dpipe-kernel",
+        "salt": salt,
+        "cascade": dataclasses.asdict(cascade),
+        "layer": layer,
+        "tile": {key: int(value) for key, value in
+                 sorted(tile.items())},
+        "arch": arch_fingerprint(arch),
+        "max_bipartitions": options.max_bipartitions,
+        "max_orders": options.max_orders,
+        "enable_dp_assignment": options.enable_dp_assignment,
+    }
+
+
+def _split_to_list(
+    split: Mapping[PEArrayKind, float]
+) -> List[List[Any]]:
+    return [[kind.value, split[kind]] for kind in ARRAYS]
+
+
+def _split_from_list(items: List[List[Any]]) -> Dict[PEArrayKind, float]:
+    # Reconstruction preserves ARRAYS insertion order, so later
+    # ``.items()`` float accumulation iterates exactly as the legacy
+    # dicts built from ``{kind: 0.0 for kind in ARRAYS}`` did.
+    return {PEArrayKind(kind): value for kind, value in items}
+
+
+def _kernel_to_dict(kernel: _CascadeKernel) -> Dict[str, Any]:
+    """JSON-safe kernel serialization (floats round-trip exactly)."""
+    document: Dict[str, Any] = {
+        "single": {
+            "makespan": kernel.single.makespan,
+            "busy": _split_to_list(kernel.single.busy),
+            "load": _split_to_list(kernel.single.load),
+        },
+        "pipeline": None,
+    }
+    if kernel.pipeline is not None:
+        pipe = kernel.pipeline
+        document["pipeline"] = {
+            "static": {
+                "period": pipe.static.period,
+                "fill": pipe.static.fill,
+                "sums": _split_to_list(pipe.static.sums),
+                "loads": _split_to_list(pipe.static.loads),
+            },
+            "paired": {
+                "pair_makespan": pipe.paired.pair_makespan,
+                "busy": _split_to_list(pipe.paired.busy),
+                "load": _split_to_list(pipe.paired.load),
+            },
+            "windows": [
+                {
+                    "first": sorted(window.bipartition.first),
+                    "second": sorted(window.bipartition.second),
+                    "order": list(window.order),
+                    "period": window.period,
+                    "fill": window.fill,
+                    "drain": window.drain,
+                    "busy": _split_to_list(window.busy),
+                    "load": _split_to_list(window.load),
+                }
+                for window in pipe.windows
+            ],
+        }
+    return document
+
+
+def _kernel_from_dict(document: Mapping[str, Any]) -> _CascadeKernel:
+    single = _SingleKernel(
+        makespan=document["single"]["makespan"],
+        busy=_split_from_list(document["single"]["busy"]),
+        load=_split_from_list(document["single"]["load"]),
+    )
+    pipeline = None
+    if document.get("pipeline") is not None:
+        pipe = document["pipeline"]
+        pipeline = _PipelineKernel(
+            static=_StaticKernel(
+                period=pipe["static"]["period"],
+                fill=pipe["static"]["fill"],
+                sums=_split_from_list(pipe["static"]["sums"]),
+                loads=_split_from_list(pipe["static"]["loads"]),
+            ),
+            paired=_PairedKernel(
+                pair_makespan=pipe["paired"]["pair_makespan"],
+                busy=_split_from_list(pipe["paired"]["busy"]),
+                load=_split_from_list(pipe["paired"]["load"]),
+            ),
+            windows=tuple(
+                _WindowKernel(
+                    bipartition=Bipartition(
+                        first=frozenset(window["first"]),
+                        second=frozenset(window["second"]),
+                    ),
+                    order=tuple(window["order"]),
+                    period=window["period"],
+                    fill=window["fill"],
+                    drain=window["drain"],
+                    busy=_split_from_list(window["busy"]),
+                    load=_split_from_list(window["load"]),
+                )
+                for window in pipe["windows"]
+            ),
+        )
+    return _CascadeKernel(single=single, pipeline=pipeline)
+
+
+def _build_kernel(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    options: DPipeOptions,
+    with_pipeline: bool,
+) -> _CascadeKernel:
+    """Run the fused searches and record their n_epochs-free results."""
+    dag = ComputationDAG.from_cascade(cascade)
+    table = _planning_table(cascade, layer, tile, arch, options)
+
+    _, single = fused_best_order(dag, table, options.max_orders)
+    single_kernel = _SingleKernel(
+        makespan=single.makespan,
+        busy=dict(single.busy_seconds),
+        load=single.load_split(table),
+    )
+    if not with_pipeline:
+        return _CascadeKernel(single=single_kernel, pipeline=None)
+
+    sums: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    loads: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
+    for op in cascade.all_ops:
+        natural = (
+            PEArrayKind.ARRAY_2D
+            if op.is_gemm_like
+            else PEArrayKind.ARRAY_1D
+        )
+        sums[natural] += table.latency(op.name, natural)
+        loads[natural] += table.load(op.name)
+    static = _StaticKernel(
+        period=max(sums.values()),
+        fill=min(sums.values()),
+        sums=sums,
+        loads=loads,
+    )
+
+    paired_window = build_paired_window(dag, cascade)
+    _, paired_best = fused_best_order(
+        paired_window, table, options.max_orders,
+        zero_latency={ROOT},
+    )
+    paired = _PairedKernel(
+        pair_makespan=paired_best.makespan,
+        busy=dict(paired_best.busy_seconds),
+        load=paired_best.load_split(table),
+    )
+
+    windows: List[_WindowKernel] = []
+    for bipartition in enumerate_bipartitions(
+        dag, limit=options.max_bipartitions
+    ):
+        window = best_window_schedule(
+            dag, bipartition, table, options.max_orders
+        )
+        windows.append(_WindowKernel(
+            bipartition=bipartition,
+            order=window.order,
+            period=window.period_seconds,
+            fill=subgraph_makespan(dag, bipartition.first, table),
+            drain=subgraph_makespan(dag, bipartition.second, table),
+            busy=dict(window.schedule.busy_seconds),
+            load=window.schedule.load_split(table),
+        ))
+    return _CascadeKernel(
+        single=single_kernel,
+        pipeline=_PipelineKernel(
+            static=static, paired=paired, windows=tuple(windows)
+        ),
+    )
+
+
+def _cached_kernel(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    options: DPipeOptions,
+    with_pipeline: bool,
+) -> _CascadeKernel:
+    """The memoized kernel, consulting memory then the plan cache."""
+    from repro.runner.cache import (
+        code_salt,
+        default_cache,
+        stable_hash,
+    )
+
+    payload = _kernel_payload(
+        cascade, layer, tile, arch, options, code_salt()
+    )
+    key = stable_hash(payload)
+
+    def satisfies(kernel: Optional[_CascadeKernel]) -> bool:
+        return kernel is not None and (
+            kernel.pipeline is not None or not with_pipeline
+        )
+
+    kernel = _KERNEL_CACHE.get(key)
+    if satisfies(kernel):
+        return kernel  # type: ignore[return-value]
+    cache = default_cache()
+    if cache is not None:
+        document = cache.get("dpipe-kernel", key)
+        if document is not None:
+            loaded = _kernel_from_dict(document)
+            if satisfies(loaded):
+                _KERNEL_CACHE[key] = loaded
+                return loaded
+    kernel = _build_kernel(
+        cascade, layer, tile, arch, options, with_pipeline
+    )
+    _KERNEL_CACHE[key] = kernel
+    if cache is not None:
+        cache.put("dpipe-kernel", key, _kernel_to_dict(kernel),
+                  payload)
+    return kernel
+
+
+def _plan_from_kernel(
+    kernel: _CascadeKernel,
+    layer: str,
+    n_epochs: int,
+    options: DPipeOptions,
+    arch: ArchitectureSpec,
+) -> DPipePlan:
+    """Scale a kernel by ``n_epochs`` and pick the winning candidate.
+
+    Every float expression below matches the legacy plan construction
+    term for term (same addition and multiplication order), so a plan
+    built from a cached kernel is byte-identical to one built by
+    ``plan_cascade_legacy``.
+    """
+    def compute_energy_pj(plan: DPipePlan) -> float:
+        return arch.energy.pe_energy_pj(
+            plan.load_split[PEArrayKind.ARRAY_2D],
+            plan.load_split[PEArrayKind.ARRAY_1D],
+        )
+
+    def score(plan: DPipePlan) -> float:
+        if options.objective == "latency":
+            return plan.total_seconds
+        if options.objective == "energy":
+            return compute_energy_pj(plan)
+        return plan.total_seconds * compute_energy_pj(plan)  # edp
+
+    single = kernel.single
+    best_plan = DPipePlan(
+        layer=layer,
+        n_epochs=n_epochs,
+        epoch_seconds=single.makespan,
+        total_seconds=n_epochs * single.makespan,
+        busy_seconds={
+            kind: n_epochs * single.busy[kind] for kind in ARRAYS
+        },
+        load_split={
+            kind: n_epochs * load
+            for kind, load in single.load.items()
+        },
+        pipelined=False,
+    )
+    if not options.enable_pipelining or n_epochs < 2:
+        return best_plan
+
+    pipe = kernel.pipeline
+    assert pipe is not None  # caller requested the pipeline half
+    static = pipe.static
+    candidates = [DPipePlan(
+        layer=layer,
+        n_epochs=n_epochs,
+        epoch_seconds=static.period,
+        total_seconds=n_epochs * static.period + static.fill,
+        busy_seconds={
+            kind: n_epochs * static.sums[kind] for kind in ARRAYS
+        },
+        load_split={
+            kind: n_epochs * static.loads[kind] for kind in ARRAYS
+        },
+        pipelined=True,
+    )]
+    paired = pipe.paired
+    period = paired.pair_makespan / 2.0
+    candidates.append(DPipePlan(
+        layer=layer,
+        n_epochs=n_epochs,
+        epoch_seconds=period,
+        total_seconds=single.makespan + (n_epochs - 1) * period,
+        busy_seconds={
+            kind: n_epochs * paired.busy[kind] / 2.0
+            for kind in ARRAYS
+        },
+        load_split={
+            kind: n_epochs * load / 2.0
+            for kind, load in paired.load.items()
+        },
+        pipelined=True,
+    ))
+    for window in pipe.windows:
+        total = (
+            window.fill
+            + (n_epochs - 1) * window.period
+            + window.drain
+        )
+        candidates.append(DPipePlan(
+            layer=layer,
+            n_epochs=n_epochs,
+            epoch_seconds=window.period,
+            total_seconds=total,
+            busy_seconds={
+                kind: n_epochs * window.busy[kind]
+                for kind in ARRAYS
+            },
+            load_split={
+                kind: n_epochs * load
+                for kind, load in window.load.items()
+            },
+            bipartition=window.bipartition,
+            window_order=window.order,
+            pipelined=True,
+        ))
+    for candidate in candidates:
+        if score(candidate) < score(best_plan):
+            best_plan = candidate
+    return best_plan
+
+
+def plan_cascade(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    n_epochs: int,
+    options: DPipeOptions = DPipeOptions(),
+) -> DPipePlan:
+    """Produce the best DPipe schedule for one sub-layer.
+
+    Runs the fused branch-and-bound search over an interned DAG and
+    memoizes the ``n_epochs``-free schedule kernel (in-process and
+    through the persistent plan cache), so repeated sweep points --
+    and different epoch counts over the same layer -- skip the search
+    entirely.  Plans are byte-identical to
+    :func:`plan_cascade_legacy`.
+
+    Args:
+        cascade: The sub-layer's Einsum cascade.
+        layer: Sub-layer kind (Table-1 mapping selection).
+        tile: Inner-tile extents (one epoch's work).
+        arch: Target architecture.
+        n_epochs: Epochs needed to cover the full problem.
+        options: Search budget / ablation switches.
+
+    Returns:
+        The minimum-makespan plan found.
+    """
+    if n_epochs <= 0:
+        raise ValueError("n_epochs must be positive")
+    with_pipeline = options.enable_pipelining and n_epochs >= 2
+    if validation_enabled():
+        # Auditors must see real DP passes, not cached floats: rebuild
+        # the kernel with the schedule auditor armed (every winning
+        # search pass and every fill/drain DP is replay-checked).
+        kernel = _build_kernel(
+            cascade, layer, tile, arch, options, with_pipeline
+        )
+    else:
+        kernel = _cached_kernel(
+            cascade, layer, tile, arch, options, with_pipeline
+        )
+    return _plan_from_kernel(kernel, layer, n_epochs, options, arch)
+
+
+def plan_window_schedule(
+    cascade: Cascade,
+    layer: str,
+    tile: Mapping[str, int],
+    arch: ArchitectureSpec,
+    plan: DPipePlan,
+    options: DPipeOptions = DPipeOptions(),
+) -> Optional[WindowSchedule]:
+    """The :class:`WindowSchedule` behind a plan's winning bipartition.
+
+    Consumers that render or inspect a plan's steady-state window (the
+    CLI ``inspect`` command) go through here so they price the window
+    with exactly the planner's fused search and options -- the two
+    code paths cannot drift.  Returns ``None`` for unpipelined plans
+    or pipelined plans without a bipartition window (static / paired
+    winners).
+    """
+    if plan.bipartition is None:
+        return None
+    dag = ComputationDAG.from_cascade(cascade)
+    table = _planning_table(cascade, layer, tile, arch, options)
+    return best_window_schedule(
+        dag, plan.bipartition, table, options.max_orders
+    )
+
+
+# ----------------------------------------------------------------------
+# Legacy reference implementation (differential baseline)
+# ----------------------------------------------------------------------
 def _best_single_epoch(
     dag: ComputationDAG,
     table: LatencyTable,
@@ -189,11 +744,6 @@ def _paired_window_plan(
     window cannot express -- e.g. QKV's three independent projections
     spreading over both PE arrays *and* two epochs.
     """
-    from repro.dpipe.pipeline import (
-        ROOT,
-        build_paired_window,
-    )
-
     if n_epochs < 2:
         return None
     window = build_paired_window(dag, cascade)
@@ -227,7 +777,7 @@ def _paired_window_plan(
     )
 
 
-def plan_cascade(
+def plan_cascade_legacy(
     cascade: Cascade,
     layer: str,
     tile: Mapping[str, int],
@@ -235,18 +785,13 @@ def plan_cascade(
     n_epochs: int,
     options: DPipeOptions = DPipeOptions(),
 ) -> DPipePlan:
-    """Produce the best DPipe schedule for one sub-layer.
+    """The original enumerate-then-score planner, unfused and
+    unmemoized.
 
-    Args:
-        cascade: The sub-layer's Einsum cascade.
-        layer: Sub-layer kind (Table-1 mapping selection).
-        tile: Inner-tile extents (one epoch's work).
-        arch: Target architecture.
-        n_epochs: Epochs needed to cover the full problem.
-        options: Search budget / ablation switches.
-
-    Returns:
-        The minimum-makespan plan found.
+    Kept verbatim as the differential reference: the property suite
+    and the framework benchmarks assert
+    ``plan_cascade(...) == plan_cascade_legacy(...)`` while timing the
+    speedup of the fused path.
     """
     if n_epochs <= 0:
         raise ValueError("n_epochs must be positive")
@@ -301,7 +846,7 @@ def plan_cascade(
         dag, limit=options.max_bipartitions
     )
     for bipartition in bipartitions:
-        window = best_window_schedule(
+        window = legacy_window_schedule(
             dag, bipartition, table, options.max_orders
         )
         fill = subgraph_makespan(dag, bipartition.first, table)

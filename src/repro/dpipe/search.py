@@ -1,0 +1,422 @@
+"""Fused branch-and-bound search over topological orders (Section 4.3).
+
+The legacy DPipe pipeline (kept as the differential reference) first
+materializes up to ``max_orders`` full topological orders of a window
+(:func:`repro.graph.toposort.all_topological_orders`) and then runs the
+Eq. 43-46 earliest-finish DP over each order from scratch
+(:func:`repro.dpipe.scheduler.dp_schedule`).  Orders produced by the
+enumeration share long prefixes, so the bulk of that DP work is
+repeated, and every DP step pays string hashing (epoch-prefix
+stripping, ``(op, array)`` dict lookups) per node per array.
+
+This module fuses the two passes into a single DFS:
+
+* **Interning** -- node names become integer ids once per search;
+  epoch prefixes (``cur.`` / ``nxt.``) are pre-stripped and the
+  per-(op, array) latencies resolved into flat float lists, so the
+  inner loop does zero string hashing or splitting.
+* **Incremental DP** -- the DFS carries the DP state (per-array
+  clocks, per-node end times, busy totals) down the enumeration tree
+  and snapshots/restores it on backtrack, so a prefix shared by many
+  orders is scheduled once.  Restores are snapshots, never float
+  subtraction, so the state at any leaf is bit-identical to running
+  the legacy DP over that order from scratch.
+* **Branch and bound** -- once an incumbent (first completed order's
+  makespan) exists, a branch is pruned when a lower bound on every
+  completion of its prefix is already ``>=`` the incumbent.  Because
+  incumbent replacement is strict (``<``, matching the legacy
+  first-found-minimum scan), no pruned leaf could ever have replaced
+  the winner, so the returned schedule is identical.
+* **Exact cap accounting** -- the legacy search evaluates exactly the
+  first ``limit`` orders in enumeration order.  When a branch is
+  pruned, its leaves are still *counted* (a cheap structural descent
+  with no DP work, capped by the remaining budget), so the search
+  stops after exactly the same set of orders the legacy path would
+  have scored.
+
+Lower-bound soundness (see DESIGN.md for the full argument): with
+scheduled prefix ends ``E``, per-array clocks ``c``, and
+``tail_min[v]`` the heaviest min-over-arrays-latency path from ``v``,
+
+``LB = max(max(E), min(c) + max(tail_min[r] for r in ready))``
+
+Every unscheduled node is a descendant of some ready node, array
+clocks never decrease, and a chain executes sequentially at no less
+than min-array latency per op, so any completion's makespan is
+``>= LB``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.pe import PEArrayKind
+from repro.dpipe.latency import LatencyTable
+from repro.dpipe.scheduler import ARRAYS, ScheduleResult, _strip_epoch
+from repro.graph.dag import ComputationDAG
+from repro.validate.config import validation_enabled
+
+
+class InternedProblem:
+    """One window/DAG interned for the fused search.
+
+    Node names map to integer ids in DAG insertion order (the same
+    order :func:`all_topological_orders` uses for its deterministic
+    tie-breaks), predecessor/successor lists are id-based with
+    successors rank-sorted, and latencies are flat per-array float
+    lists with epoch prefixes already stripped and zero-latency nodes
+    (the virtual ROOT) already resolved to 0.0.
+    """
+
+    __slots__ = (
+        "names", "preds", "succs", "lat2", "lat1", "tail_min",
+        "pred_map", "zero_latency",
+    )
+
+    def __init__(
+        self,
+        dag: ComputationDAG,
+        table: LatencyTable,
+        zero_latency: Set[str] = frozenset(),
+    ) -> None:
+        names = dag.nodes
+        index = {name: i for i, name in enumerate(names)}
+        pred_map = dag.pred_map()
+        succ_map = dag.succ_map()
+        self.names: Tuple[str, ...] = names
+        self.pred_map: Dict[str, Set[str]] = pred_map
+        self.zero_latency: Set[str] = set(zero_latency)
+        self.preds: List[List[int]] = [
+            [index[p] for p in pred_map[name]] for name in names
+        ]
+        # Rank-sorted successors: ids are insertion ranks, so a plain
+        # ascending sort reproduces all_topological_orders' child
+        # order exactly.
+        self.succs: List[List[int]] = [
+            sorted(index[s] for s in succ_map[name]) for name in names
+        ]
+        lat2: List[float] = []
+        lat1: List[float] = []
+        for name in names:
+            if name in zero_latency:
+                lat2.append(0.0)
+                lat1.append(0.0)
+            else:
+                base = _strip_epoch(name)
+                lat2.append(table.latency(base, ARRAYS[0]))
+                lat1.append(table.latency(base, ARRAYS[1]))
+        self.lat2 = lat2
+        self.lat1 = lat1
+        self.tail_min = self._tails()
+
+    def _tails(self) -> List[float]:
+        """Min-over-arrays critical path from each node (inclusive)."""
+        n = len(self.names)
+        indegree = [len(p) for p in self.preds]
+        topo: List[int] = [v for v in range(n) if indegree[v] == 0]
+        cursor = 0
+        while cursor < len(topo):
+            for s in self.succs[topo[cursor]]:
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    topo.append(s)
+            cursor += 1
+        tail = [0.0] * n
+        for v in reversed(topo):
+            heaviest = 0.0
+            for s in self.succs[v]:
+                if tail[s] > heaviest:
+                    heaviest = tail[s]
+            own = self.lat2[v] if self.lat2[v] < self.lat1[v] \
+                else self.lat1[v]
+            tail[v] = own + heaviest
+        return tail
+
+
+def _dp_over_ids(
+    problem: InternedProblem, order_ids: Sequence[int]
+) -> Tuple[float, List[float], List[int], float, float]:
+    """Straight Eq. 43-46 DP over one interned order.
+
+    Used for the extra (critical-path) candidate orders that the
+    legacy path appends after enumeration.  Arithmetic matches
+    :func:`dp_schedule` exactly.
+    """
+    lat2, lat1, preds = problem.lat2, problem.lat1, problem.preds
+    n_total = len(problem.names)
+    ends = [0.0] * n_total
+    scheduled = [False] * n_total
+    ends_by_pos: List[float] = []
+    assign_by_pos: List[int] = []
+    clock2 = clock1 = 0.0
+    busy2 = busy1 = 0.0
+    makespan = 0.0
+    for v in order_ids:
+        dep_ready = 0.0
+        for p in preds[v]:
+            if scheduled[p] and ends[p] > dep_ready:
+                dep_ready = ends[p]
+        finish2 = (clock2 if clock2 > dep_ready else dep_ready) \
+            + lat2[v]
+        finish1 = (clock1 if clock1 > dep_ready else dep_ready) \
+            + lat1[v]
+        if finish1 < finish2:  # Eq. 45 (strict: 2D wins ties)
+            clock1 = finish1  # Eq. 46
+            busy1 += lat1[v]
+            ends[v] = finish1
+            assign_by_pos.append(1)
+        else:
+            clock2 = finish2
+            busy2 += lat2[v]
+            ends[v] = finish2
+            assign_by_pos.append(0)
+        scheduled[v] = True
+        ends_by_pos.append(ends[v])
+        if ends[v] > makespan:
+            makespan = ends[v]
+    return makespan, ends_by_pos, assign_by_pos, busy2, busy1
+
+
+class _FusedSearch:
+    """DFS state for one fused enumerate-and-schedule pass."""
+
+    def __init__(self, problem: InternedProblem, limit: int) -> None:
+        self.problem = problem
+        self.budget = limit
+        n = len(problem.names)
+        self.n = n
+        self.indegree = [len(p) for p in problem.preds]
+        self.ready: List[int] = [
+            v for v in range(n) if self.indegree[v] == 0
+        ]
+        self.order: List[int] = []
+        self.ends = [0.0] * n
+        self.ends_by_pos: List[float] = []
+        self.assign_by_pos: List[int] = []
+        self.clock2 = 0.0
+        self.clock1 = 0.0
+        self.busy2 = 0.0
+        self.busy1 = 0.0
+        self.max_end = 0.0
+        # Incumbent (first-found strict minimum, as in the legacy
+        # enumerate-then-score loop).
+        self.best_makespan: Optional[float] = None
+        self.best_order: Optional[Tuple[int, ...]] = None
+        self.best_ends: List[float] = []
+        self.best_assign: List[int] = []
+        self.best_busy2 = 0.0
+        self.best_busy1 = 0.0
+
+    # ------------------------------------------------------------------
+    # Fused DFS
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        if self.budget > 0:
+            self._descend()
+
+    def _descend(self) -> bool:
+        """Extend the current prefix; False once the budget is spent."""
+        if len(self.order) == self.n:
+            self.budget -= 1
+            makespan = self.max_end
+            if (
+                self.best_makespan is None
+                or makespan < self.best_makespan
+            ):
+                self.best_makespan = makespan
+                self.best_order = tuple(self.order)
+                self.best_ends = list(self.ends_by_pos)
+                self.best_assign = list(self.assign_by_pos)
+                self.best_busy2 = self.busy2
+                self.best_busy1 = self.busy1
+            return self.budget > 0
+        if self.best_makespan is not None and self._bounded():
+            # Every completion of this prefix scores >= the incumbent;
+            # count its leaves against the cap without scheduling them.
+            return self._count_skipped()
+        problem = self.problem
+        lat2, lat1 = problem.lat2, problem.lat1
+        preds, succs = problem.preds, problem.succs
+        ready, indegree = self.ready, self.indegree
+        ends = self.ends
+        for i in range(len(ready)):
+            v = ready.pop(i)
+            self.order.append(v)
+            dep_ready = 0.0
+            for p in preds[v]:
+                if ends[p] > dep_ready:
+                    dep_ready = ends[p]
+            clock2, clock1 = self.clock2, self.clock1
+            finish2 = (clock2 if clock2 > dep_ready else dep_ready) \
+                + lat2[v]
+            finish1 = (clock1 if clock1 > dep_ready else dep_ready) \
+                + lat1[v]
+            saved_busy2, saved_busy1 = self.busy2, self.busy1
+            saved_max = self.max_end
+            if finish1 < finish2:  # Eq. 45 (strict: 2D wins ties)
+                finish = finish1
+                self.clock1 = finish1  # Eq. 46
+                self.busy1 += lat1[v]
+                self.assign_by_pos.append(1)
+            else:
+                finish = finish2
+                self.clock2 = finish2
+                self.busy2 += lat2[v]
+                self.assign_by_pos.append(0)
+            ends[v] = finish
+            self.ends_by_pos.append(finish)
+            if finish > self.max_end:
+                self.max_end = finish
+            opened: List[int] = []
+            for s in succs[v]:
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    opened.append(s)
+            ready.extend(opened)
+            keep_going = self._descend()
+            for s in opened:
+                ready.remove(s)
+            for s in succs[v]:
+                indegree[s] += 1
+            self.order.pop()
+            self.ends_by_pos.pop()
+            self.assign_by_pos.pop()
+            # Snapshot restore (never float subtraction): the DP state
+            # seen by every sibling is bit-identical to a from-scratch
+            # replay of the shared prefix.
+            self.clock2, self.clock1 = clock2, clock1
+            self.busy2, self.busy1 = saved_busy2, saved_busy1
+            self.max_end = saved_max
+            ready.insert(i, v)
+            if not keep_going:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Bound
+    # ------------------------------------------------------------------
+    def _bounded(self) -> bool:
+        """Whether no completion of the prefix can beat the incumbent."""
+        bound = self.max_end
+        tail_min = self.problem.tail_min
+        heaviest = 0.0
+        for r in self.ready:
+            if tail_min[r] > heaviest:
+                heaviest = tail_min[r]
+        floor = (
+            self.clock2 if self.clock2 < self.clock1 else self.clock1
+        ) + heaviest
+        if floor > bound:
+            bound = floor
+        assert self.best_makespan is not None
+        return bound >= self.best_makespan
+
+    def _count_skipped(self) -> bool:
+        """Count the pruned prefix's leaves against the cap.
+
+        The legacy search would have enumerated (and scored) these
+        orders, so the cap must consume them; the structural descent
+        visits children in the identical deterministic order and does
+        no DP work.  Total cost is bounded by the remaining budget.
+        """
+        if len(self.order) == self.n:
+            self.budget -= 1
+            return self.budget > 0
+        ready, indegree = self.ready, self.indegree
+        succs = self.problem.succs
+        for i in range(len(ready)):
+            v = ready.pop(i)
+            self.order.append(v)
+            opened: List[int] = []
+            for s in succs[v]:
+                indegree[s] -= 1
+                if indegree[s] == 0:
+                    opened.append(s)
+            ready.extend(opened)
+            keep_going = self._count_skipped()
+            for s in opened:
+                ready.remove(s)
+            for s in succs[v]:
+                indegree[s] += 1
+            self.order.pop()
+            ready.insert(i, v)
+            if not keep_going:
+                return False
+        return True
+
+
+def fused_best_order(
+    dag: ComputationDAG,
+    table: LatencyTable,
+    limit: int,
+    zero_latency: Set[str] = frozenset(),
+    extra_orders: Sequence[Tuple[str, ...]] = (),
+) -> Tuple[Tuple[str, ...], ScheduleResult]:
+    """Best (order, schedule) over enumerated + extra candidate orders.
+
+    Byte-identical to the legacy two-pass search: evaluate the first
+    ``limit`` topological orders of ``dag`` (in
+    :func:`all_topological_orders`' deterministic enumeration order)
+    with the Eq. 43-46 DP, then any ``extra_orders`` (e.g. the
+    critical-path heuristic order), keeping the first strict-minimum
+    makespan.
+
+    Args:
+        dag: The (window) DAG to search.
+        limit: Cap on enumerated orders (the ``max_orders`` budget).
+        zero_latency: Nodes scheduled at zero cost (the virtual ROOT).
+        extra_orders: Candidate orders appended after enumeration,
+            exactly as the legacy path appends the critical-path
+            order.
+
+    Returns:
+        The winning order and its schedule.  When validation is
+        enabled the winning schedule is audited in place (exact
+        Eq. 43-46 replay) before being returned.
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    problem = InternedProblem(dag, table, zero_latency)
+    search = _FusedSearch(problem, limit)
+    search.run()
+    assert search.best_order is not None  # >= 1 order in any DAG
+    best_names: Tuple[str, ...] = tuple(
+        problem.names[v] for v in search.best_order
+    )
+    best = (
+        search.best_makespan, search.best_ends, search.best_assign,
+        search.best_busy2, search.best_busy1,
+    )
+    index = {name: i for i, name in enumerate(problem.names)}
+    for extra in extra_orders:
+        ids = [index[name] for name in extra]
+        makespan, ends, assign, busy2, busy1 = _dp_over_ids(
+            problem, ids
+        )
+        if makespan < best[0]:  # strict: first-found winner stands
+            best_names = tuple(extra)
+            best = (makespan, ends, assign, busy2, busy1)
+    makespan, ends_by_pos, assign_by_pos, busy2, busy1 = best
+    end_times: Dict[str, float] = {}
+    assignment: Dict[str, PEArrayKind] = {}
+    for name, end, kind in zip(best_names, ends_by_pos,
+                               assign_by_pos):
+        end_times[name] = end
+        assignment[name] = ARRAYS[kind]
+    result = ScheduleResult(
+        makespan=makespan,
+        assignment=assignment,
+        end_times=end_times,
+        busy_seconds={ARRAYS[0]: busy2, ARRAYS[1]: busy1},
+    )
+    if validation_enabled():
+        # The legacy path audits every DP pass; the fused search
+        # audits the pass that becomes the plan -- an exact Eq. 43-46
+        # replay of the winning schedule under the recorded choices.
+        from repro.validate.schedule import audit_schedule
+
+        audit_schedule(
+            best_names, problem.pred_map, table, result,
+            problem.zero_latency,
+        ).raise_if_failed()
+    return best_names, result

@@ -79,8 +79,49 @@ def all_topological_orders(
 def count_topological_orders(
     dag: ComputationDAG, cap: int = 1_000_000
 ) -> int:
-    """Count topological orders, stopping early at ``cap``."""
-    return len(all_topological_orders(dag, limit=cap))
+    """Count topological orders, stopping early at ``cap``.
+
+    Uses the same backtracking as :func:`all_topological_orders` but
+    never materializes an order: counting an antichain at the default
+    cap previously stored up to one million full node tuples just to
+    take their length.  Memory is now O(nodes) regardless of the
+    count.
+    """
+    if cap <= 0:
+        return 0
+    preds = dag.pred_map()
+    succs = dag.succ_map()
+    indegree: Dict[str, int] = {n: len(preds[n]) for n in dag.nodes}
+    ready: List[str] = [n for n in dag.nodes if indegree[n] == 0]
+    n = len(dag.nodes)
+    count = 0
+
+    def backtrack(depth: int) -> bool:
+        """Returns False once the cap is reached (stops recursion)."""
+        nonlocal count
+        if depth == n:
+            count += 1
+            return count < cap
+        for i in range(len(ready)):
+            node = ready.pop(i)
+            opened: List[str] = []
+            for succ in succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    opened.append(succ)
+            ready.extend(opened)
+            keep_going = backtrack(depth + 1)
+            for succ in opened:
+                ready.remove(succ)
+            for succ in succs[node]:
+                indegree[succ] += 1
+            ready.insert(i, node)
+            if not keep_going:
+                return False
+        return True
+
+    backtrack(0)
+    return count
 
 
 def critical_path_order(

@@ -18,7 +18,11 @@ that determines it*:
 Values are the JSON documents produced by
 :mod:`repro.core.serialize` (:class:`~repro.sim.stats.RunReport` and
 :class:`~repro.tileseek.search.TileSeekResult` round-trip exactly, so
-a cache hit is byte-identical to a recomputation).
+a cache hit is byte-identical to a recomputation).  The DPipe planner
+also persists its ``n_epochs``-free schedule kernels here (kind
+``"dpipe-kernel"``, see :mod:`repro.dpipe.planner`), so a fresh
+process skips the branch-and-bound searches for layers any earlier
+run has already planned.
 
 Environment variables:
 
@@ -224,7 +228,8 @@ class PlanCache:
         """Store ``value`` under ``(kind, key)`` atomically.
 
         Args:
-            kind: Entry namespace (``"report"`` / ``"tileseek"``).
+            kind: Entry namespace (``"report"`` / ``"tileseek"`` /
+                ``"dpipe-kernel"``).
             key: Content hash from :func:`stable_hash`.
             value: JSON-safe serialized result.
             payload: The key payload, archived alongside the value so

@@ -194,3 +194,153 @@ class TestAblationMonotonicity:
         # All GEMM load must sit on the 2D array when pinned.
         assert plan.load_split[PEArrayKind.ARRAY_2D] > 0
         assert plan.load_split[PEArrayKind.ARRAY_1D] > 0
+
+
+class TestFusedPlannerEqualsLegacy:
+    """The memoized fused planner is a drop-in for the legacy one:
+    byte-identical plans (same floats, same dict orders) across
+    layers, architectures, objectives and ablation switches."""
+
+    CASES = [
+        ("qkv", qkv_cascade),
+        ("mha", attention_cascade),
+        ("layernorm", layernorm_cascade),
+        ("ffn", ffn_cascade),
+    ]
+
+    def assert_plans_identical(self, fused, legacy):
+        assert fused == legacy
+        # Float-accumulation order matters downstream: dict iteration
+        # orders must match too, not just values.
+        assert list(fused.busy_seconds) == list(legacy.busy_seconds)
+        assert list(fused.load_split) == list(legacy.load_split)
+
+    @pytest.mark.parametrize("layer,builder", CASES)
+    def test_default_options(self, cloud, layer, builder):
+        from repro.dpipe.planner import (
+            clear_kernel_cache,
+            plan_cascade_legacy,
+        )
+        from repro.model.config import named_model
+        from repro.sim.mapping import inner_tile_extents
+
+        extents = named_model("llama3").extents()
+        extents.update({"p": 65536, "m0": 65536, "m1": 1})
+        cascade = builder()
+        tile = inner_tile_extents(layer, extents, cloud.array_2d)
+        clear_kernel_cache()
+        for n_epochs in (1, 2, 256):
+            fused = plan_cascade(cascade, layer, tile, cloud,
+                                 n_epochs)
+            legacy = plan_cascade_legacy(cascade, layer, tile,
+                                         cloud, n_epochs)
+            self.assert_plans_identical(fused, legacy)
+
+    @pytest.mark.parametrize("options", [
+        DPipeOptions(objective="energy"),
+        DPipeOptions(objective="edp"),
+        DPipeOptions(enable_dp_assignment=False),
+        DPipeOptions(enable_pipelining=False),
+        DPipeOptions(max_orders=3, max_bipartitions=2),
+    ], ids=["energy", "edp", "pinned", "nopipe", "tiny-caps"])
+    def test_option_variants(self, edge, options):
+        from repro.dpipe.planner import (
+            clear_kernel_cache,
+            plan_cascade_legacy,
+        )
+        from repro.model.config import named_model
+        from repro.sim.mapping import inner_tile_extents
+
+        extents = named_model("llama3").extents()
+        extents.update({"p": 65536, "m0": 65536, "m1": 1})
+        cascade = attention_cascade()
+        tile = inner_tile_extents("mha", extents, edge.array_2d)
+        clear_kernel_cache()
+        fused = plan_cascade(cascade, "mha", tile, edge, 256,
+                             options)
+        legacy = plan_cascade_legacy(cascade, "mha", tile, edge,
+                                     256, options)
+        self.assert_plans_identical(fused, legacy)
+
+
+class TestKernelMemoization:
+    """The n_epochs-free kernel memo returns byte-identical plans on
+    repeat calls, shares kernels across epoch counts, and survives a
+    disk round-trip through the plan cache."""
+
+    def _inputs(self, arch):
+        from repro.model.config import named_model
+        from repro.sim.mapping import inner_tile_extents
+
+        extents = named_model("llama3").extents()
+        extents.update({"p": 65536, "m0": 65536, "m1": 1})
+        cascade = attention_cascade()
+        tile = inner_tile_extents("mha", extents, arch.array_2d)
+        return cascade, tile
+
+    def test_memo_hit_is_identical(self, cloud):
+        from repro.dpipe.planner import (
+            clear_kernel_cache,
+            kernel_cache_size,
+        )
+        from repro.validate import force_validation
+
+        cascade, tile = self._inputs(cloud)
+        with force_validation(False):
+            clear_kernel_cache()
+            first = plan_cascade(cascade, "mha", tile, cloud, 256)
+            assert kernel_cache_size() == 1
+            second = plan_cascade(cascade, "mha", tile, cloud, 256)
+            assert kernel_cache_size() == 1
+        assert first == second
+
+    def test_kernel_shared_across_epoch_counts(self, cloud):
+        from repro.dpipe.planner import (
+            clear_kernel_cache,
+            kernel_cache_size,
+            plan_cascade_legacy,
+        )
+        from repro.validate import force_validation
+
+        cascade, tile = self._inputs(cloud)
+        with force_validation(False):
+            clear_kernel_cache()
+            plans = {
+                n: plan_cascade(cascade, "mha", tile, cloud, n)
+                for n in (2, 16, 4096)
+            }
+            assert kernel_cache_size() == 1  # one kernel, any epochs
+        for n, plan in plans.items():
+            legacy = plan_cascade_legacy(cascade, "mha", tile,
+                                         cloud, n)
+            assert plan == legacy
+
+    def test_validation_bypasses_memo(self, cloud):
+        from repro.dpipe.planner import (
+            clear_kernel_cache,
+            kernel_cache_size,
+        )
+        from repro.validate import force_validation
+
+        cascade, tile = self._inputs(cloud)
+        clear_kernel_cache()
+        with force_validation(True):
+            plan_cascade(cascade, "mha", tile, cloud, 256)
+        assert kernel_cache_size() == 0
+
+    def test_disk_round_trip(self, cloud, tmp_path, monkeypatch):
+        from repro.dpipe.planner import clear_kernel_cache
+        from repro.validate import force_validation
+
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cascade, tile = self._inputs(cloud)
+        with force_validation(False):
+            clear_kernel_cache()
+            first = plan_cascade(cascade, "mha", tile, cloud, 256)
+            clear_kernel_cache()  # force the disk path
+            second = plan_cascade(cascade, "mha", tile, cloud, 256)
+        assert first == second
+        entries = list(tmp_path.rglob("*.json"))
+        assert entries, "kernel was persisted"
+        clear_kernel_cache()

@@ -54,6 +54,45 @@ class TestEnumeration:
         assert ("a", "c", "b", "d") in orders
 
 
+class TestCounting:
+    """The storage-free counter must agree with full enumeration."""
+
+    def test_cap_stops_early(self):
+        # 10! = 3.6M orders; the counter must stop at the cap, not
+        # enumerate (or store) them all.
+        assert count_topological_orders(antichain(10), cap=1000) == 1000
+
+    def test_nonpositive_cap(self):
+        assert count_topological_orders(antichain(3), cap=0) == 0
+
+    def test_empty_dag_counts_one_order(self):
+        dag = ComputationDAG(nodes=(), edges=frozenset())
+        assert count_topological_orders(dag) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 6),
+        edge_picks=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            max_size=10,
+        ),
+        cap=st.integers(1, 30),
+    )
+    def test_count_matches_enumeration(self, n, edge_picks, cap):
+        nodes = tuple(f"n{i}" for i in range(n))
+        edges = frozenset(
+            (f"n{min(i, j)}", f"n{max(i, j)}")
+            for i, j in edge_picks
+            if i != j and max(i, j) < n
+        )
+        dag = ComputationDAG(nodes=nodes, edges=edges)
+        assert count_topological_orders(dag, cap=cap) == len(
+            all_topological_orders(dag, limit=cap)
+        )
+        total = len(all_topological_orders(dag))
+        assert count_topological_orders(dag, cap=10_000) == total
+
+
 class TestValidity:
     @settings(max_examples=40, deadline=None)
     @given(
