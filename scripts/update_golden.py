@@ -30,6 +30,10 @@ os.environ["REPRO_VALIDATE"] = "1"
 def main() -> int:
     from repro.runner.parallel import compute_report
     from repro.validate.golden import (
+        GOLDEN_DEGRADED_BUDGET,
+        golden_degraded_document,
+        golden_degraded_filename,
+        golden_degraded_points,
         golden_dir,
         golden_document,
         golden_filename,
@@ -48,6 +52,21 @@ def main() -> int:
         )
         expected.add(path.name)
         print(f"wrote {path.relative_to(REPO)}")
+    # Degraded snapshots: the same executor under a tiny search-unit
+    # budget.  The auditors stay on -- fallback plans must satisfy
+    # every invariant a complete search does.
+    os.environ["REPRO_BUDGET"] = str(GOLDEN_DEGRADED_BUDGET)
+    try:
+        for point in golden_degraded_points():
+            report = compute_report(point)
+            path = directory / golden_degraded_filename(point)
+            path.write_text(
+                render_golden(golden_degraded_document(point, report))
+            )
+            expected.add(path.name)
+            print(f"wrote {path.relative_to(REPO)}")
+    finally:
+        del os.environ["REPRO_BUDGET"]
     strays = sorted(
         p.name for p in directory.glob("*.json")
         if p.name not in expected

@@ -339,6 +339,11 @@ class ExecutorBase(abc.ABC):
             architecture=arch.name,
         )
         report.phases = self.build_phases(workload, arch)
+        # Executors that run anytime searches record the worst search
+        # outcome of this build; everything else stays "complete".
+        report.provenance = getattr(
+            self, "_run_provenance", "complete"
+        )
         if validation_enabled():
             # Lazy import: the auditors sit above the sim layer.
             from repro.validate.conservation import (

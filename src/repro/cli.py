@@ -297,6 +297,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         strict=not args.keep_going,
         journal=journal,
         resume=args.resume,
+        budget=args.budget,
+        no_fallback=args.no_fallback,
     )
     rows = []
     for point, report in reports.items():
@@ -308,6 +310,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             util[PEArrayKind.ARRAY_2D],
             report.energy(arch).total_pj / 1e12,
             report.dram_words(),
+            # Search provenance: blank for a complete search, else
+            # "budget_exhausted" / "fallback:<rung>".
+            "" if report.provenance == "complete"
+            else report.provenance,
         ])
     counts = reports.counts()
     summary = ", ".join(
@@ -315,13 +321,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(format_table(
         ["executor", "model", "seq", "arch", "latency (s)",
-         "2D util", "energy (J)", "DRAM words"],
+         "2D util", "energy (J)", "DRAM words", "prov"],
         rows,
         title=(
             f"sweep over {len(reports.points)} points "
             f"(B={args.batch}; {summary})"
         ),
     ))
+    for point in reports.infeasible_points():
+        verdict = reports.infeasible[point]
+        print(
+            f"INFEASIBLE {point.executor}/{point.model}/"
+            f"seq={point.seq_len}/{point.arch}: {verdict}"
+        )
     for point in reports.failed_points():
         failure = reports.failures[point]
         print(
@@ -523,6 +535,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "extra attempts per failed chain with deterministic "
             "backoff (default: REPRO_RETRIES, else 0)"
+        ),
+    )
+    sweep.add_argument(
+        "--budget", type=_positive_int, default=None, metavar="N",
+        help=(
+            "deterministic search-unit budget per point (MCTS "
+            "iterations + DPipe nodes; default: REPRO_BUDGET, else "
+            "unlimited) -- same budget, same results on any host "
+            "at any --jobs"
+        ),
+    )
+    sweep.add_argument(
+        "--no-fallback", action="store_true",
+        help=(
+            "fail a point whose search exhausts its budget instead "
+            "of degrading to the fallback ladder"
         ),
     )
     sweep.add_argument(

@@ -25,13 +25,18 @@ branch-and-bound search at most once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.pe import PEArrayKind
 from repro.arch.spec import ArchitectureSpec
 from repro.baselines.base import ExecutorBase, SUBLAYERS
 from repro.dpipe.planner import DPipeOptions, DPipePlan, plan_cascade
 from repro.model.workload import Workload
+from repro.resilience.budget import (
+    fallback_enabled,
+    resolve_budget,
+    worst_provenance,
+)
 from repro.sim.stats import PhaseStats
 from repro.model.config import ModelConfig
 from repro.tileseek.evaluate import dram_traffic_words
@@ -41,10 +46,11 @@ from repro.validate.config import validation_enabled
 # The ModelConfig itself keys the cache (frozen dataclass): two models
 # with the same *name* but different shapes must not share tilings.
 # Warm-start assignments are part of the key: a warm-started search is
-# a different (possibly better) search than a cold one.
+# a different (possibly better) search than a cold one -- and so is a
+# budgeted or fallback-disabled one (the trailing two elements).
 _TilingKey = Tuple[
     ModelConfig, int, int, int, bool, str, int, int,
-    Tuple[Tuple[int, ...], ...],
+    Tuple[Tuple[int, ...], ...], Optional[int], bool,
 ]
 _TILING_CACHE: Dict[_TilingKey, TileSeekResult] = {}
 
@@ -108,6 +114,8 @@ class TransFusionExecutor(ExecutorBase):
             return result
 
         warm = self._warm_start
+        budget = resolve_budget()
+        allow_fallback = fallback_enabled()
         key: _TilingKey = (
             workload.model,
             workload.seq_len,
@@ -118,6 +126,8 @@ class TransFusionExecutor(ExecutorBase):
             self.tileseek_iterations,
             self.seed,
             warm,
+            budget,
+            allow_fallback,
         )
         if key in _TILING_CACHE:
             return audited(_TILING_CACHE[key])
@@ -147,6 +157,12 @@ class TransFusionExecutor(ExecutorBase):
                 "seed": self.seed,
                 "warm_start": [list(a) for a in warm],
             }
+            # Conditional keys: unbudgeted searches keep their
+            # pre-existing disk hashes.
+            if budget is not None:
+                payload["budget"] = budget
+            if not allow_fallback:
+                payload["no_fallback"] = True
             disk_key = stable_hash(payload)
             document = cache.get("tileseek", disk_key)
             if document is not None:
@@ -156,7 +172,10 @@ class TransFusionExecutor(ExecutorBase):
         searcher = TileSeek(
             iterations=self.tileseek_iterations, seed=self.seed
         )
-        result = searcher.search(workload, arch, warm_start=warm)
+        result = searcher.search(
+            workload, arch, warm_start=warm,
+            budget=budget, allow_fallback=allow_fallback,
+        )
         if cache is not None:
             cache.put(
                 "tileseek", disk_key,
@@ -218,9 +237,16 @@ class TransFusionExecutor(ExecutorBase):
         traffic = dram_traffic_words(
             tiling.config, workload, arch.buffer_words
         )
+        # Aggregate the worst search outcome across the tiling search
+        # and every sub-layer's schedule searches; ExecutorBase.run
+        # stamps it onto the report.
+        provenance = tiling.provenance
         phases: List[PhaseStats] = []
         for layer in SUBLAYERS:
             plan = self.layer_plan(workload, arch, layer)
+            provenance = worst_provenance(
+                provenance, plan.provenance
+            )
             phase = self._phase_from_plan(workload, arch, layer, plan)
             if layer == "qkv":
                 phase.dram_words = (
@@ -243,4 +269,5 @@ class TransFusionExecutor(ExecutorBase):
                     + workload.activation_words
                 )
             phases.append(phase)
+        self._run_provenance = provenance
         return phases

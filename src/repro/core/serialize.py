@@ -25,6 +25,7 @@ from typing import Any, Dict, Union
 from repro.arch.pe import PEArrayKind
 from repro.arch.spec import ArchitectureSpec
 from repro.core.plan import CompiledPlan
+from repro.resilience.budget import PROVENANCE_COMPLETE
 from repro.sim.stats import PhaseStats, RunReport
 from repro.tileseek.buffer_model import TilingConfig
 from repro.tileseek.evaluate import TilingAssessment
@@ -154,13 +155,21 @@ def phase_from_dict(document: Dict[str, Any]) -> PhaseStats:
 
 
 def report_to_dict(report: RunReport) -> Dict[str, Any]:
-    """Flatten a :class:`RunReport` into JSON-safe primitives."""
-    return {
+    """Flatten a :class:`RunReport` into JSON-safe primitives.
+
+    ``provenance`` is emitted only when the report is degraded, so
+    documents of complete runs are byte-identical to those written
+    before provenance tracking existed.
+    """
+    document = {
         "executor": report.executor,
         "workload": report.workload,
         "architecture": report.architecture,
         "phases": [phase_to_dict(ph) for ph in report.phases],
     }
+    if report.provenance != PROVENANCE_COMPLETE:
+        document["provenance"] = report.provenance
+    return document
 
 
 def report_from_dict(document: Dict[str, Any]) -> RunReport:
@@ -170,6 +179,7 @@ def report_from_dict(document: Dict[str, Any]) -> RunReport:
         workload=document["workload"],
         architecture=document["architecture"],
         phases=[phase_from_dict(ph) for ph in document["phases"]],
+        provenance=document.get("provenance", PROVENANCE_COMPLETE),
     )
 
 
@@ -184,7 +194,11 @@ _FAILURE_FIELDS = {
     "ChainTimeout": ("chain_index", "seconds", "attempt"),
     "WorkerCrash": ("chain_index", "attempt", "detail"),
     "CacheCorruption": ("path", "detail"),
+    "InfeasiblePoint": ("subject", "diagnosis", "point"),
 }
+
+#: Failure types whose ``point`` field round-trips as a GridPoint.
+_POINTED_FAILURES = ("PointFailure", "InfeasiblePoint")
 
 
 def failure_to_dict(failure: Any) -> Dict[str, Any]:
@@ -223,8 +237,10 @@ def failure_from_dict(document: Dict[str, Any]) -> Any:
     values = []
     for field in fields:
         value = document[field]
-        if name == "PointFailure" and field == "point" and isinstance(
-            value, dict
+        if (
+            name in _POINTED_FAILURES
+            and field == "point"
+            and isinstance(value, dict)
         ):
             value = GridPoint(**value)
         values.append(value)
@@ -234,14 +250,17 @@ def failure_from_dict(document: Dict[str, Any]) -> Any:
 def sweep_result_to_dict(result: Any) -> Dict[str, Any]:
     """Flatten a :class:`~repro.runner.parallel.SweepResult` into
     JSON-safe primitives (reports, statuses and typed failures, all
-    aligned with the point list)."""
+    aligned with the point list).  The ``infeasible`` list (typed
+    buffer diagnoses) is emitted only when non-empty, so documents of
+    all-feasible sweeps keep their historical byte layout."""
     points = result.points
-    return {
+    infeasible = getattr(result, "infeasible", {})
+    document = {
         "points": [dataclasses.asdict(point) for point in points],
         "statuses": [result.statuses[point] for point in points],
         "reports": [
             report_to_dict(result[point])
-            if point not in result.failures else None
+            if point in result else None
             for point in points
         ],
         "failures": [
@@ -250,6 +269,13 @@ def sweep_result_to_dict(result: Any) -> Dict[str, Any]:
             for point in points
         ],
     }
+    if infeasible:
+        document["infeasible"] = [
+            failure_to_dict(infeasible[point])
+            if point in infeasible else None
+            for point in points
+        ]
+    return document
 
 
 def sweep_result_from_dict(document: Dict[str, Any]) -> Any:
@@ -269,7 +295,16 @@ def sweep_result_from_dict(document: Dict[str, Any]) -> Any:
         for point, entry in zip(points, document["failures"])
         if entry is not None
     }
-    return SweepResult(points, reports, statuses, failures)
+    infeasible = {
+        point: failure_from_dict(entry)
+        for point, entry in zip(
+            points, document.get("infeasible", ())
+        )
+        if entry is not None
+    }
+    return SweepResult(
+        points, reports, statuses, failures, infeasible
+    )
 
 
 def save_sweep_result(
@@ -290,10 +325,27 @@ def save_sweep_result(
 # TileSeekResult round-trip
 # ----------------------------------------------------------------------
 def tileseek_result_to_dict(result: TileSeekResult) -> Dict[str, Any]:
-    """Flatten a :class:`TileSeekResult` into JSON-safe primitives."""
+    """Flatten a :class:`TileSeekResult` into JSON-safe primitives.
+
+    Degradation bookkeeping (``provenance``, ``dead_ends``,
+    ``exhausted``) is emitted only when it deviates from the healthy
+    defaults, so complete-search documents keep their historical byte
+    layout (and disk hashes).
+    """
     assessment = result.assessment
     stats = result.stats
-    return {
+    stats_document: Dict[str, Any] = {
+        "iterations": stats.iterations,
+        "evaluations": stats.evaluations,
+        "best_reward": stats.best_reward,
+        "best_assignment": list(stats.best_assignment),
+        "tree_nodes": stats.tree_nodes,
+    }
+    if stats.dead_ends:
+        stats_document["dead_ends"] = stats.dead_ends
+    if stats.exhausted:
+        stats_document["exhausted"] = True
+    document: Dict[str, Any] = {
         "config": result.config.as_dict(),
         "assessment": {
             "feasible": assessment.feasible,
@@ -304,14 +356,11 @@ def tileseek_result_to_dict(result: TileSeekResult) -> Dict[str, Any]:
             "kv_passes": assessment.kv_passes,
             "weight_passes": assessment.weight_passes,
         },
-        "stats": {
-            "iterations": stats.iterations,
-            "evaluations": stats.evaluations,
-            "best_reward": stats.best_reward,
-            "best_assignment": list(stats.best_assignment),
-            "tree_nodes": stats.tree_nodes,
-        },
+        "stats": stats_document,
     }
+    if result.provenance != PROVENANCE_COMPLETE:
+        document["provenance"] = result.provenance
+    return document
 
 
 def audit_report_to_dict(report: AuditReport) -> Dict[str, Any]:
@@ -380,5 +429,10 @@ def tileseek_result_from_dict(
             best_reward=stats["best_reward"],
             best_assignment=tuple(stats["best_assignment"]),
             tree_nodes=stats["tree_nodes"],
+            dead_ends=stats.get("dead_ends", 0),
+            exhausted=stats.get("exhausted", False),
+        ),
+        provenance=document.get(
+            "provenance", PROVENANCE_COMPLETE
         ),
     )

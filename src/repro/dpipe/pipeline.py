@@ -108,19 +108,40 @@ def best_window_schedule(
     byte-identical winner; :func:`legacy_window_schedule` keeps the
     original two-pass search as the differential reference.
     """
-    from repro.dpipe.search import fused_best_order
+    schedule, _ = best_window_schedule_ex(
+        dag, bipartition, table, max_orders
+    )
+    return schedule
+
+
+def best_window_schedule_ex(
+    dag: ComputationDAG,
+    bipartition: Bipartition,
+    table: LatencyTable,
+    max_orders: int,
+    units=None,
+) -> Tuple[WindowSchedule, str]:
+    """:func:`best_window_schedule` under an optional anytime unit
+    budget (:class:`repro.resilience.budget.Budget`).
+
+    Returns the schedule plus its provenance (``complete`` /
+    ``budget_exhausted`` / ``fallback:first_order``); the
+    critical-path candidate order is always evaluated, budget or not.
+    """
+    from repro.dpipe.search import fused_best_order_ex
 
     window = build_window(dag, bipartition)
-    order, result = fused_best_order(
+    order, result, provenance = fused_best_order_ex(
         window, table, max_orders, zero_latency={ROOT},
         extra_orders=(
             critical_path_order(window, _window_weights(window,
                                                         table)),
         ),
+        units=units,
     )
     return WindowSchedule(
         bipartition=bipartition, order=order, schedule=result
-    )
+    ), provenance
 
 
 def legacy_window_schedule(

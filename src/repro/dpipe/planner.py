@@ -58,12 +58,19 @@ from repro.dpipe.pipeline import (
     ROOT,
     WindowSchedule,
     best_window_schedule,
+    best_window_schedule_ex,
     build_paired_window,
     legacy_window_schedule,
     subgraph_makespan,
 )
 from repro.dpipe.scheduler import ARRAYS, ScheduleResult, dp_schedule
-from repro.dpipe.search import fused_best_order
+from repro.dpipe.search import fused_best_order_ex
+from repro.resilience.budget import (
+    PROVENANCE_COMPLETE,
+    Budget,
+    resolve_budget,
+    worst_provenance,
+)
 from repro.einsum.cascade import Cascade
 from repro.graph.dag import ComputationDAG
 from repro.graph.partition import Bipartition, enumerate_bipartitions
@@ -118,6 +125,9 @@ class DPipePlan:
         bipartition: The winning bipartition (None = unpipelined).
         window_order: The winning topological order of the window.
         pipelined: Whether epoch interleaving beat the fallback.
+        provenance: How the schedule searches behind this plan ended:
+            ``complete``, ``budget_exhausted`` (anytime incumbents
+            under a spent ``REPRO_BUDGET``) or ``fallback:<rung>``.
     """
 
     layer: str
@@ -129,6 +139,7 @@ class DPipePlan:
     bipartition: Optional[Bipartition] = None
     window_order: Tuple[str, ...] = field(default_factory=tuple)
     pipelined: bool = False
+    provenance: str = PROVENANCE_COMPLETE
 
 
 def _pinned_table(
@@ -222,11 +233,15 @@ class _CascadeKernel:
 
     ``single`` is always present; ``pipeline`` is populated lazily
     (only plans with ``enable_pipelining`` and ``n_epochs >= 2`` need
-    it, and building it is the expensive part).
+    it, and building it is the expensive part).  ``provenance``
+    aggregates the worst outcome over every internal search the kernel
+    ran (complete kernels -- the only ones built without a budget --
+    keep the default, so serialization stays byte-identical).
     """
 
     single: _SingleKernel
     pipeline: Optional[_PipelineKernel]
+    provenance: str = PROVENANCE_COMPLETE
 
 
 #: In-process kernel memo: key is the content hash of everything the
@@ -256,12 +271,13 @@ def _kernel_payload(
     arch: ArchitectureSpec,
     options: DPipeOptions,
     salt: str,
+    units_limit: Optional[int] = None,
 ) -> Dict[str, Any]:
     # Lazy import: repro.runner sits above the planner in the layer
     # diagram; only its content-hash helpers are borrowed here.
     from repro.runner.cache import arch_fingerprint
 
-    return {
+    payload = {
         "kind": "dpipe-kernel",
         "salt": salt,
         "cascade": dataclasses.asdict(cascade),
@@ -273,6 +289,11 @@ def _kernel_payload(
         "max_orders": options.max_orders,
         "enable_dp_assignment": options.enable_dp_assignment,
     }
+    if units_limit is not None:
+        # Only budgeted kernels grow the key: unbudgeted runs keep
+        # their pre-existing cache entries (and byte-identical keys).
+        payload["budget"] = units_limit
+    return payload
 
 
 def _split_to_list(
@@ -298,6 +319,9 @@ def _kernel_to_dict(kernel: _CascadeKernel) -> Dict[str, Any]:
         },
         "pipeline": None,
     }
+    if kernel.provenance != PROVENANCE_COMPLETE:
+        # Conditional: complete kernels serialize exactly as before.
+        document["provenance"] = kernel.provenance
     if kernel.pipeline is not None:
         pipe = kernel.pipeline
         document["pipeline"] = {
@@ -366,7 +390,11 @@ def _kernel_from_dict(document: Mapping[str, Any]) -> _CascadeKernel:
                 for window in pipe["windows"]
             ),
         )
-    return _CascadeKernel(single=single, pipeline=pipeline)
+    return _CascadeKernel(
+        single=single,
+        pipeline=pipeline,
+        provenance=document.get("provenance", PROVENANCE_COMPLETE),
+    )
 
 
 def _build_kernel(
@@ -376,19 +404,34 @@ def _build_kernel(
     arch: ArchitectureSpec,
     options: DPipeOptions,
     with_pipeline: bool,
+    units_limit: Optional[int] = None,
 ) -> _CascadeKernel:
-    """Run the fused searches and record their n_epochs-free results."""
+    """Run the fused searches and record their n_epochs-free results.
+
+    ``units_limit`` caps the *total* DFS node visits across every
+    internal search of this kernel with one shared
+    :class:`~repro.resilience.budget.Budget`: the searches run
+    serially in a fixed order, so the cut point -- and therefore the
+    (possibly degraded) kernel -- is identical on every host.
+    """
     dag = ComputationDAG.from_cascade(cascade)
     table = _planning_table(cascade, layer, tile, arch, options)
+    units = Budget(units_limit) if units_limit is not None else None
 
-    _, single = fused_best_order(dag, table, options.max_orders)
+    _, single, single_prov = fused_best_order_ex(
+        dag, table, options.max_orders, units=units
+    )
+    provenance = single_prov
     single_kernel = _SingleKernel(
         makespan=single.makespan,
         busy=dict(single.busy_seconds),
         load=single.load_split(table),
     )
     if not with_pipeline:
-        return _CascadeKernel(single=single_kernel, pipeline=None)
+        return _CascadeKernel(
+            single=single_kernel, pipeline=None,
+            provenance=provenance,
+        )
 
     sums: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
     loads: Dict[PEArrayKind, float] = {kind: 0.0 for kind in ARRAYS}
@@ -408,10 +451,11 @@ def _build_kernel(
     )
 
     paired_window = build_paired_window(dag, cascade)
-    _, paired_best = fused_best_order(
+    _, paired_best, paired_prov = fused_best_order_ex(
         paired_window, table, options.max_orders,
-        zero_latency={ROOT},
+        zero_latency={ROOT}, units=units,
     )
+    provenance = worst_provenance(provenance, paired_prov)
     paired = _PairedKernel(
         pair_makespan=paired_best.makespan,
         busy=dict(paired_best.busy_seconds),
@@ -422,9 +466,11 @@ def _build_kernel(
     for bipartition in enumerate_bipartitions(
         dag, limit=options.max_bipartitions
     ):
-        window = best_window_schedule(
-            dag, bipartition, table, options.max_orders
+        window, window_prov = best_window_schedule_ex(
+            dag, bipartition, table, options.max_orders,
+            units=units,
         )
+        provenance = worst_provenance(provenance, window_prov)
         windows.append(_WindowKernel(
             bipartition=bipartition,
             order=window.order,
@@ -439,6 +485,7 @@ def _build_kernel(
         pipeline=_PipelineKernel(
             static=static, paired=paired, windows=tuple(windows)
         ),
+        provenance=provenance,
     )
 
 
@@ -449,6 +496,7 @@ def _cached_kernel(
     arch: ArchitectureSpec,
     options: DPipeOptions,
     with_pipeline: bool,
+    units_limit: Optional[int] = None,
 ) -> _CascadeKernel:
     """The memoized kernel, consulting memory then the plan cache."""
     from repro.runner.cache import (
@@ -458,7 +506,8 @@ def _cached_kernel(
     )
 
     payload = _kernel_payload(
-        cascade, layer, tile, arch, options, code_salt()
+        cascade, layer, tile, arch, options, code_salt(),
+        units_limit=units_limit,
     )
     key = stable_hash(payload)
 
@@ -479,7 +528,8 @@ def _cached_kernel(
                 _KERNEL_CACHE[key] = loaded
                 return loaded
     kernel = _build_kernel(
-        cascade, layer, tile, arch, options, with_pipeline
+        cascade, layer, tile, arch, options, with_pipeline,
+        units_limit=units_limit,
     )
     _KERNEL_CACHE[key] = kernel
     if cache is not None:
@@ -529,6 +579,7 @@ def _plan_from_kernel(
             for kind, load in single.load.items()
         },
         pipelined=False,
+        provenance=kernel.provenance,
     )
     if not options.enable_pipelining or n_epochs < 2:
         return best_plan
@@ -548,6 +599,7 @@ def _plan_from_kernel(
             kind: n_epochs * static.loads[kind] for kind in ARRAYS
         },
         pipelined=True,
+        provenance=kernel.provenance,
     )]
     paired = pipe.paired
     period = paired.pair_makespan / 2.0
@@ -565,6 +617,7 @@ def _plan_from_kernel(
             for kind, load in paired.load.items()
         },
         pipelined=True,
+        provenance=kernel.provenance,
     ))
     for window in pipe.windows:
         total = (
@@ -626,16 +679,23 @@ def plan_cascade(
     if n_epochs <= 0:
         raise ValueError("n_epochs must be positive")
     with_pipeline = options.enable_pipelining and n_epochs >= 2
+    # The anytime unit budget (REPRO_BUDGET / REPRO_DEADLINE) caps
+    # each kernel build's total DFS node visits; budgeted kernels get
+    # distinct cache keys, so degraded results never masquerade as
+    # complete ones (or vice versa).
+    units_limit = resolve_budget()
     if validation_enabled():
         # Auditors must see real DP passes, not cached floats: rebuild
         # the kernel with the schedule auditor armed (every winning
         # search pass and every fill/drain DP is replay-checked).
         kernel = _build_kernel(
-            cascade, layer, tile, arch, options, with_pipeline
+            cascade, layer, tile, arch, options, with_pipeline,
+            units_limit=units_limit,
         )
     else:
         kernel = _cached_kernel(
-            cascade, layer, tile, arch, options, with_pipeline
+            cascade, layer, tile, arch, options, with_pipeline,
+            units_limit=units_limit,
         )
     return _plan_from_kernel(kernel, layer, n_epochs, options, arch)
 

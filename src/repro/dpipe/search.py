@@ -54,6 +54,13 @@ from repro.arch.pe import PEArrayKind
 from repro.dpipe.latency import LatencyTable
 from repro.dpipe.scheduler import ARRAYS, ScheduleResult, _strip_epoch
 from repro.graph.dag import ComputationDAG
+from repro.resilience.budget import (
+    PROVENANCE_BUDGET_EXHAUSTED,
+    PROVENANCE_COMPLETE,
+    Budget,
+    fallback_provenance,
+)
+from repro.resilience.ladder import RUNG_FIRST_ORDER
 from repro.validate.config import validation_enabled
 
 
@@ -180,9 +187,16 @@ def _dp_over_ids(
 class _FusedSearch:
     """DFS state for one fused enumerate-and-schedule pass."""
 
-    def __init__(self, problem: InternedProblem, limit: int) -> None:
+    def __init__(
+        self,
+        problem: InternedProblem,
+        limit: int,
+        units: Optional[Budget] = None,
+    ) -> None:
         self.problem = problem
-        self.budget = limit
+        self.budget = limit  # the legacy max-orders cap, not units
+        self.units = units
+        self.exhausted = False
         n = len(problem.names)
         self.n = n
         self.indegree = [len(p) for p in problem.preds]
@@ -216,6 +230,13 @@ class _FusedSearch:
 
     def _descend(self) -> bool:
         """Extend the current prefix; False once the budget is spent."""
+        if self.units is not None and not self.units.charge():
+            # Deterministic unit budget spent: stop expanding and keep
+            # whatever incumbent exists (anytime behaviour).  Charged
+            # per DFS node visit, so the cut point is identical on
+            # every host.
+            self.exhausted = True
+            return False
         if len(self.order) == self.n:
             self.budget -= 1
             makespan = self.max_end
@@ -345,6 +366,27 @@ class _FusedSearch:
         return True
 
 
+def _first_topo_order(problem: InternedProblem) -> List[int]:
+    """The first topological order in the deterministic enumeration
+    order (always-pick-the-lowest-ranked-ready-node), used as the
+    legacy fallback when a unit budget expires before the fused DFS
+    completes its first leaf."""
+    indegree = [len(p) for p in problem.preds]
+    ready = [v for v in range(len(problem.names)) if indegree[v] == 0]
+    order: List[int] = []
+    while ready:
+        v = ready.pop(0)
+        order.append(v)
+        opened = []
+        for s in problem.succs[v]:
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                opened.append(s)
+        ready.extend(opened)
+        ready.sort()
+    return order
+
+
 def fused_best_order(
     dag: ComputationDAG,
     table: LatencyTable,
@@ -374,19 +416,61 @@ def fused_best_order(
         enabled the winning schedule is audited in place (exact
         Eq. 43-46 replay) before being returned.
     """
+    names, result, _ = fused_best_order_ex(
+        dag, table, limit, zero_latency, extra_orders
+    )
+    return names, result
+
+
+def fused_best_order_ex(
+    dag: ComputationDAG,
+    table: LatencyTable,
+    limit: int,
+    zero_latency: Set[str] = frozenset(),
+    extra_orders: Sequence[Tuple[str, ...]] = (),
+    units: Optional[Budget] = None,
+) -> Tuple[Tuple[str, ...], ScheduleResult, str]:
+    """:func:`fused_best_order` plus an anytime unit budget.
+
+    With ``units=None`` (or an unexhausted budget) this is exactly
+    :func:`fused_best_order` with ``complete`` provenance.  When the
+    budget runs out mid-DFS the best incumbent so far is returned with
+    ``budget_exhausted`` provenance; if no leaf was reached at all,
+    the first topological order is scheduled directly (the legacy
+    capped-enumeration degenerate case) and the provenance is
+    ``fallback:first_order``.  ``extra_orders`` are always evaluated
+    -- they are O(n) deterministic candidates, the DPipe analogue of
+    the TileSeek fallback ladder.
+
+    Returns:
+        ``(order, schedule, provenance)``.
+    """
     if limit <= 0:
         raise ValueError("limit must be positive")
     problem = InternedProblem(dag, table, zero_latency)
-    search = _FusedSearch(problem, limit)
+    search = _FusedSearch(problem, limit, units=units)
     search.run()
-    assert search.best_order is not None  # >= 1 order in any DAG
-    best_names: Tuple[str, ...] = tuple(
-        problem.names[v] for v in search.best_order
-    )
-    best = (
-        search.best_makespan, search.best_ends, search.best_assign,
-        search.best_busy2, search.best_busy1,
-    )
+    provenance = PROVENANCE_COMPLETE
+    if search.best_order is not None:
+        best_names: Tuple[str, ...] = tuple(
+            problem.names[v] for v in search.best_order
+        )
+        best = (
+            search.best_makespan, search.best_ends,
+            search.best_assign, search.best_busy2, search.best_busy1,
+        )
+        if search.exhausted:
+            provenance = PROVENANCE_BUDGET_EXHAUSTED
+    else:
+        # Budget expired before the DFS completed any order: fall
+        # back to scheduling the first topological order directly.
+        first = _first_topo_order(problem)
+        makespan, ends, assign, busy2, busy1 = _dp_over_ids(
+            problem, first
+        )
+        best_names = tuple(problem.names[v] for v in first)
+        best = (makespan, ends, assign, busy2, busy1)
+        provenance = fallback_provenance(RUNG_FIRST_ORDER)
     index = {name: i for i, name in enumerate(problem.names)}
     for extra in extra_orders:
         ids = [index[name] for name in extra]
@@ -419,4 +503,4 @@ def fused_best_order(
             best_names, problem.pred_map, table, result,
             problem.zero_latency,
         ).raise_if_failed()
-    return best_names, result
+    return best_names, result, provenance

@@ -37,6 +37,7 @@ from repro.runner.faults import (
     FaultPlan,
     FaultRule,
     FaultSpecError,
+    InfeasiblePoint,
     PointFailure,
     SweepConfigError,
     SweepError,
@@ -55,6 +56,7 @@ from repro.runner.journal import (
 from repro.runner.parallel import (
     DEFAULT_BATCH,
     STATUS_FAILED,
+    STATUS_INFEASIBLE,
     STATUS_OK,
     STATUS_SKIPPED,
     STATUS_TIMEOUT,
@@ -69,6 +71,7 @@ from repro.runner.parallel import (
 __all__ = [
     "DEFAULT_BATCH",
     "STATUS_FAILED",
+    "STATUS_INFEASIBLE",
     "STATUS_OK",
     "STATUS_SKIPPED",
     "STATUS_TIMEOUT",
@@ -78,6 +81,7 @@ __all__ = [
     "FaultRule",
     "FaultSpecError",
     "GridPoint",
+    "InfeasiblePoint",
     "PlanCache",
     "PointFailure",
     "SweepConfigError",

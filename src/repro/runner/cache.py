@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.runner.faults import CacheCorruption
+from repro.settings import env_bool
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -53,8 +54,6 @@ QUARANTINE_DIR = "quarantine"
 
 #: Bump to invalidate every cache entry across a format change.
 CACHE_SCHEMA = "1"
-
-_FALSY = ("0", "off", "false", "no")
 
 _code_salt: Optional[str] = None
 
@@ -275,7 +274,7 @@ class PlanCache:
 
 def cache_enabled() -> bool:
     """Whether the persistent layer is enabled (``REPRO_CACHE``)."""
-    return os.environ.get(ENV_CACHE, "1").lower() not in _FALSY
+    return env_bool(ENV_CACHE, default=True)
 
 
 def default_cache() -> Optional[PlanCache]:

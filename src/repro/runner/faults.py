@@ -12,6 +12,10 @@ module provides the two halves of that story:
   - :class:`PointFailure` -- one grid point raised during pricing.
   - :class:`ChainTimeout` -- a chain exceeded ``REPRO_TIMEOUT``.
   - :class:`WorkerCrash` -- a pool worker died (``BrokenProcessPool``).
+  - :class:`InfeasiblePoint` -- no tiling fits the Table-2 buffer
+    model for a point; carries a buffer-level diagnosis and is
+    surfaced as a distinct ``infeasible`` status, never retried
+    (retrying infeasibility is wasted work).
   - :class:`CacheCorruption` -- a persistent-cache entry failed to
     parse (also a :class:`Warning`, so the cache can surface it via
     :mod:`warnings` without aborting the read).
@@ -59,7 +63,9 @@ retries.
 Environment variables: ``REPRO_FAULTS`` (injection spec),
 ``REPRO_TIMEOUT`` (per-chain seconds, float), ``REPRO_RETRIES``
 (extra attempts per chain, int), ``REPRO_BACKOFF`` (base backoff
-seconds, default 0).
+seconds, default 0).  All are parsed through the typed getters in
+:mod:`repro.settings`, so malformed values raise
+:class:`SweepConfigError` with the variable name in the message.
 """
 
 from __future__ import annotations
@@ -69,6 +75,8 @@ import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.settings import env_float, env_int
 
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_TIMEOUT = "REPRO_TIMEOUT"
@@ -183,6 +191,61 @@ class WorkerCrash(SweepError):
         return (
             WorkerCrash,
             (self.chain_index, self.attempt, self.detail),
+        )
+
+
+class InfeasiblePoint(SweepError):
+    """No tiling fits the buffer model for a point -- with evidence.
+
+    Unlike the other taxonomy members this is not an *operational*
+    failure: the search proved (by Table-2 monotonicity) that nothing
+    in the space fits, so the sweep engine reports it as a distinct
+    ``infeasible`` status, never retries it, and a ``--keep-going``
+    sweep does not fail because of it.
+
+    Args:
+        subject: Human description of the infeasible point (workload
+            and architecture).
+        diagnosis: The JSON-safe rendering of a
+            :class:`~repro.resilience.diagnostics.BufferDiagnosis`
+            (kept as a plain dict so this module stays import-light
+            and the payload drops straight into the JSONL journal).
+        point: The :class:`~repro.runner.parallel.GridPoint`, attached
+            by the chain runner (the search layer does not know it).
+    """
+
+    def __init__(
+        self,
+        subject: str,
+        diagnosis: Mapping[str, Any],
+        point: Any = None,
+    ) -> None:
+        diagnosis = dict(diagnosis)
+        summary = ""
+        try:
+            summary = (
+                f": {diagnosis['worst_module']} needs "
+                f"{diagnosis['required_words']:,} of "
+                f"{diagnosis['capacity_words']:,} words "
+                f"({diagnosis['overflow_words']:,} over)"
+            )
+        except (KeyError, TypeError, ValueError):
+            pass
+        super().__init__(
+            f"no tiling fits the buffer for {subject}{summary}"
+        )
+        self.subject = subject
+        self.diagnosis = diagnosis
+        self.point = point
+
+    def with_point(self, point: Any) -> "InfeasiblePoint":
+        """A copy with the grid point attached (chain runner)."""
+        return InfeasiblePoint(self.subject, self.diagnosis, point)
+
+    def __reduce__(self):
+        return (
+            InfeasiblePoint,
+            (self.subject, self.diagnosis, self.point),
         )
 
 
@@ -386,32 +449,18 @@ def resolve_timeout(
     """Per-chain timeout: explicit arg, else ``REPRO_TIMEOUT``, else
     no timeout.  ``0`` (or negative) disables."""
     if timeout is None:
-        env = os.environ.get(ENV_TIMEOUT, "").strip()
-        if not env:
+        timeout = env_float(ENV_TIMEOUT, "a number of seconds")
+        if timeout is None:
             return None
-        try:
-            timeout = float(env)
-        except ValueError:
-            raise SweepConfigError(
-                f"{ENV_TIMEOUT} must be a number of seconds, got "
-                f"{env!r}"
-            ) from None
     return timeout if timeout > 0 else None
 
 
 def resolve_retries(retries: Optional[int] = None) -> int:
     """Extra attempts per chain: arg, else ``REPRO_RETRIES``, else 0."""
     if retries is None:
-        env = os.environ.get(ENV_RETRIES, "").strip()
-        if not env:
+        retries = env_int(ENV_RETRIES, "an integer attempt count")
+        if retries is None:
             return 0
-        try:
-            retries = int(env)
-        except ValueError:
-            raise SweepConfigError(
-                f"{ENV_RETRIES} must be an integer attempt count, "
-                f"got {env!r}"
-            ) from None
     if retries < 0:
         raise SweepConfigError(
             f"retries must be >= 0, got {retries}"
@@ -431,14 +480,8 @@ def backoff_seconds(
     (0 -- no sleeping -- unless configured).
     """
     if base is None:
-        env = os.environ.get(ENV_BACKOFF, "").strip()
-        try:
-            base = float(env) if env else 0.0
-        except ValueError:
-            raise SweepConfigError(
-                f"{ENV_BACKOFF} must be a number of seconds, got "
-                f"{env!r}"
-            ) from None
+        env_base = env_float(ENV_BACKOFF, "a number of seconds")
+        base = env_base if env_base is not None else 0.0
     if base <= 0:
         return 0.0
     digest = hashlib.sha256(

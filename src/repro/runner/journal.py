@@ -13,6 +13,14 @@ On ``run_grid(..., resume=True)`` the engine reloads the journal and
 serves any chain whose every point is journaled *and* still present
 in the cache straight from disk -- no executor is even constructed.
 
+Provably infeasible points (no tiling fits the buffer; see
+:class:`~repro.runner.faults.InfeasiblePoint`) are terminal too, but
+have no cache entry to point at.  They get their own line shape --
+``"infeasible"`` (the serialized diagnosis) instead of ``"key"`` --
+so resume can skip them without re-deriving the proof, and journals
+written by older code versions are unaffected (their loader keyed on
+``"key"`` and skips the new lines).
+
 Staleness is rejected explicitly: every line records the
 :func:`~repro.runner.cache.code_salt` of the source tree that wrote
 it, and :meth:`SweepJournal.load` drops lines whose salt differs
@@ -85,35 +93,86 @@ class SweepJournal:
         with self.path.open("a") as handle:
             handle.write(line + "\n")
 
-    def load(self) -> Dict[str, str]:
-        """``{fingerprint: cache key}`` for every journaled point.
+    def record_infeasible(
+        self, point: Any, diagnosis: Dict[str, Any],
+        warm_start: bool,
+    ) -> None:
+        """Append one provably infeasible point.
 
-        Missing files load as empty; malformed or torn lines (a crash
-        mid-append), lines from other schema versions, and lines
-        written by a different code version (salt mismatch) are
-        skipped -- the worst outcome of a bad or stale journal line
-        is recomputing one point, never serving a stale report.
+        ``diagnosis`` is the serialized
+        :class:`~repro.runner.faults.InfeasiblePoint` document (see
+        :func:`repro.core.serialize.failure_to_dict`).  The line
+        carries ``"infeasible"`` instead of ``"key"`` -- there is no
+        cache entry behind an infeasible point -- which older
+        loaders skip harmlessly.
         """
-        completed: Dict[str, str] = {}
+        line = json.dumps({
+            "v": JOURNAL_VERSION,
+            "salt": code_salt(),
+            "fingerprint": point_fingerprint(point, warm_start),
+            "infeasible": diagnosis,
+            "point": dataclasses.asdict(point),
+        }, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+
+    def _entries(self) -> Sequence[Dict[str, Any]]:
+        """Well-formed current-version, current-salt journal lines."""
         try:
             text = self.path.read_text()
         except (FileNotFoundError, OSError):
-            return completed
+            return []
         salt = code_salt()
+        entries = []
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
-                if entry.get("v") != JOURNAL_VERSION:
-                    continue
-                if entry.get("salt") != salt:
-                    continue
+            except ValueError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("v") != JOURNAL_VERSION:
+                continue
+            if entry.get("salt") != salt:
+                continue
+            entries.append(entry)
+        return entries
+
+    def load(self) -> Dict[str, str]:
+        """``{fingerprint: cache key}`` for every journaled point.
+
+        Missing files load as empty; malformed or torn lines (a crash
+        mid-append), lines from other schema versions, lines without
+        a cache key (infeasible records -- see
+        :meth:`load_infeasible`), and lines written by a different
+        code version (salt mismatch) are skipped -- the worst outcome
+        of a bad or stale journal line is recomputing one point,
+        never serving a stale report.
+        """
+        completed: Dict[str, str] = {}
+        for entry in self._entries():
+            try:
                 completed[entry["fingerprint"]] = entry["key"]
-            except (ValueError, KeyError, TypeError):
+            except (KeyError, TypeError):
                 continue
         return completed
+
+    def load_infeasible(self) -> Dict[str, Dict[str, Any]]:
+        """``{fingerprint: serialized diagnosis}`` for every journaled
+        infeasible point (same staleness filtering as :meth:`load`)."""
+        infeasible: Dict[str, Dict[str, Any]] = {}
+        for entry in self._entries():
+            try:
+                diagnosis = entry["infeasible"]
+            except (KeyError, TypeError):
+                continue
+            if isinstance(diagnosis, dict):
+                infeasible[entry["fingerprint"]] = diagnosis
+        return infeasible
 
     def clear(self) -> None:
         """Delete the journal file (a completed sweep's checkpoint

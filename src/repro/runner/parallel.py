@@ -28,10 +28,18 @@ figure -- with four guarantees:
   workers are killed so a genuinely hung search cannot keep burning
   CPU or stall interpreter exit.  ``strict=False`` degrades gracefully: the returned
   :class:`SweepResult` carries per-point status (``ok`` / ``failed``
-  / ``timeout`` / ``skipped``) and the partial reports instead of
-  raising on the first failure.  A :class:`~repro.runner.journal.
-  SweepJournal` checkpoints every completed point's cache key, so
-  ``run_grid(..., resume=True)`` skips finished work after a crash.
+  / ``timeout`` / ``skipped`` / ``infeasible``) and the partial
+  reports instead of raising on the first failure.  A
+  :class:`~repro.runner.journal.SweepJournal` checkpoints every
+  completed point's cache key, so ``run_grid(..., resume=True)``
+  skips finished work after a crash.
+* **Typed infeasibility** -- a point whose workload provably fits no
+  tiling (:class:`~repro.runner.faults.InfeasiblePoint`, raised with
+  a Table-2 buffer diagnosis) is a *terminal* outcome, not a fault:
+  it gets status ``infeasible``, is never retried, never trips
+  ``strict``, and its diagnosis is journaled so resume skips the
+  proof.  The rest of the chain keeps running (warm-start threading
+  simply skips the infeasible point).
 
 Warm starting (``warm_start=True``) threads each chain's TileSeek
 best assignment into the next (larger) sequence length's search as an
@@ -69,7 +77,12 @@ from collections.abc import Mapping as MappingABC
 
 from repro.arch.spec import named_architecture
 from repro.baselines.registry import named_executor
-from repro.core.serialize import report_from_dict, report_to_dict
+from repro.core.serialize import (
+    failure_from_dict,
+    failure_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
 from repro.model.config import named_model
 from repro.model.workload import Workload
 from repro.runner.cache import (
@@ -81,8 +94,15 @@ from repro.runner.cache import (
     stable_hash,
     workload_fingerprint,
 )
+from repro.resilience.budget import (
+    ENV_BUDGET,
+    ENV_NO_FALLBACK,
+    fallback_enabled,
+    resolve_budget,
+)
 from repro.runner.faults import (
     ChainTimeout,
+    InfeasiblePoint,
     InjectedHang,
     InjectedWorkerExit,
     PointFailure,
@@ -95,6 +115,7 @@ from repro.runner.faults import (
     resolve_timeout,
 )
 from repro.runner.journal import SweepJournal, point_fingerprint
+from repro.settings import env_int
 from repro.sim.stats import RunReport
 
 ENV_JOBS = "REPRO_JOBS"
@@ -107,6 +128,15 @@ STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 STATUS_SKIPPED = "skipped"
+STATUS_INFEASIBLE = "infeasible"
+
+#: Marker key wrapping a serialized :class:`InfeasiblePoint` in a
+#: chain's result stream (in place of a report document).
+_INFEASIBLE_KEY = "__infeasible__"
+
+
+def _is_infeasible_document(document: Dict[str, Any]) -> bool:
+    return _INFEASIBLE_KEY in document
 
 
 @dataclass(frozen=True)
@@ -157,8 +187,13 @@ class SweepResult(MappingABC):
 
     Attributes:
         statuses: ``{point: status}`` for *every* requested point
-            (``ok`` / ``failed`` / ``timeout`` / ``skipped``).
+            (``ok`` / ``failed`` / ``timeout`` / ``skipped`` /
+            ``infeasible``).
         failures: ``{point: SweepError}`` for failed/timed-out points.
+        infeasible: ``{point: InfeasiblePoint}`` for points whose
+            workload provably fits no tiling.  Infeasible points are
+            terminal diagnoses, not faults: they do not affect
+            :attr:`ok` and :meth:`raise_if_failed` ignores them.
     """
 
     def __init__(
@@ -167,11 +202,15 @@ class SweepResult(MappingABC):
         reports: Mapping[GridPoint, RunReport],
         statuses: Mapping[GridPoint, str],
         failures: Mapping[GridPoint, SweepError],
+        infeasible: Optional[
+            Mapping[GridPoint, InfeasiblePoint]
+        ] = None,
     ) -> None:
         self._points = list(points)
         self._reports = dict(reports)
         self.statuses = dict(statuses)
         self.failures = dict(failures)
+        self.infeasible = dict(infeasible or {})
 
     def __getitem__(self, point: GridPoint) -> RunReport:
         try:
@@ -181,6 +220,11 @@ class SweepResult(MappingABC):
                 raise KeyError(
                     f"{point} has no report: "
                     f"{self.failures[point]}"
+                ) from None
+            if point in self.infeasible:
+                raise KeyError(
+                    f"{point} has no report: "
+                    f"{self.infeasible[point]}"
                 ) from None
             raise
 
@@ -203,7 +247,8 @@ class SweepResult(MappingABC):
 
     @property
     def ok(self) -> bool:
-        """Whether every requested point has a report."""
+        """Whether no point *failed* (infeasible diagnoses are
+        terminal answers, not failures, and do not count)."""
         return not self.failures
 
     def counts(self) -> Dict[str, int]:
@@ -213,6 +258,10 @@ class SweepResult(MappingABC):
     def failed_points(self) -> List[GridPoint]:
         """Points without a report, in input order."""
         return [p for p in self._points if p in self.failures]
+
+    def infeasible_points(self) -> List[GridPoint]:
+        """Provably infeasible points, in input order."""
+        return [p for p in self._points if p in self.infeasible]
 
     def raise_if_failed(self) -> "SweepResult":
         """Raise the first failure in input order, if any."""
@@ -232,16 +281,8 @@ class SweepResult(MappingABC):
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: explicit arg, else ``REPRO_JOBS``, else 1."""
     if jobs is None:
-        env = os.environ.get(ENV_JOBS, "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise SweepConfigError(
-                    f"{ENV_JOBS} must be an integer worker count, "
-                    f"got {env!r}"
-                ) from None
-        else:
+        jobs = env_int(ENV_JOBS, "an integer worker count")
+        if jobs is None:
             jobs = 1
     if jobs < 1:
         raise SweepConfigError(f"jobs must be >= 1, got {jobs}")
@@ -258,7 +299,7 @@ def report_cache_payload(
     for attr in ("tileseek_iterations", "seed", "dpipe_options"):
         if hasattr(executor, attr):
             params[attr] = getattr(executor, attr)
-    return {
+    payload = {
         "kind": "report",
         "salt": code_salt(),
         "executor": point.executor,
@@ -267,6 +308,15 @@ def report_cache_payload(
         "arch": arch_fingerprint(named_architecture(point.arch)),
         "warm_start": [list(a) for a in warm],
     }
+    # Conditional keys: a budgeted (possibly degraded) report is a
+    # different artifact from the unbudgeted one, but unbudgeted
+    # sweeps keep their pre-existing disk hashes byte-for-byte.
+    budget = resolve_budget()
+    if budget is not None:
+        payload["budget"] = budget
+    if not fallback_enabled():
+        payload["no_fallback"] = True
+    return payload
 
 
 def _point_document(
@@ -397,6 +447,18 @@ def _run_chain(
                 warm = (tuple(tiling.stats.best_assignment),)
         except (InjectedHang, InjectedWorkerExit):
             raise
+        except InfeasiblePoint as failure:
+            # Terminal diagnosis, not a fault: record the typed
+            # verdict in the result stream (no report document
+            # exists) and keep pricing the rest of the chain.  Warm
+            # starts thread past the point unchanged -- there is no
+            # assignment to thread.
+            results.append((None, {
+                _INFEASIBLE_KEY: failure_to_dict(
+                    failure.with_point(point)
+                ),
+            }))
+            continue
         except SweepError:
             raise
         except Exception as error:
@@ -452,8 +514,13 @@ def _journal_chain(
     """Checkpoint a freshly completed chain's points."""
     if journal is None or outcome.status != STATUS_OK:
         return
-    for point, (key, _) in zip(chain, outcome.results):
-        journal.record(point, key, warm_start)
+    for point, (key, document) in zip(chain, outcome.results):
+        if _is_infeasible_document(document):
+            journal.record_infeasible(
+                point, document[_INFEASIBLE_KEY], warm_start
+            )
+        else:
+            journal.record(point, key, warm_start)
 
 
 def _serial_outcomes(
@@ -739,6 +806,7 @@ def _parallel_outcomes(
 def _resume_chain(
     chain: Sequence[GridPoint],
     completed: Mapping[str, str],
+    infeasible: Mapping[str, Dict[str, Any]],
     cache: Optional[Any],
     warm_start: bool,
 ) -> Optional[List[Tuple[Optional[str], Dict[str, Any]]]]:
@@ -747,12 +815,19 @@ def _resume_chain(
     Returns ``None`` (run the chain normally) unless *every* point is
     journaled and its document is still cached -- partially finished
     chains recompute, hitting the cache for their completed prefix.
+    Journaled infeasible verdicts need no cache entry; they replay
+    straight from the journal's serialized diagnosis.
     """
-    if not completed or cache is None:
+    if not (completed or infeasible) or cache is None:
         return None
     results = []
     for point in chain:
-        key = completed.get(point_fingerprint(point, warm_start))
+        fingerprint = point_fingerprint(point, warm_start)
+        diagnosis = infeasible.get(fingerprint)
+        if diagnosis is not None:
+            results.append((None, {_INFEASIBLE_KEY: diagnosis}))
+            continue
+        key = completed.get(fingerprint)
         if key is None:
             return None
         document = cache.get("report", key)
@@ -773,6 +848,8 @@ def run_grid(
     strict: bool = True,
     journal: Union[str, os.PathLike, SweepJournal, None] = None,
     resume: bool = False,
+    budget: Optional[int] = None,
+    no_fallback: bool = False,
 ) -> SweepResult:
     """Price a grid of points, optionally fanning out over processes.
 
@@ -809,15 +886,27 @@ def run_grid(
         resume: Reload ``journal`` first and serve fully completed
             chains straight from the persistent cache (status
             ``skipped``) instead of re-running them.
+        budget: Deterministic search-unit budget applied to every
+            point's searches (exported to workers as
+            ``REPRO_BUDGET``; ``None`` keeps any ambient setting).
+            The same grid with the same budget produces the same
+            (possibly degraded) reports on any host at any ``jobs``.
+        no_fallback: Disable the graceful-degradation ladder
+            (exported as ``REPRO_NO_FALLBACK``): a budget-exhausted
+            search raises instead of returning a fallback plan.
 
     Returns:
         A :class:`SweepResult` -- a mapping ``{point: report}`` in
         input order (duplicates collapse onto one entry) carrying
-        per-point statuses and typed failures.
+        per-point statuses, typed failures and infeasible diagnoses.
     """
     jobs = resolve_jobs(jobs)
     timeout = resolve_timeout(timeout)
     retries = resolve_retries(retries)
+    if budget is not None and budget < 1:
+        raise SweepConfigError(
+            f"budget must be >= 1 search unit, got {budget}"
+        )
     chains = _chains(points)
     first_index: Dict[GridPoint, int] = {}
     for position, point in enumerate(points):
@@ -826,6 +915,14 @@ def run_grid(
         [first_index[point] for point in chain] for chain in chains
     ]
     env = _cache_env(cache_dir, use_cache)
+    # Budget knobs travel the same way the cache config does: set in
+    # the parent (and restored on exit) for the serial path, and
+    # replayed into every pool worker by _worker_init -- so serial
+    # and parallel sweeps see identical settings.
+    if budget is not None:
+        env[ENV_BUDGET] = str(budget)
+    if no_fallback:
+        env[ENV_NO_FALLBACK] = "1"
     log: Optional[SweepJournal]
     if isinstance(journal, SweepJournal) or journal is None:
         log = journal
@@ -836,10 +933,16 @@ def run_grid(
     os.environ.update(env)
     try:
         completed = log.load() if (log and resume) else {}
+        journaled_infeasible = (
+            log.load_infeasible() if (log and resume) else {}
+        )
         cache = default_cache()
         pending_ids = []
         for chain_id, chain in enumerate(chains):
-            served = _resume_chain(chain, completed, cache, warm_start)
+            served = _resume_chain(
+                chain, completed, journaled_infeasible, cache,
+                warm_start,
+            )
             if served is not None:
                 outcomes[chain_id] = _ChainOutcome(
                     STATUS_SKIPPED, results=served
@@ -867,19 +970,33 @@ def run_grid(
     reports: Dict[GridPoint, RunReport] = {}
     statuses: Dict[GridPoint, str] = {}
     failures: Dict[GridPoint, SweepError] = {}
+    infeasible: Dict[GridPoint, InfeasiblePoint] = {}
     for chain, outcome in zip(chains, outcomes):
         assert outcome is not None
         if outcome.status in (STATUS_OK, STATUS_SKIPPED):
             for point, (_, document) in zip(chain, outcome.results):
-                reports[point] = report_from_dict(document)
-                statuses[point] = outcome.status
+                if _is_infeasible_document(document):
+                    verdict = failure_from_dict(
+                        document[_INFEASIBLE_KEY]
+                    )
+                    if not isinstance(verdict, InfeasiblePoint):
+                        verdict = InfeasiblePoint(
+                            str(verdict), {}, point
+                        )
+                    infeasible[point] = verdict
+                    statuses[point] = STATUS_INFEASIBLE
+                else:
+                    reports[point] = report_from_dict(document)
+                    statuses[point] = outcome.status
         else:
             for point in chain:
                 statuses[point] = outcome.status
                 assert outcome.error is not None
                 failures[point] = outcome.error
     ordered = list(dict.fromkeys(points))
-    result = SweepResult(ordered, reports, statuses, failures)
+    result = SweepResult(
+        ordered, reports, statuses, failures, infeasible
+    )
     if strict:
         result.raise_if_failed()
     return result

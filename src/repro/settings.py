@@ -1,0 +1,142 @@
+"""Typed ``REPRO_*`` environment-variable settings.
+
+Every knob the framework reads from the environment resolves through
+this module, so malformed values fail the same way everywhere: a
+:class:`~repro.runner.faults.SweepConfigError` naming the variable,
+the expected type and the offending value -- never a bare
+``ValueError`` out of ``int()`` three frames deep in a worker.
+
+The module is deliberately standard-library-only at import time (it
+is imported by :mod:`repro.validate.config`, which sits under the
+scheduler hot paths); the error type is imported lazily at raise
+time, which is cycle-safe because raising only ever happens at call
+time, long after the package finished importing.
+
+Known settings (see :data:`KNOWN_SETTINGS` for the registry):
+
+=====================  ================================================
+variable               meaning
+=====================  ================================================
+``REPRO_JOBS``         sweep worker processes (int >= 1)
+``REPRO_TIMEOUT``      per-chain timeout seconds (float; <= 0 off)
+``REPRO_RETRIES``      extra attempts per failed chain (int >= 0)
+``REPRO_BACKOFF``      base retry backoff seconds (float)
+``REPRO_FAULTS``       deterministic fault-injection spec
+``REPRO_CACHE``        persistent cache on/off (default on)
+``REPRO_CACHE_DIR``    persistent cache root directory
+``REPRO_VALIDATE``     invariant auditors on/off (default off)
+``REPRO_BUDGET``       per-search deterministic unit budget (int >= 1)
+``REPRO_DEADLINE``     advisory soft deadline seconds, mapped to a
+                       unit budget once at search entry
+``REPRO_NO_FALLBACK``  disable the graceful-degradation ladder
+``REPRO_BENCH_STRICT`` fail benchmarks outside their paper bands
+=====================  ================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+#: Values read as "false" by :func:`env_bool` (after strip+lower).
+FALSY_VALUES: Tuple[str, ...] = ("0", "off", "false", "no")
+
+#: The registry of recognized settings: ``name -> (type, summary)``.
+KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
+    "REPRO_JOBS": ("int", "sweep worker processes"),
+    "REPRO_TIMEOUT": ("float", "per-chain timeout in seconds"),
+    "REPRO_RETRIES": ("int", "extra attempts per failed chain"),
+    "REPRO_BACKOFF": ("float", "base retry backoff in seconds"),
+    "REPRO_FAULTS": ("spec", "deterministic fault-injection spec"),
+    "REPRO_CACHE": ("bool", "persistent result cache on/off"),
+    "REPRO_CACHE_DIR": ("path", "persistent cache root"),
+    "REPRO_VALIDATE": ("bool", "invariant auditors on/off"),
+    "REPRO_BUDGET": ("int", "per-search deterministic unit budget"),
+    "REPRO_DEADLINE": ("float", "advisory soft deadline in seconds"),
+    "REPRO_NO_FALLBACK": ("bool", "disable the degradation ladder"),
+    "REPRO_BENCH_STRICT": ("bool", "fail benchmarks out of band"),
+}
+
+
+def config_error(message: str) -> Exception:
+    """A :class:`SweepConfigError` to raise for a malformed setting.
+
+    Imported lazily so this module stays dependency-free at import
+    time (the taxonomy lives in :mod:`repro.runner.faults`, which
+    itself imports this module).
+    """
+    from repro.runner.faults import SweepConfigError
+
+    return SweepConfigError(message)
+
+
+def raw_value(name: str) -> Optional[str]:
+    """The stripped environment value, or ``None`` when unset/blank.
+
+    A variable set to the empty string behaves like an unset one for
+    the numeric getters (both mean "use the default"), matching the
+    historical hand-rolled parsers.
+    """
+    value = os.environ.get(name, "").strip()
+    return value or None
+
+
+def env_int(
+    name: str,
+    describe: str = "an integer",
+    minimum: Optional[int] = None,
+) -> Optional[int]:
+    """Parse an integer setting; ``None`` when unset.
+
+    Raises:
+        SweepConfigError: Naming the variable, the expected shape
+            (``describe``) and the offending value.
+    """
+    value = raw_value(name)
+    if value is None:
+        return None
+    try:
+        number = int(value)
+    except ValueError:
+        raise config_error(
+            f"{name} must be {describe}, got {value!r}"
+        ) from None
+    if minimum is not None and number < minimum:
+        raise config_error(
+            f"{name} must be {describe} >= {minimum}, got {number}"
+        )
+    return number
+
+
+def env_float(
+    name: str, describe: str = "a number"
+) -> Optional[float]:
+    """Parse a float setting; ``None`` when unset."""
+    value = raw_value(name)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise config_error(
+            f"{name} must be {describe}, got {value!r}"
+        ) from None
+
+
+def env_bool(
+    name: str,
+    default: bool,
+    falsy: Tuple[str, ...] = FALSY_VALUES,
+) -> bool:
+    """Parse a boolean flag; unset or blank resolves to ``default``.
+
+    Any set, non-blank value outside ``falsy`` (case-insensitive)
+    reads as true -- flags are opt-out by value, not by spelling.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if not value:
+        return default
+    return value not in falsy

@@ -119,6 +119,10 @@ class RunReport:
     workload: str
     architecture: str
     phases: List[PhaseStats] = field(default_factory=list)
+    #: Worst search outcome behind the report's phases: ``complete``,
+    #: ``budget_exhausted`` or ``fallback:<rung>`` (see
+    #: :mod:`repro.resilience.budget`).
+    provenance: str = "complete"
 
     def phase(self, name: str) -> PhaseStats:
         """Look up a phase by name."""

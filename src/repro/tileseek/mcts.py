@@ -13,6 +13,19 @@ module implements the four MCTS phases generically:
 The evaluator returns a reward in ``[0, inf)`` (0 = invalid leaf), so
 constraint validation is part of the reward signal as well as the
 optional ``prune`` callback that drops provably infeasible subtrees.
+
+Two resilience behaviours (both deterministic):
+
+* A level whose candidates are *all* pruned under the current prefix
+  is a recorded **dead-end** -- the iteration backpropagates zero
+  reward without calling the evaluator and the count is reported in
+  :attr:`MCTSStats.dead_ends`.  (Historically this silently fell back
+  to the unpruned candidate list, wasting an evaluation on a
+  known-infeasible completion.)
+* An optional :class:`~repro.resilience.budget.Budget` is charged one
+  unit per iteration; on exhaustion the search stops and returns its
+  best-so-far incumbent with :attr:`MCTSStats.exhausted` set -- the
+  anytime contract.
 """
 
 from __future__ import annotations
@@ -21,6 +34,8 @@ import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.budget import Budget
 
 Assignment = Tuple[int, ...]
 Evaluate = Callable[[Assignment], float]
@@ -51,13 +66,24 @@ class _Node:
 
 @dataclass(frozen=True)
 class MCTSStats:
-    """Search summary returned alongside the best assignment."""
+    """Search summary returned alongside the best assignment.
+
+    Attributes:
+        iterations: Rounds actually performed (less than requested
+            when a budget ran out).
+        evaluations: Evaluator calls (dead-end rollouts skip it).
+        dead_ends: Iterations that hit a level with zero viable
+            candidates under the current prefix.
+        exhausted: Whether a budget stopped the search early.
+    """
 
     iterations: int
     evaluations: int
     best_reward: float
     best_assignment: Assignment
     tree_nodes: int
+    dead_ends: int = 0
+    exhausted: bool = False
 
 
 def mcts_search(
@@ -67,6 +93,7 @@ def mcts_search(
     seed: int = 0,
     exploration: float = 1.4,
     prune: Optional[Prune] = None,
+    budget: Optional[Budget] = None,
 ) -> MCTSStats:
     """Run MCTS over a fixed-depth decision tree.
 
@@ -78,7 +105,12 @@ def mcts_search(
         exploration: UCB1 exploration constant.
         prune: Optional predicate on *partial* assignments; True means
             no completion can be feasible, so the child is never
-            expanded.
+            expanded.  A prefix under which *every* candidate at some
+            level is pruned makes the iteration a dead-end: zero
+            reward is backpropagated and the evaluator is not called.
+        budget: Optional deterministic unit budget, charged one unit
+            per iteration; exhaustion ends the search with its
+            best-so-far result.
 
     Returns:
         Search statistics including the best complete assignment seen.
@@ -94,7 +126,7 @@ def mcts_search(
         values = list(levels[level])
         if prune is not None:
             values = [v for v in values if not prune(prefix + (v,))]
-        return values or list(levels[level])
+        return values
 
     root = _Node(prefix=(), untried=viable_values((), 0))
     best_reward = -1.0
@@ -102,13 +134,24 @@ def mcts_search(
         values[0] for values in levels
     )
     evaluations = 0
+    dead_ends = 0
     node_count = 1
+    performed = 0
+    exhausted = False
 
     for _ in range(iterations):
+        if budget is not None and not budget.charge():
+            exhausted = True
+            break
+        performed += 1
         # Selection: descend while fully expanded and not a leaf.
         node = root
         path = [node]
-        while not node.untried and len(node.prefix) < depth:
+        while (
+            not node.untried
+            and node.children
+            and len(node.prefix) < depth
+        ):
             node = max(
                 node.children.values(),
                 key=lambda ch: path[-1].ucb_score(ch, exploration),
@@ -132,25 +175,38 @@ def mcts_search(
             node = child
             path.append(node)
             node_count += 1
-        # Simulation: random rollout to a full assignment.
+        # Simulation: random rollout to a full assignment.  A level
+        # with zero viable candidates is a dead-end: every completion
+        # is provably infeasible, so back up zero reward and move on
+        # rather than burning an evaluation on it.
         assignment = list(node.prefix)
+        reward = 0.0
+        dead_end = False
         for level in range(len(assignment), depth):
             choices = viable_values(tuple(assignment), level)
+            if not choices:
+                dead_end = True
+                break
             assignment.append(rng.choice(choices))
-        reward = evaluate(tuple(assignment))
-        evaluations += 1
-        if reward > best_reward:
-            best_reward = reward
-            best_assignment = tuple(assignment)
+        if dead_end:
+            dead_ends += 1
+        else:
+            reward = evaluate(tuple(assignment))
+            evaluations += 1
+            if reward > best_reward:
+                best_reward = reward
+                best_assignment = tuple(assignment)
         # Backpropagation.
         for visited in path:
             visited.visits += 1
             visited.total_reward += reward
 
     return MCTSStats(
-        iterations=iterations,
+        iterations=performed,
         evaluations=evaluations,
         best_reward=best_reward,
         best_assignment=best_assignment,
         tree_nodes=node_count,
+        dead_ends=dead_ends,
+        exhausted=exhausted,
     )

@@ -13,6 +13,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.spec import ArchitectureSpec
 from repro.model.workload import Workload
+from repro.resilience.budget import (
+    PROVENANCE_BUDGET_EXHAUSTED,
+    PROVENANCE_COMPLETE,
+    Budget,
+    fallback_provenance,
+    resolve_budget,
+)
+from repro.resilience.ladder import classify_rung
 from repro.tileseek.buffer_model import (
     TilingConfig,
     fused_buffer_requirement,
@@ -51,11 +59,19 @@ def _tile_candidates(limit: int, minimum: int = 1) -> List[int]:
 
 @dataclass(frozen=True)
 class TileSeekResult:
-    """Outcome of one TileSeek search."""
+    """Outcome of one TileSeek search.
+
+    ``provenance`` labels how the winning config was obtained:
+    ``complete`` (full search), ``budget_exhausted`` (anytime MCTS
+    incumbent under a spent budget) or ``fallback:<rung>`` (a
+    degradation-ladder rung supplied the result; see
+    :mod:`repro.resilience.ladder`).
+    """
 
     config: TilingConfig
     assessment: TilingAssessment
     stats: MCTSStats
+    provenance: str = PROVENANCE_COMPLETE
 
     @property
     def feasible(self) -> bool:
@@ -154,6 +170,8 @@ class TileSeek:
         workload: Workload,
         arch: ArchitectureSpec,
         warm_start: Sequence[Sequence[int]] = (),
+        budget: Optional[int] = None,
+        allow_fallback: Optional[bool] = None,
     ) -> TileSeekResult:
         """Find the best feasible outer tiling for one fused layer.
 
@@ -167,17 +185,62 @@ class TileSeek:
                 additional incumbent: the returned config is never
                 worse than any warm start, and the MCTS tree itself is
                 untouched, so results stay deterministic.
+            budget: Deterministic unit budget (MCTS iterations) for
+                this search; ``None`` defers to ``REPRO_BUDGET`` /
+                ``REPRO_DEADLINE``.  On exhaustion the best-so-far
+                result is returned with degraded provenance.
+            allow_fallback: Whether the degradation ladder may supply
+                the result when the budgeted search yields nothing
+                better; ``None`` defers to ``REPRO_NO_FALLBACK``.
+
+        Raises:
+            InfeasiblePoint: When even the minimal configuration in
+                the grid overflows the buffer -- by Table-2
+                monotonicity nothing in the space fits, and the error
+                carries the buffer-level diagnosis.
+            RuntimeError: When the result would be a fallback rung and
+                fallback is disabled.
         """
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
         levels = [grid[name] for name in FACTOR_ORDER]
         warm = self._validated_warm_starts(warm_start)
+        if allow_fallback is None:
+            from repro.resilience.budget import fallback_enabled
+
+            allow_fallback = fallback_enabled()
+        limit = resolve_budget(budget)
+        unit_budget = Budget(limit) if limit is not None else None
         # The minimal (most conservative) assignment doubles as the
         # reward-normalization reference; seed the evaluation cache
         # with its assessment so it is never priced twice.
         minimal = tuple(min(grid[name]) for name in FACTOR_ORDER)
+        minimal_cfg = self._config_from(minimal, fixed)
+        # If even the minimal tile overflows the buffer, monotonicity
+        # says nothing in the grid fits: diagnose instead of
+        # searching.  Imported lazily -- diagnostics imports the
+        # buffer model from this package, so a module-level import
+        # would cycle through ``repro.resilience.__init__``.
+        from repro.resilience.diagnostics import diagnose_infeasible
+
+        diagnosis = diagnose_infeasible(
+            workload.model,
+            arch.buffer_words,
+            m0=fixed["m0"],
+            rows=fixed["rows"],
+            cfg=minimal_cfg,
+        )
+        if diagnosis is not None:
+            # Imported lazily: the taxonomy lives in the runner layer,
+            # which imports back into tileseek via serialization.
+            from repro.runner.faults import InfeasiblePoint
+
+            raise InfeasiblePoint(
+                f"{workload.describe()} on {arch.name}",
+                diagnosis.as_dict(),
+            )
         reference_assessment = assess_tiling(
-            self._config_from(minimal, fixed), workload, arch
+            minimal_cfg, workload, arch
         )
         reference = reference_assessment.dram_words
         cache: Dict[
@@ -236,13 +299,18 @@ class TileSeek:
             seed=self.seed,
             exploration=self.exploration,
             prune=prune,
+            budget=unit_budget,
         )
         best_assignment = stats.best_assignment
         best_reward = stats.best_reward
         # Greedy incumbent: the anchor line (maximal feasible p with
         # minimal companions) is a strong known-good starting point;
         # never return anything worse than it.  Warm starts from
-        # adjacent searches join the same incumbent pool.
+        # adjacent searches join the same incumbent pool.  When a
+        # budget cut the MCTS short, these candidates double as the
+        # degradation ladder (anchor = ``heuristic`` rung, warm starts
+        # = ``warm_start`` rung); they are deterministic, never
+        # budget-charged, and feasible by construction/validation.
         anchor_p = max(
             (p for p in grid["p"] if not prune(
                 (min(grid["b"]), min(grid["d"]), min(grid["m1"]), p)
@@ -253,11 +321,29 @@ class TileSeek:
             min(grid["b"]), min(grid["d"]), min(grid["m1"]),
             anchor_p, min(grid["s"]),
         )
-        for candidate in (incumbent,) + warm:
+        winner_index = -1  # the MCTS incumbent
+        for index, candidate in enumerate((incumbent,) + warm):
             candidate_reward = evaluate(candidate)
             if candidate_reward > best_reward:
                 best_assignment = candidate
                 best_reward = candidate_reward
+                winner_index = index
+        if not stats.exhausted:
+            provenance = PROVENANCE_COMPLETE
+        elif winner_index < 0:
+            provenance = PROVENANCE_BUDGET_EXHAUSTED
+        else:
+            provenance = fallback_provenance(classify_rung(
+                winner_index,
+                n_warm=len(warm),
+                anchor_is_minimal=anchor_p == min(grid["p"]),
+            ))
+            if not allow_fallback:
+                raise RuntimeError(
+                    f"search for {workload.describe()} on "
+                    f"{arch.name} degraded to {provenance} and "
+                    f"fallback is disabled (REPRO_NO_FALLBACK)"
+                )
         # The winner was priced through the cache -- reuse its
         # assessment instead of re-running the simulation step.
         assessment = cache[best_assignment][1]
@@ -271,7 +357,10 @@ class TileSeek:
                 best_reward=best_reward,
                 best_assignment=best_assignment,
                 tree_nodes=stats.tree_nodes,
+                dead_ends=stats.dead_ends,
+                exhausted=stats.exhausted,
             ),
+            provenance=provenance,
         )
 
     @staticmethod

@@ -6,22 +6,21 @@ paths leave it off, the test suite turns it on (``tests/conftest.py``
 defaults the environment variable to ``1``), and the ``repro
 validate`` CLI forces it for the point being audited.
 
-This module must stay dependency-free (standard library only): it is
-imported at module level by scheduler/executor hot paths, where any
-import back into the simulator would create a cycle.
+This module must stay nearly dependency-free: it is imported at
+module level by scheduler/executor hot paths, where any import back
+into the simulator would create a cycle.  :mod:`repro.settings` is
+the one allowed import -- it is standard-library-only at import time.
 """
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.settings import env_bool
+
 #: Environment flag: truthy values enable auditing everywhere.
 ENV_VALIDATE = "REPRO_VALIDATE"
-
-#: Values of :data:`ENV_VALIDATE` read as "disabled".
-_FALSE_VALUES = ("", "0", "false", "no", "off")
 
 #: Programmatic override; ``None`` defers to the environment.
 _forced: Optional[bool] = None
@@ -31,8 +30,7 @@ def validation_enabled() -> bool:
     """Whether auditors should run (override, else environment)."""
     if _forced is not None:
         return _forced
-    value = os.environ.get(ENV_VALIDATE, "").strip().lower()
-    return value not in _FALSE_VALUES
+    return env_bool(ENV_VALIDATE, default=False)
 
 
 @contextmanager

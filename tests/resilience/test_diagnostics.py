@@ -1,0 +1,139 @@
+"""Tests for the typed infeasibility diagnostics.
+
+The key property is *soundness*: the minimal-tile argument rests on
+the Table-2 footprints being monotone in every tiling factor, so a
+diagnosis must imply that a brute-force enumeration of the tiling
+space finds nothing feasible either -- and the absence of a diagnosis
+must come with a concrete fitting configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.resilience.diagnostics import (
+    BufferDiagnosis,
+    diagnose_infeasible,
+    minimal_config,
+)
+from repro.tileseek.buffer_model import (
+    FUSED_MODULES,
+    TilingConfig,
+    fused_buffer_requirement,
+    intra_tile_p_prime,
+)
+
+
+@pytest.fixture
+def model() -> ModelConfig:
+    return ModelConfig(
+        name="probe", d_model=64, heads=4, e_head=16,
+        ffn_hidden=128, layers=2, activation="gelu",
+    )
+
+
+def divisors(n):
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def brute_force_fits(model, buffer_words, m0, rows, seq=64, batch=4):
+    """Whether *any* tiling in the search space fits the buffer.
+
+    Enumerates the same space TileSeek's candidate grid draws from:
+    divisor-based factors at or above the grid floors
+    (``MIN_COMPANION_FACTORS``, clamped to the model's extents) --
+    the floors are part of the space the diagnosis indicts.
+    """
+    from repro.tileseek.buffer_model import MIN_COMPANION_FACTORS
+
+    d_floor = min(MIN_COMPANION_FACTORS["d"], model.d_model)
+    s_floor = min(MIN_COMPANION_FACTORS["s"], model.ffn_hidden)
+    for b, d, m1, p, s in itertools.product(
+        divisors(batch),
+        [d for d in divisors(model.d_model) if d >= d_floor],
+        (1, 2, 4),
+        divisors(seq),
+        [s for s in divisors(model.ffn_hidden) if s >= s_floor],
+    ):
+        cfg = TilingConfig(
+            b=b, d=d, m1=m1, m0=m0, p=p, s=s,
+            p_prime=intra_tile_p_prime(p, rows),
+        )
+        if fused_buffer_requirement(cfg, model) <= buffer_words:
+            return True
+    return False
+
+
+class TestMinimalConfig:
+    def test_floors_clamped_to_model(self, model):
+        cfg = minimal_config(model, m0=16, rows=16)
+        assert cfg.b == 1 and cfg.m1 == 1 and cfg.p == 1
+        assert cfg.d <= model.d_model
+        assert cfg.s <= model.ffn_hidden
+        tiny = ModelConfig(
+            name="nano", d_model=8, heads=2, e_head=4,
+            ffn_hidden=8, layers=1, activation="relu",
+        )
+        nano = minimal_config(tiny, m0=4, rows=4)
+        assert nano.d == 8 and nano.s == 8
+
+
+class TestDiagnosis:
+    def test_fitting_buffer_yields_none(self, model):
+        cfg = minimal_config(model, m0=16, rows=16)
+        need = fused_buffer_requirement(cfg, model)
+        assert diagnose_infeasible(
+            model, need, m0=16, rows=16
+        ) is None
+
+    def test_overflow_arithmetic_exact(self, model):
+        cfg = minimal_config(model, m0=16, rows=16)
+        need = fused_buffer_requirement(cfg, model)
+        capacity = need - 1
+        diagnosis = diagnose_infeasible(
+            model, capacity, m0=16, rows=16
+        )
+        assert diagnosis is not None
+        assert diagnosis.required_words == need
+        assert diagnosis.capacity_words == capacity
+        assert diagnosis.overflow_words == 1
+        assert diagnosis.worst_module in FUSED_MODULES
+        assert diagnosis.module_words[diagnosis.worst_module] == need
+        assert diagnosis.smallest_tile == cfg.as_dict()
+
+    def test_diagnosis_matches_brute_force(self, model):
+        """Sweep capacities across the feasibility boundary: the
+        diagnosis and an exhaustive enumeration must agree exactly."""
+        cfg = minimal_config(model, m0=16, rows=16)
+        threshold = fused_buffer_requirement(cfg, model)
+        for capacity in (
+            threshold - 100, threshold - 1, threshold,
+            threshold + 1, threshold * 4,
+        ):
+            diagnosis = diagnose_infeasible(
+                model, capacity, m0=16, rows=16
+            )
+            fits = brute_force_fits(model, capacity, m0=16, rows=16)
+            if diagnosis is None:
+                assert fits, (
+                    f"no diagnosis at capacity {capacity} but brute "
+                    f"force finds nothing feasible"
+                )
+            else:
+                assert not fits, (
+                    f"diagnosed infeasible at capacity {capacity} "
+                    f"but brute force found a fitting tiling"
+                )
+
+    def test_roundtrip_and_describe(self, model):
+        diagnosis = diagnose_infeasible(model, 16, m0=16, rows=16)
+        assert diagnosis is not None
+        document = json.loads(json.dumps(diagnosis.as_dict()))
+        assert BufferDiagnosis.from_dict(document) == diagnosis
+        line = diagnosis.describe()
+        assert diagnosis.worst_module in line
+        assert f"{diagnosis.overflow_words:,}" in line

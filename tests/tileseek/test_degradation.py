@@ -1,0 +1,199 @@
+"""Anytime behaviour of the tiling search: budgets, dead ends and the
+graceful-degradation ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.config import named_model
+from repro.model.workload import Workload
+from repro.resilience.budget import (
+    Budget,
+    PROVENANCE_COMPLETE,
+    is_degraded,
+)
+from repro.resilience.ladder import (
+    RUNG_HEURISTIC,
+    RUNG_WARM_START,
+)
+from repro.tileseek.mcts import mcts_search
+from repro.tileseek.search import TileSeek
+
+
+@pytest.fixture
+def workload():
+    return Workload(named_model("t5"), seq_len=4096, batch=8)
+
+
+class TestMCTSDeadEnds:
+    """Regression: a level whose candidates are all pruned under the
+    current prefix must be a recorded dead-end, not a silent fallback
+    to the unpruned candidate list (which evaluated provably
+    infeasible completions)."""
+
+    @staticmethod
+    def _prune(partial):
+        # Every completion under first value 2 is infeasible.
+        return len(partial) == 2 and partial[0] == 2
+
+    def test_dead_end_recorded_and_never_evaluated(self):
+        seen = []
+
+        def evaluate(assignment):
+            seen.append(assignment)
+            return 1.0 / sum(assignment)
+
+        stats = mcts_search(
+            [[1, 2], [1, 2]], evaluate, iterations=32, seed=5,
+            prune=self._prune,
+        )
+        assert stats.dead_ends > 0
+        assert all(a[0] == 1 for a in seen), (
+            "evaluator was called on a pruned (dead-end) completion"
+        )
+        assert stats.best_assignment[0] == 1
+        assert stats.iterations == 32
+
+    def test_dead_ends_do_not_break_determinism(self):
+        def evaluate(assignment):
+            return 1.0 / sum(assignment)
+
+        runs = [
+            mcts_search(
+                [[1, 2], [1, 2]], evaluate, iterations=32, seed=5,
+                prune=self._prune,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestMCTSBudget:
+    def test_budget_stops_after_exact_units(self):
+        stats = mcts_search(
+            [[1, 2, 3]], lambda a: float(a[0]), iterations=100,
+            budget=Budget(7),
+        )
+        assert stats.iterations == 7
+        assert stats.exhausted
+        assert stats.best_reward > 0
+
+    def test_large_budget_is_inert(self):
+        free = mcts_search(
+            [[1, 2, 3]], lambda a: float(a[0]), iterations=20
+        )
+        capped = mcts_search(
+            [[1, 2, 3]], lambda a: float(a[0]), iterations=20,
+            budget=Budget(10**9),
+        )
+        assert free == capped
+
+
+class TestAnytimeTileSeek:
+    def test_unbudgeted_search_is_byte_identical(
+        self, workload, cloud
+    ):
+        """No budget + feasible point => exactly the pre-budget
+        result, including its serialized document (no new keys)."""
+        from repro.core.serialize import tileseek_result_to_dict
+
+        plain = TileSeek(iterations=80, seed=3).search(
+            workload, cloud
+        )
+        explicit = TileSeek(iterations=80, seed=3).search(
+            workload, cloud, budget=None, allow_fallback=True,
+        )
+        assert plain == explicit
+        document = tileseek_result_to_dict(plain)
+        assert "provenance" not in document
+        assert "dead_ends" not in document["stats"]
+        assert "exhausted" not in document["stats"]
+        assert plain.provenance == PROVENANCE_COMPLETE
+
+    def test_budget_exhaustion_degrades_gracefully(
+        self, workload, cloud
+    ):
+        result = TileSeek(iterations=400, seed=0).search(
+            workload, cloud, budget=4
+        )
+        assert result.feasible
+        assert result.stats.exhausted
+        assert result.stats.iterations == 4
+        assert is_degraded(result.provenance)
+
+    def test_degraded_result_passes_auditors(self, workload, cloud):
+        from repro.validate.tiling import audit_tiling
+
+        result = TileSeek(iterations=400, seed=0).search(
+            workload, cloud, budget=4
+        )
+        audit_tiling(
+            result.config, result.assessment, workload, cloud
+        ).raise_if_failed()
+
+    def test_same_budget_same_result(self, workload, cloud):
+        runs = [
+            TileSeek(iterations=400, seed=0).search(
+                workload, cloud, budget=4
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_warm_start_rung_when_warm_wins(self, workload, cloud):
+        full = TileSeek(iterations=300, seed=0).search(
+            workload, cloud
+        )
+        starved = TileSeek(iterations=300, seed=0).search(
+            workload, cloud,
+            warm_start=(full.stats.best_assignment,),
+            budget=1,
+        )
+        assert starved.feasible
+        if starved.provenance == f"fallback:{RUNG_WARM_START}":
+            # The warm start won the incumbent pool: the degraded
+            # search is exactly as good as the full one.
+            assert (
+                starved.stats.best_reward >= full.stats.best_reward
+            )
+        else:
+            # The anchor heuristic beat even the full search's
+            # winner -- still a labeled ladder rung.
+            assert starved.provenance == f"fallback:{RUNG_HEURISTIC}"
+
+    def test_no_fallback_raises_on_degradation(
+        self, workload, cloud
+    ):
+        with pytest.raises(RuntimeError, match="REPRO_NO_FALLBACK"):
+            TileSeek(iterations=400, seed=0).search(
+                workload, cloud, budget=1, allow_fallback=False,
+            )
+
+    def test_env_budget_applies(self, workload, cloud, monkeypatch):
+        monkeypatch.setenv("REPRO_BUDGET", "4")
+        viaenv = TileSeek(iterations=400, seed=0).search(
+            workload, cloud
+        )
+        monkeypatch.delenv("REPRO_BUDGET")
+        explicit = TileSeek(iterations=400, seed=0).search(
+            workload, cloud, budget=4
+        )
+        assert viaenv == explicit
+
+    def test_budget_exhausted_result_roundtrips(
+        self, workload, cloud
+    ):
+        import json
+
+        from repro.core.serialize import (
+            tileseek_result_from_dict,
+            tileseek_result_to_dict,
+        )
+
+        result = TileSeek(iterations=400, seed=0).search(
+            workload, cloud, budget=4
+        )
+        document = json.loads(
+            json.dumps(tileseek_result_to_dict(result))
+        )
+        assert tileseek_result_from_dict(document) == result

@@ -17,8 +17,12 @@ import pytest
 from repro.runner.parallel import compute_report
 from repro.validate.golden import (
     GOLDEN_ARCHS,
+    GOLDEN_DEGRADED_BUDGET,
     GOLDEN_MODELS,
     GOLDEN_SEQS,
+    golden_degraded_document,
+    golden_degraded_filename,
+    golden_degraded_points,
     golden_dir,
     golden_document,
     golden_filename,
@@ -37,6 +41,10 @@ class TestCorpusShape:
 
     def test_no_stray_snapshots(self):
         expected = {golden_filename(p) for p in golden_points()}
+        expected |= {
+            golden_degraded_filename(p)
+            for p in golden_degraded_points()
+        }
         on_disk = {p.name for p in golden_dir().glob("*.json")}
         assert on_disk == expected
 
@@ -72,3 +80,47 @@ class TestGoldenSnapshots:
         assert document["point"]["model"] == point.model
         assert {ph["name"] for ph in document["report"]["phases"]} \
             == {"qkv", "mha", "layernorm", "ffn"}
+        # Healthy snapshots never carry a provenance key (complete
+        # searches serialize byte-identically to the pre-budget era).
+        assert "provenance" not in document["report"]
+
+
+@pytest.mark.parametrize(
+    "point", golden_degraded_points(), ids=golden_degraded_filename
+)
+class TestDegradedSnapshots:
+    """The fallback ladder's output is frozen like any other plan:
+    the same budget must reproduce the same degraded report, byte
+    for byte, on any host at any parallelism."""
+
+    def test_matches_snapshot_byte_for_byte(
+        self, point, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_BUDGET", str(GOLDEN_DEGRADED_BUDGET)
+        )
+        path = golden_dir() / golden_degraded_filename(point)
+        assert path.exists(), (
+            f"missing snapshot {path.name}; run "
+            f"scripts/update_golden.py"
+        )
+        report = compute_report(point)
+        rendered = render_golden(
+            golden_degraded_document(point, report)
+        )
+        assert rendered == path.read_text(), (
+            f"{path.name} drifted from the frozen degraded corpus; "
+            f"if the ladder change is intentional, regenerate via "
+            f"scripts/update_golden.py"
+        )
+
+    def test_snapshot_is_labeled_degraded(self, point):
+        path = golden_dir() / golden_degraded_filename(point)
+        document = json.loads(path.read_text())
+        assert document["budget"] == GOLDEN_DEGRADED_BUDGET
+        provenance = document["report"]["provenance"]
+        assert provenance != "complete"
+        assert (
+            provenance == "budget_exhausted"
+            or provenance.startswith("fallback:")
+        )
