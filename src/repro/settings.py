@@ -30,6 +30,8 @@ variable               meaning
                        unit budget once at search entry
 ``REPRO_NO_FALLBACK``  disable the graceful-degradation ladder
 ``REPRO_BENCH_STRICT`` fail benchmarks outside their paper bands
+``REPRO_SCALAR_EVAL``  force TileSeek's scalar evaluation oracle
+                       (the batched NumPy path is the default)
 =====================  ================================================
 """
 
@@ -55,6 +57,9 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     "REPRO_DEADLINE": ("float", "advisory soft deadline in seconds"),
     "REPRO_NO_FALLBACK": ("bool", "disable the degradation ladder"),
     "REPRO_BENCH_STRICT": ("bool", "fail benchmarks out of band"),
+    "REPRO_SCALAR_EVAL": (
+        "bool", "force the scalar TileSeek evaluation oracle"
+    ),
 }
 
 

@@ -6,25 +6,45 @@ Candidate configurations are validated against the Table-2 per-module
 buffer model; feasible leaves are scored by the analytical simulator
 (DRAM energy or latency) and the scores drive UCB-guided Monte Carlo
 Tree Search.
+
+Evaluation runs batched by default: rollout frontiers and prune
+probes are priced through :class:`BatchedTilingEvaluator`'s
+vectorized array math, with the scalar path retained as a
+byte-identical differential oracle (``REPRO_SCALAR_EVAL``).
 """
 
+from repro.tileseek.batched import (
+    BatchedAssessment,
+    BatchedTilingEvaluator,
+    exactly_priceable,
+    table2_module_words,
+)
 from repro.tileseek.buffer_model import (
     TilingConfig,
     fused_buffer_requirement,
     layer_buffer_requirement,
 )
 from repro.tileseek.evaluate import TilingAssessment, assess_tiling
-from repro.tileseek.mcts import MCTSStats, mcts_search
+from repro.tileseek.mcts import (
+    MCTSStats,
+    mcts_search,
+    mcts_search_batched,
+)
 from repro.tileseek.search import TileSeek, TileSeekResult
 
 __all__ = [
+    "BatchedAssessment",
+    "BatchedTilingEvaluator",
     "MCTSStats",
     "TileSeek",
     "TileSeekResult",
     "TilingAssessment",
     "TilingConfig",
     "assess_tiling",
+    "exactly_priceable",
     "fused_buffer_requirement",
     "layer_buffer_requirement",
     "mcts_search",
+    "mcts_search_batched",
+    "table2_module_words",
 ]

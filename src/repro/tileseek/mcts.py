@@ -35,11 +35,22 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.resilience.budget import Budget
 
 Assignment = Tuple[int, ...]
 Evaluate = Callable[[Assignment], float]
+EvaluateBatch = Callable[[Sequence[Assignment]], Sequence[float]]
 Prune = Callable[[Assignment], bool]
+Viable = Callable[[Assignment, int], List[int]]
+
+#: Child count below which UCB1 selection runs as a scalar loop --
+#: NumPy's per-ufunc dispatch overhead dominates tiny arrays (typical
+#: tiling grids have 8-25 candidates per level).  Both engines compute
+#: the same correctly-rounded expression, so the choice is invisible
+#: in results.
+VECTOR_SELECT_MIN = 32
 
 
 @dataclass
@@ -200,6 +211,267 @@ def mcts_search(
         for visited in path:
             visited.visits += 1
             visited.total_reward += reward
+
+    return MCTSStats(
+        iterations=performed,
+        evaluations=evaluations,
+        best_reward=best_reward,
+        best_assignment=best_assignment,
+        tree_nodes=node_count,
+        dead_ends=dead_ends,
+        exhausted=exhausted,
+    )
+
+
+class _BNode:
+    """Array-backed search-tree node for the batched driver.
+
+    Child statistics live in preallocated NumPy arrays on the
+    *parent* (``child_visits`` / ``child_totals``, one slot per
+    expansion in expansion order -- the same iteration order as the
+    scalar driver's insertion-ordered ``children`` dict), so UCB1
+    selection is one vectorized expression instead of a ``max`` over
+    per-child lambdas.  Scalar ``visits`` / ``total_reward`` mirrors
+    are kept per node for ``log(N)`` and backpropagation.
+    """
+
+    __slots__ = (
+        "prefix", "untried", "parent", "slot", "visits",
+        "total_reward", "children", "n_children", "child_visits",
+        "child_totals",
+    )
+
+    def __init__(
+        self,
+        prefix: Assignment,
+        untried: List[int],
+        parent: Optional["_BNode"] = None,
+        slot: int = 0,
+    ) -> None:
+        self.prefix = prefix
+        self.untried = untried
+        self.parent = parent
+        self.slot = slot
+        self.visits = 0
+        self.total_reward = 0.0
+        self.children: List["_BNode"] = []
+        self.n_children = 0
+        capacity = len(untried)
+        self.child_visits = np.zeros(capacity, dtype=np.int64)
+        self.child_totals = np.zeros(capacity, dtype=np.float64)
+
+    def add_child(self, child: "_BNode") -> None:
+        child.slot = self.n_children
+        self.children.append(child)
+        self.n_children += 1
+
+    def select_child(self, exploration: float) -> "_BNode":
+        """Vectorized UCB1, bit-identical to the scalar rule.
+
+        Zero-visit children score ``inf``; ``argmax`` returns the
+        first, matching Python ``max``'s first-max tie-break.  For the
+        visited case every float operation mirrors the scalar
+        ``mean + c * sqrt(log(N) / n)`` term for term: true division
+        and ``sqrt`` are correctly rounded IEEE operations, and
+        ``log(N)`` stays a scalar ``math.log`` call (NumPy's
+        vectorized ``log`` is not guaranteed bit-equal).
+
+        Below :data:`VECTOR_SELECT_MIN` children the arrays lose to
+        ufunc dispatch overhead, so a plain loop computes the same
+        correctly-rounded expression from the nodes' scalar mirrors
+        -- identical bits either way, only the arithmetic engine
+        differs.
+        """
+        n = self.n_children
+        children = self.children
+        if n < VECTOR_SELECT_MIN:
+            for child in children:
+                if child.visits == 0:
+                    return child
+            log_n = math.log(self.visits)
+            best = children[0]
+            count = best.visits
+            best_score = (
+                best.total_reward / count
+                + exploration * math.sqrt(log_n / count)
+            )
+            for child in children[1:]:
+                count = child.visits
+                score = (
+                    child.total_reward / count
+                    + exploration * math.sqrt(log_n / count)
+                )
+                if score > best_score:
+                    best_score = score
+                    best = child
+            return best
+        visits = self.child_visits[:n]
+        if visits.min() == 0:
+            choice = int(np.argmax(visits == 0))
+        else:
+            totals = self.child_totals[:n]
+            log_n = math.log(self.visits)
+            scores = totals / visits + exploration * np.sqrt(
+                log_n / visits
+            )
+            choice = int(np.argmax(scores))
+        return self.children[choice]
+
+
+def mcts_search_batched(
+    levels: Sequence[Sequence[int]],
+    evaluate_batch: EvaluateBatch,
+    iterations: int,
+    seed: int = 0,
+    exploration: float = 1.4,
+    viable: Optional[Viable] = None,
+    budget: Optional[Budget] = None,
+) -> MCTSStats:
+    """Frontier-batched MCTS, byte-identical to :func:`mcts_search`.
+
+    Same contract and statistics as the scalar driver, but leaves are
+    priced through ``evaluate_batch`` -- whole frontiers in one call --
+    and candidate filtering goes through a ``viable`` oracle (the
+    batched minimal-completion prune) instead of a per-candidate
+    ``prune`` predicate.
+
+    Byte-identity rests on two invariants:
+
+    * **RNG order.**  Expansion draws ``randrange(len(untried))`` and
+      rollouts draw ``choice(viable_list)``; both consume seed bits as
+      a function of *list lengths only*, and ``viable`` must return
+      exactly the lists the scalar prune induces, so the random
+      trajectory is identical.
+    * **Reward independence of the frontier.**  Iterations are batched
+      only while the root still has untried children: UCB1 selection
+      never runs before the root is fully expanded, so none of those
+      iterations reads statistics the others write.  Rewards are
+      folded back in original iteration order (best-incumbent updates
+      and backpropagation included), after which the driver proceeds
+      one leaf per batch -- selection is reward-dependent from then
+      on, and the remaining speedup comes from vectorized selection
+      and the batched prune/evaluator underneath.
+
+    Args:
+        levels: Candidate values per decision level, in order.
+        evaluate_batch: Scores a list of *complete* assignments,
+            returning one reward each, in order; must equal a scalar
+            evaluator called sequentially (caching included).
+        iterations: Selection/expansion/simulation/backprop rounds.
+        seed: RNG seed (search is fully deterministic given it).
+        exploration: UCB1 exploration constant.
+        viable: ``(prefix, level) -> values`` returning the level's
+            candidates with a feasible minimal completion under the
+            prefix, in level order; ``None`` means no pruning.
+        budget: Optional deterministic unit budget, charged one unit
+            per iteration; exhaustion ends the search with its
+            best-so-far result.
+
+    Returns:
+        Search statistics, equal to the scalar driver's field by
+        field.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    if any(len(values) == 0 for values in levels):
+        raise ValueError("every level needs at least one candidate")
+    rng = random.Random(seed)
+    depth = len(levels)
+
+    def viable_values(prefix: Assignment, level: int) -> List[int]:
+        if viable is None:
+            return list(levels[level])
+        return viable(prefix, level)
+
+    root = _BNode(prefix=(), untried=viable_values((), 0))
+    best_reward = -1.0
+    best_assignment: Assignment = tuple(
+        values[0] for values in levels
+    )
+    evaluations = 0
+    dead_ends = 0
+    node_count = 1
+    performed = 0
+    exhausted = False
+
+    while performed < iterations and not exhausted:
+        # Collect one frontier: the whole root-expansion burst while
+        # selection cannot run, then single iterations.
+        walks: List[Tuple[List[_BNode], Optional[Assignment]]] = []
+        while performed < iterations:
+            if budget is not None and not budget.charge():
+                exhausted = True
+                break
+            performed += 1
+            # Selection: descend while fully expanded and not a leaf.
+            node = root
+            path = [node]
+            while (
+                not node.untried
+                and node.children
+                and len(node.prefix) < depth
+            ):
+                node = node.select_child(exploration)
+                path.append(node)
+            # Expansion: materialize one untried child.
+            if node.untried and len(node.prefix) < depth:
+                value = node.untried.pop(
+                    rng.randrange(len(node.untried))
+                )
+                level = len(node.prefix) + 1
+                child = _BNode(
+                    prefix=node.prefix + (value,),
+                    untried=(
+                        viable_values(node.prefix + (value,), level)
+                        if level < depth
+                        else []
+                    ),
+                    parent=node,
+                )
+                node.add_child(child)
+                node = child
+                path.append(node)
+                node_count += 1
+            # Simulation: random rollout to a full assignment; a level
+            # with zero viable candidates is a dead-end.
+            assignment = list(node.prefix)
+            dead_end = False
+            for level in range(len(assignment), depth):
+                choices = viable_values(tuple(assignment), level)
+                if not choices:
+                    dead_end = True
+                    break
+                assignment.append(rng.choice(choices))
+            walks.append(
+                (path, None if dead_end else tuple(assignment))
+            )
+            # Past the root burst, selection reads reward statistics:
+            # close the frontier so they are folded in first.
+            if not root.untried:
+                break
+        # Price the frontier's live leaves in one batched call.
+        pending = [leaf for _, leaf in walks if leaf is not None]
+        rewards = list(evaluate_batch(pending)) if pending else []
+        # Fold back in original iteration order.
+        cursor = 0
+        for path, leaf in walks:
+            if leaf is None:
+                dead_ends += 1
+                reward = 0.0
+            else:
+                reward = rewards[cursor]
+                cursor += 1
+                evaluations += 1
+                if reward > best_reward:
+                    best_reward = reward
+                    best_assignment = leaf
+            for visited in path:
+                visited.visits += 1
+                visited.total_reward += reward
+                parent = visited.parent
+                if parent is not None:
+                    parent.child_visits[visited.slot] += 1
+                    parent.child_totals[visited.slot] += reward
 
     return MCTSStats(
         iterations=performed,

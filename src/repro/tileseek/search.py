@@ -4,6 +4,20 @@ Binds the generic MCTS to the tiling problem: candidate grids for the
 ``[B, D, M1, P, S]`` factors, Table-2 feasibility pruning, the
 analytical reward, and a memoized evaluation cache (MCTS revisits
 leaves; Timeloop-style evaluation is the expensive step in the paper).
+
+Two interchangeable evaluation paths drive the same search:
+
+* the **batched** default, which prices rollout frontiers and prune
+  probes through :mod:`repro.tileseek.batched` (vectorized NumPy
+  array math), and
+* the **scalar oracle** (``REPRO_SCALAR_EVAL=1`` or
+  ``search(..., scalar=True)``), the original one-candidate-at-a-time
+  path, kept verbatim as the differential reference.
+
+The two are byte-identical by contract -- same
+:class:`TileSeekResult` (config, assessment, stats, provenance) for
+every input -- which the property suite asserts; see DESIGN.md §10
+for the exactness argument.
 """
 
 from __future__ import annotations
@@ -21,6 +35,11 @@ from repro.resilience.budget import (
     resolve_budget,
 )
 from repro.resilience.ladder import classify_rung
+from repro.settings import env_bool
+from repro.tileseek.batched import (
+    BatchedTilingEvaluator,
+    exactly_priceable,
+)
 from repro.tileseek.buffer_model import (
     TilingConfig,
     fused_buffer_requirement,
@@ -32,10 +51,19 @@ from repro.tileseek.evaluate import (
     assess_tiling,
     reward_for,
 )
-from repro.tileseek.mcts import MCTSStats, mcts_search
+from repro.tileseek.mcts import (
+    MCTSStats,
+    mcts_search,
+    mcts_search_batched,
+)
 
 #: Search order of the outer tiling factors (one MCTS tree level each).
 FACTOR_ORDER: Tuple[str, ...] = ("b", "d", "m1", "p", "s")
+
+#: Fresh-candidate count below which a batch is priced by the scalar
+#: evaluator instead of the vectorized one (NumPy dispatch overhead
+#: dominates one-row matrices; both produce identical bits).
+VECTOR_PRICE_MIN = 4
 
 
 def _tile_candidates(limit: int, minimum: int = 1) -> List[int]:
@@ -162,6 +190,18 @@ class TileSeek:
             p_prime=intra_tile_p_prime(values["p"], fixed["rows"]),
         )
 
+    @staticmethod
+    def _minimal_point(
+        grid: Dict[str, List[int]],
+    ) -> Tuple[int, ...]:
+        """The most conservative assignment the grid contains.
+
+        Doubles as the reward-normalization reference and the
+        minimal-completion base of the feasibility prune (the Table-2
+        formulas are monotone in every factor).
+        """
+        return tuple(min(grid[name]) for name in FACTOR_ORDER)
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
@@ -172,6 +212,7 @@ class TileSeek:
         warm_start: Sequence[Sequence[int]] = (),
         budget: Optional[int] = None,
         allow_fallback: Optional[bool] = None,
+        scalar: Optional[bool] = None,
     ) -> TileSeekResult:
         """Find the best feasible outer tiling for one fused layer.
 
@@ -192,6 +233,10 @@ class TileSeek:
             allow_fallback: Whether the degradation ladder may supply
                 the result when the budgeted search yields nothing
                 better; ``None`` defers to ``REPRO_NO_FALLBACK``.
+            scalar: Force the scalar differential oracle (``True``) or
+                the batched path (``False``); ``None`` defers to
+                ``REPRO_SCALAR_EVAL`` (batched by default).  Both
+                return byte-identical results.
 
         Raises:
             InfeasiblePoint: When even the minimal configuration in
@@ -200,6 +245,33 @@ class TileSeek:
                 carries the buffer-level diagnosis.
             RuntimeError: When the result would be a fallback rung and
                 fallback is disabled.
+        """
+        if scalar is None:
+            scalar = env_bool("REPRO_SCALAR_EVAL", default=False)
+        if scalar:
+            return self.search_scalar(
+                workload, arch, warm_start=warm_start,
+                budget=budget, allow_fallback=allow_fallback,
+            )
+        return self._search_batched(
+            workload, arch, warm_start=warm_start,
+            budget=budget, allow_fallback=allow_fallback,
+        )
+
+    def search_scalar(
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        warm_start: Sequence[Sequence[int]] = (),
+        budget: Optional[int] = None,
+        allow_fallback: Optional[bool] = None,
+    ) -> TileSeekResult:
+        """The scalar evaluation path (the differential oracle).
+
+        One candidate at a time through :func:`assess_tiling` and the
+        per-candidate prune -- the original implementation, retained
+        verbatim so the batched path has a bit-for-bit reference.  See
+        :meth:`search` for the contract.
         """
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
@@ -214,7 +286,7 @@ class TileSeek:
         # The minimal (most conservative) assignment doubles as the
         # reward-normalization reference; seed the evaluation cache
         # with its assessment so it is never priced twice.
-        minimal = tuple(min(grid[name]) for name in FACTOR_ORDER)
+        minimal = self._minimal_point(grid)
         minimal_cfg = self._config_from(minimal, fixed)
         # If even the minimal tile overflows the buffer, monotonicity
         # says nothing in the grid fits: diagnose instead of
@@ -322,7 +394,10 @@ class TileSeek:
             anchor_p, min(grid["s"]),
         )
         winner_index = -1  # the MCTS incumbent
+        fresh = 0  # incumbents priced by a real evaluator call
         for index, candidate in enumerate((incumbent,) + warm):
+            if candidate not in cache:
+                fresh += 1
             candidate_reward = evaluate(candidate)
             if candidate_reward > best_reward:
                 best_assignment = candidate
@@ -353,7 +428,210 @@ class TileSeek:
             assessment=assessment,
             stats=MCTSStats(
                 iterations=stats.iterations,
-                evaluations=stats.evaluations + 1 + len(warm),
+                evaluations=stats.evaluations + fresh,
+                best_reward=best_reward,
+                best_assignment=best_assignment,
+                tree_nodes=stats.tree_nodes,
+                dead_ends=stats.dead_ends,
+                exhausted=stats.exhausted,
+            ),
+            provenance=provenance,
+        )
+
+    def _search_batched(
+        self,
+        workload: Workload,
+        arch: ArchitectureSpec,
+        warm_start: Sequence[Sequence[int]] = (),
+        budget: Optional[int] = None,
+        allow_fallback: Optional[bool] = None,
+    ) -> TileSeekResult:
+        """The batched evaluation path (the default).
+
+        Mirrors :meth:`search_scalar` decision for decision -- same
+        grid, RNG trajectory, budget charging, caching and provenance
+        -- but prices rollout frontiers, prune probes and the
+        incumbent pool through the vectorized evaluator.  Candidates
+        whose factors are too large for exact float64 conversion
+        (pathological warm starts) route through the scalar evaluator
+        row by row, keeping results bit-identical.
+        """
+        grid = self.candidate_grid(workload, arch)
+        fixed = self.fixed_factors(arch)
+        levels = [grid[name] for name in FACTOR_ORDER]
+        warm = self._validated_warm_starts(warm_start)
+        if allow_fallback is None:
+            from repro.resilience.budget import fallback_enabled
+
+            allow_fallback = fallback_enabled()
+        limit = resolve_budget(budget)
+        unit_budget = Budget(limit) if limit is not None else None
+        minimal = self._minimal_point(grid)
+        minimal_cfg = self._config_from(minimal, fixed)
+        # Lazy imports: same cycle constraints as the scalar path.
+        from repro.resilience.diagnostics import (
+            diagnose_infeasible_batch,
+        )
+
+        diagnosis = diagnose_infeasible_batch(
+            workload.model,
+            arch.buffer_words,
+            m0=fixed["m0"],
+            rows=fixed["rows"],
+            cfgs=[minimal_cfg],
+        )[0]
+        if diagnosis is not None:
+            from repro.runner.faults import InfeasiblePoint
+
+            raise InfeasiblePoint(
+                f"{workload.describe()} on {arch.name}",
+                diagnosis.as_dict(),
+            )
+        evaluator = BatchedTilingEvaluator(
+            workload,
+            arch,
+            m0=fixed["m0"],
+            rows=fixed["rows"],
+            reward_metric=self.reward_metric,
+        )
+        reference_assessment = evaluator.assessment_at(
+            evaluator.assess(evaluator.matrix_from([minimal])), 0
+        )
+        reference = reference_assessment.dram_words
+        cache: Dict[
+            Tuple[int, ...], Tuple[float, TilingAssessment]
+        ] = {
+            minimal: (
+                reward_for(
+                    reference_assessment, reference,
+                    self.reward_metric,
+                ),
+                reference_assessment,
+            )
+        }
+
+        def evaluate_batch(
+            assignments: Sequence[Tuple[int, ...]],
+        ) -> List[float]:
+            # One vectorized pricing pass over the batch's unique
+            # cache misses; equivalent to calling the scalar
+            # ``evaluate`` closure sequentially (duplicates within a
+            # batch hit the first occurrence's cached entry).
+            fresh = []
+            seen = set()
+            for assignment in assignments:
+                if assignment not in cache and assignment not in seen:
+                    seen.add(assignment)
+                    fresh.append(assignment)
+            exact = [a for a in fresh if exactly_priceable(a)]
+            # Tiny batches (a single rollout leaf once the root burst
+            # is spent) lose to per-ufunc dispatch overhead: price
+            # them scalar -- bit-identical either way.
+            if len(exact) >= VECTOR_PRICE_MIN:
+                batch = evaluator.assess(
+                    evaluator.matrix_from(exact)
+                )
+                for row, assignment in enumerate(exact):
+                    assessment = evaluator.assessment_at(batch, row)
+                    cache[assignment] = (
+                        reward_for(
+                            assessment, reference,
+                            self.reward_metric,
+                        ),
+                        assessment,
+                    )
+            for assignment in fresh:
+                if assignment in cache:
+                    continue
+                cfg = self._config_from(assignment, fixed)
+                assessment = assess_tiling(cfg, workload, arch)
+                cache[assignment] = (
+                    reward_for(
+                        assessment, reference, self.reward_metric
+                    ),
+                    assessment,
+                )
+            return [cache[a][0] for a in assignments]
+
+        # The minimal-completion prune, one vectorized call per
+        # unique prefix covering the whole candidate level (the
+        # scalar path prices the same completions one at a time).
+        grid_dtype = evaluator.words_dtype(
+            [max(grid[name]) for name in FACTOR_ORDER]
+        )
+        viable_cache: Dict[Tuple[int, ...], List[int]] = {}
+
+        def viable(
+            prefix: Tuple[int, ...], level: int
+        ) -> List[int]:
+            values = viable_cache.get(prefix)
+            if values is None:
+                values = evaluator.viable_values(
+                    prefix, levels[level], minimal,
+                    dtype=grid_dtype,
+                )
+                viable_cache[prefix] = values
+            return values
+
+        stats = mcts_search_batched(
+            levels,
+            evaluate_batch,
+            iterations=self.iterations,
+            seed=self.seed,
+            exploration=self.exploration,
+            viable=viable,
+            budget=unit_budget,
+        )
+        best_assignment = stats.best_assignment
+        best_reward = stats.best_reward
+        # Greedy incumbent pool (anchor line + warm starts), priced
+        # in one batch; the fold mirrors the scalar loop in order.
+        anchor_p = max(
+            viable((minimal[0], minimal[1], minimal[2]), 3),
+            default=minimal[3],
+        )
+        incumbent = (
+            minimal[0], minimal[1], minimal[2], anchor_p, minimal[4],
+        )
+        pool = (incumbent,) + warm
+        fresh = 0  # incumbents priced by a real evaluator call
+        seen = set()
+        for candidate in pool:
+            if candidate not in cache and candidate not in seen:
+                seen.add(candidate)
+                fresh += 1
+        pool_rewards = evaluate_batch(pool)
+        winner_index = -1  # the MCTS incumbent
+        for index, candidate in enumerate(pool):
+            candidate_reward = pool_rewards[index]
+            if candidate_reward > best_reward:
+                best_assignment = candidate
+                best_reward = candidate_reward
+                winner_index = index
+        if not stats.exhausted:
+            provenance = PROVENANCE_COMPLETE
+        elif winner_index < 0:
+            provenance = PROVENANCE_BUDGET_EXHAUSTED
+        else:
+            provenance = fallback_provenance(classify_rung(
+                winner_index,
+                n_warm=len(warm),
+                anchor_is_minimal=anchor_p == minimal[3],
+            ))
+            if not allow_fallback:
+                raise RuntimeError(
+                    f"search for {workload.describe()} on "
+                    f"{arch.name} degraded to {provenance} and "
+                    f"fallback is disabled (REPRO_NO_FALLBACK)"
+                )
+        assessment = cache[best_assignment][1]
+        config = self._config_from(best_assignment, fixed)
+        return TileSeekResult(
+            config=config,
+            assessment=assessment,
+            stats=MCTSStats(
+                iterations=stats.iterations,
+                evaluations=stats.evaluations + fresh,
                 best_reward=best_reward,
                 best_assignment=best_assignment,
                 tree_nodes=stats.tree_nodes,
@@ -400,7 +678,5 @@ class TileSeek:
         """
         if grid is None:
             grid = self.candidate_grid(workload, arch)
-        minimal = self._config_from(
-            tuple(min(grid[name]) for name in FACTOR_ORDER), fixed
-        )
+        minimal = self._config_from(self._minimal_point(grid), fixed)
         return assess_tiling(minimal, workload, arch).dram_words

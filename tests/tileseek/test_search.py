@@ -206,7 +206,7 @@ class TestSearchEfficiency:
         self, workload, cloud, monkeypatch
     ):
         """Rollouts revisit prefixes; each Table-2 completion check
-        must run at most once per unique prefix."""
+        must run at most once per unique prefix (scalar oracle)."""
         import repro.tileseek.search as search_module
 
         buffer_calls = [0]
@@ -236,7 +236,9 @@ class TestSearchEfficiency:
         monkeypatch.setattr(
             search_module, "mcts_search", wrapped_mcts
         )
-        TileSeek(iterations=300, seed=0).search(workload, cloud)
+        TileSeek(iterations=300, seed=0).search(
+            workload, cloud, scalar=True
+        )
         assert prune_calls[0] > 0
         # Strictly fewer buffer evaluations than prune invocations:
         # repeats were served from the memo.
@@ -246,7 +248,8 @@ class TestSearchEfficiency:
         self, workload, cloud, monkeypatch
     ):
         """The reference config and the winner are both priced
-        exactly once -- no duplicated assess_tiling work."""
+        exactly once -- no duplicated assess_tiling work (scalar
+        oracle)."""
         import repro.tileseek.search as search_module
 
         assessed = []
@@ -259,5 +262,109 @@ class TestSearchEfficiency:
         monkeypatch.setattr(
             search_module, "assess_tiling", recording_assess
         )
-        TileSeek(iterations=200, seed=1).search(workload, cloud)
+        TileSeek(iterations=200, seed=1).search(
+            workload, cloud, scalar=True
+        )
         assert len(assessed) == len(set(assessed))
+
+    def test_batched_prune_one_call_per_unique_prefix(
+        self, workload, cloud, monkeypatch
+    ):
+        """The batched path's viability oracle runs one vectorized
+        call per unique prefix -- repeats hit the memo."""
+        from repro.tileseek.batched import BatchedTilingEvaluator
+
+        calls = []
+        real_viable = BatchedTilingEvaluator.viable_values
+
+        def recording_viable(self, prefix, values, minima, **kw):
+            calls.append(tuple(prefix))
+            return real_viable(self, prefix, values, minima, **kw)
+
+        monkeypatch.setattr(
+            BatchedTilingEvaluator, "viable_values",
+            recording_viable,
+        )
+        TileSeek(iterations=300, seed=0).search(workload, cloud)
+        assert len(calls) > 0
+        assert len(calls) == len(set(calls))
+
+    def test_batched_assessment_count_matches_scalar(
+        self, workload, cloud, monkeypatch
+    ):
+        """The batched path prices exactly the configurations the
+        scalar oracle's cache misses price -- no duplicates, no
+        extras.  Fresh batches below ``VECTOR_PRICE_MIN`` route
+        through scalar ``assess_tiling``, so the batched run's total
+        is vectorized rows plus its own scalar fallbacks."""
+        import repro.tileseek.search as search_module
+        from repro.tileseek.batched import BatchedTilingEvaluator
+
+        scalar_assessed = []
+        real_assess = search_module.assess_tiling
+
+        def recording_assess(config, wl, arch):
+            scalar_assessed.append(config)
+            return real_assess(config, wl, arch)
+
+        monkeypatch.setattr(
+            search_module, "assess_tiling", recording_assess
+        )
+        TileSeek(iterations=200, seed=1).search(
+            workload, cloud, scalar=True
+        )
+        scalar_count = len(scalar_assessed)
+        assert scalar_count > 0
+
+        scalar_assessed.clear()
+        batched_rows = [0]
+        real_batch_assess = BatchedTilingEvaluator.assess
+
+        def recording_batch_assess(self, matrix):
+            batched_rows[0] += len(matrix)
+            return real_batch_assess(self, matrix)
+
+        monkeypatch.setattr(
+            BatchedTilingEvaluator, "assess",
+            recording_batch_assess,
+        )
+        TileSeek(iterations=200, seed=1).search(workload, cloud)
+        assert batched_rows[0] > 0
+        assert batched_rows[0] + len(scalar_assessed) == scalar_count
+
+
+class TestEvaluationCounting:
+    """Regression: ``MCTSStats.evaluations`` counts real evaluator
+    calls only -- incumbents served from the evaluation cache must
+    not inflate it (historically the incumbent/warm loop added
+    ``1 + len(warm)`` unconditionally)."""
+
+    @pytest.mark.parametrize("scalar", [True, False])
+    def test_cached_warm_start_adds_zero(
+        self, workload, cloud, scalar
+    ):
+        cold = TileSeek(iterations=100, seed=4).search(
+            workload, cloud, scalar=scalar
+        )
+        warm = TileSeek(iterations=100, seed=4).search(
+            workload, cloud,
+            warm_start=(cold.stats.best_assignment,),
+            scalar=scalar,
+        )
+        # The MCTS already priced its own best assignment, so the
+        # warm candidate is a cache hit: zero extra evaluations.
+        assert warm.stats.evaluations == cold.stats.evaluations
+
+    @pytest.mark.parametrize("scalar", [True, False])
+    def test_duplicate_warm_starts_counted_once(
+        self, workload, cloud, scalar
+    ):
+        fresh = (1, 16, 1, 64, 16)
+        once = TileSeek(iterations=100, seed=4).search(
+            workload, cloud, warm_start=(fresh,), scalar=scalar
+        )
+        twice = TileSeek(iterations=100, seed=4).search(
+            workload, cloud, warm_start=(fresh, fresh),
+            scalar=scalar,
+        )
+        assert twice.stats.evaluations == once.stats.evaluations
