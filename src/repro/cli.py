@@ -24,11 +24,22 @@ Commands
     Audit one grid point (served from the plan cache when possible)
     with the schedule / tiling / conservation / oracle auditors and
     optionally write the structured audit report as JSON.
+``plan``
+    Price one grid point through the serving protocol -- locally, or
+    against a running server with ``--remote host:port``.  With
+    ``--json`` the canonical response body is printed verbatim, so
+    local, remote and served answers are byte-comparable.
+``serve``
+    Run the planning service: stdlib-asyncio HTTP (``POST /v1``,
+    ``GET /stats``) or newline-delimited-JSON stdio (``--stdio``),
+    multiplexing requests onto a persistent worker pool behind a
+    coalescing code-salt-keyed LRU.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -274,6 +285,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for executor in args.executors
         for seq in args.seqs
     ]
+    if args.json:
+        # Canonical serving-protocol rendering: the same builders a
+        # running server uses, so this output is byte-comparable to
+        # a served sweep response (the differential tests rely on
+        # it).  Runs serially in-process; the fault-tolerance knobs
+        # (--timeout/--retries/--journal/--resume) do not apply.
+        from repro.runner.faults import SweepError
+        from repro.serve.protocol import (
+            ServeRequest,
+            canonical_body,
+            effective_budget,
+            error_response,
+            execute_request,
+        )
+
+        request = ServeRequest(
+            op="sweep",
+            points=tuple(points),
+            budget=effective_budget(args.budget, args.deadline),
+            no_fallback=args.no_fallback,
+            warm_start=args.warm_start,
+        )
+        try:
+            document = execute_request(request)
+        except (SweepError, RuntimeError) as error:
+            document = error_response(error, "sweep")
+        print(canonical_body(document))
+        return 0 if document.get("ok") else 1
     journal = args.journal or None
     if journal is None and args.resume:
         # --resume without --journal: the canonical per-grid journal
@@ -390,6 +429,142 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(f"OK: all {len(audit.checks)} checks passed")
         return 0
     return 1
+
+
+def _plan_request(args: argparse.Namespace):
+    """Build the admission-normalized ServeRequest for ``plan``."""
+    from repro.runner import GridPoint
+    from repro.serve.protocol import ServeRequest, effective_budget
+
+    point = GridPoint(
+        executor=args.executor, model=args.model, seq_len=args.seq,
+        arch=args.arch, batch=args.batch, causal=args.causal,
+    )
+    return ServeRequest(
+        op="plan",
+        points=(point,),
+        budget=effective_budget(args.budget, args.deadline),
+        no_fallback=args.no_fallback,
+        request_id=args.id or None,
+    )
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Price one point through the serving protocol."""
+    from repro.core.serialize import serve_request_to_dict
+    from repro.runner.faults import SweepError
+    from repro.serve.protocol import (
+        canonical_body,
+        error_response,
+        execute_request,
+    )
+
+    request = _plan_request(args)
+    if args.remote:
+        from repro.serve.client import parse_endpoint, remote_call
+
+        host, port = parse_endpoint(args.remote)
+        _, body = remote_call(
+            host, port, serve_request_to_dict(request)
+        )
+        document = json.loads(body)
+        if args.json:
+            print(body)
+        else:
+            _print_plan_summary(document)
+        return 0 if document.get("ok") else 1
+    try:
+        document = execute_request(request)
+    except (SweepError, RuntimeError) as error:
+        document = error_response(
+            error, "plan", request.request_id
+        )
+    if args.json:
+        print(canonical_body(document))
+    else:
+        _print_plan_summary(document)
+    return 0 if document.get("ok") else 1
+
+
+def _print_plan_summary(document) -> None:
+    """Human rendering of one plan response document."""
+    status = document.get("status", "error")
+    if status == "ok":
+        report = document["report"]
+        print(
+            f"plan ok: provenance={document['provenance']}"
+            + (
+                f" budget={document['budget']}"
+                if "budget" in document else ""
+            )
+        )
+        for key in sorted(report):
+            if isinstance(report[key], (int, float, str)):
+                print(f"  {key}: {report[key]}")
+    elif status == "infeasible":
+        print("plan infeasible:")
+        diagnosis = document.get("infeasible", {})
+        for key in sorted(diagnosis):
+            if isinstance(diagnosis[key], (int, float, str)):
+                print(f"  {key}: {diagnosis[key]}")
+    else:
+        error = document.get("error", {})
+        print(
+            f"plan error: {error.get('type', 'unknown')}: "
+            f"{error.get('message', '')}",
+            file=sys.stderr,
+        )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the planning service (HTTP, or stdio with ``--stdio``)."""
+    import asyncio
+
+    from repro.runner.cache import ENV_CACHE, ENV_CACHE_DIR
+    from repro.runner.parallel import resolve_jobs
+    from repro.runner.pool import make_pool
+    from repro.serve.app import ServeApp, resolve_lru_entries
+    from repro.serve.journal import ServeJournal
+    from repro.serve.lru import SaltedLRU
+    from repro.serve.transport import serve_http, serve_stdio
+    from repro.settings import env_int, raw_value
+
+    env = {}
+    if args.no_cache:
+        env[ENV_CACHE] = "0"
+    elif args.cache_dir:
+        env[ENV_CACHE_DIR] = args.cache_dir
+    jobs = args.jobs if args.jobs is not None else resolve_jobs()
+    pool = make_pool(jobs, env)
+    journal = (
+        ServeJournal(args.journal) if args.journal else None
+    )
+    app = ServeApp(
+        pool,
+        lru=SaltedLRU(resolve_lru_entries(args.lru)),
+        journal=journal,
+        pressure=args.pressure,
+        shed_budget=args.shed_budget,
+        timeout=args.timeout,
+    )
+    host = args.host or raw_value("REPRO_SERVE_HOST") or "127.0.0.1"
+    port = args.port
+    if port is None:
+        port = env_int("REPRO_SERVE_PORT", "a TCP port", minimum=0)
+    if port is None:
+        port = 8734
+    try:
+        if args.stdio:
+            asyncio.run(serve_stdio(app))
+        else:
+            asyncio.run(
+                serve_http(app, host, port, ready=sys.stderr)
+            )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.close()
+    return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -554,6 +729,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "advisory deadline mapped once to a deterministic "
+            "search-unit budget (tighter of this and --budget wins)"
+        ),
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help=(
+            "print the canonical serving-protocol sweep response "
+            "(byte-comparable to a served response; runs serially "
+            "in-process)"
+        ),
+    )
+    sweep.add_argument(
         "--keep-going", action="store_true",
         help=(
             "degrade gracefully: report per-point failures instead "
@@ -591,6 +781,119 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the audit report as JSON to this path",
     )
     validate.set_defaults(fn=cmd_validate)
+
+    plan = sub.add_parser(
+        "plan",
+        help=(
+            "price one point through the serving protocol "
+            "(locally or against a running server)"
+        ),
+    )
+    _add_workload_args(plan)
+    plan.add_argument(
+        "--executor", default="transfusion",
+        help="executor registry name",
+    )
+    plan.add_argument(
+        "--budget", type=_positive_int, default=None, metavar="N",
+        help="deterministic search-unit budget",
+    )
+    plan.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "advisory deadline mapped once to a deterministic "
+            "search-unit budget (tighter of this and --budget wins)"
+        ),
+    )
+    plan.add_argument(
+        "--no-fallback", action="store_true",
+        help="error instead of degrading on budget exhaustion",
+    )
+    plan.add_argument(
+        "--json", action="store_true",
+        help="print the canonical response body verbatim",
+    )
+    plan.add_argument(
+        "--remote", default="", metavar="HOST:PORT",
+        help="send the request to a running `repro serve` instead",
+    )
+    plan.add_argument(
+        "--id", default="", metavar="ID",
+        help="correlation id echoed in the response envelope",
+    )
+    plan.set_defaults(fn=cmd_plan)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the planning service (HTTP, or --stdio NDJSON)",
+    )
+    serve.add_argument(
+        "--host", default="",
+        help="bind host (default: REPRO_SERVE_HOST, else 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help=(
+            "bind port; 0 picks an ephemeral port "
+            "(default: REPRO_SERVE_PORT, else 8734)"
+        ),
+    )
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help=(
+            "serve newline-delimited JSON on stdin/stdout instead "
+            "of HTTP (deterministic harness mode)"
+        ),
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes (default: REPRO_JOBS, else 1); 0 "
+            "executes in-process on a single worker thread"
+        ),
+    )
+    serve.add_argument(
+        "--lru", type=int, default=None, metavar="N",
+        help=(
+            "response LRU capacity in entries "
+            "(default: REPRO_SERVE_LRU, else 256; 0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--pressure", type=int, default=None, metavar="N",
+        help=(
+            "in-flight searches at which load shedding starts "
+            "(default: REPRO_SERVE_PRESSURE, else 8; 0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--shed-budget", type=_positive_int, default=None,
+        metavar="N",
+        help=(
+            "degraded search-unit budget applied while shedding "
+            "(default: REPRO_SERVE_SHED_BUDGET, else 4096)"
+        ),
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock bound per worker-pool request "
+            "(default: REPRO_SERVE_TIMEOUT, else unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--journal", default="", metavar="PATH",
+        help="append one JSONL line per response to this file",
+    )
+    serve.add_argument(
+        "--cache-dir", default="", metavar="PATH",
+        help="persistent plan-cache root for the worker pool",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent plan cache in workers",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     figures = sub.add_parser(
         "figures", help="regenerate a paper figure's table"

@@ -200,15 +200,35 @@ _FAILURE_FIELDS = {
 #: Failure types whose ``point`` field round-trips as a GridPoint.
 _POINTED_FAILURES = ("PointFailure", "InfeasiblePoint")
 
+#: Message-only failure types (configuration / protocol errors):
+#: the concrete type survives the wire, the message is the payload.
+_MESSAGE_FAILURES = (
+    "SweepConfigError", "FaultSpecError", "ServeProtocolError",
+)
+
+
+def _message_failure_type(name: str) -> Any:
+    from repro.runner import faults
+
+    if name == "ServeProtocolError":
+        from repro.serve.protocol import ServeProtocolError
+
+        return ServeProtocolError
+    return getattr(faults, name)
+
 
 def failure_to_dict(failure: Any) -> Dict[str, Any]:
     """Flatten one :class:`~repro.runner.faults.SweepError` into
     JSON-safe primitives.
 
-    Typed failures round-trip field by field; anything else degrades
-    to a generic ``SweepError`` entry carrying its message.
+    Typed failures round-trip field by field; message-only types
+    (config/protocol errors) round-trip as type + message; anything
+    else degrades to a generic ``SweepError`` entry carrying its
+    message.
     """
     name = type(failure).__name__
+    if name in _MESSAGE_FAILURES:
+        return {"type": name, "message": str(failure)}
     fields = _FAILURE_FIELDS.get(name)
     if fields is None:
         return {"type": "SweepError", "message": str(failure)}
@@ -231,6 +251,10 @@ def failure_from_dict(document: Dict[str, Any]) -> Any:
     from repro.runner.parallel import GridPoint
 
     name = document["type"]
+    if name in _MESSAGE_FAILURES:
+        return _message_failure_type(name)(
+            document.get("message", "")
+        )
     fields = _FAILURE_FIELDS.get(name)
     if fields is None:
         return faults.SweepError(document.get("message", ""))
@@ -436,3 +460,52 @@ def tileseek_result_from_dict(
             "provenance", PROVENANCE_COMPLETE
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# Serving wire schemas (repro.serve)
+# ----------------------------------------------------------------------
+def canonical_json(document: Dict[str, Any]) -> str:
+    """The canonical wire rendering used by the serving layer.
+
+    Sorted keys, compact separators, ``repr``-rendered floats: the
+    same document always serializes to the same bytes, and a
+    ``loads``/``dumps`` round-trip is a fixed point -- which is what
+    lets the server stamp a correlation id into a cached body
+    without perturbing anything else.
+    """
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    )
+
+
+def point_to_dict(point: Any) -> Dict[str, Any]:
+    """One :class:`~repro.runner.parallel.GridPoint` in wire form."""
+    return dataclasses.asdict(point)
+
+
+def serve_request_to_dict(request: Any) -> Dict[str, Any]:
+    """A :class:`~repro.serve.protocol.ServeRequest` in wire form.
+
+    The inverse of :func:`repro.serve.protocol.parse_request` (up to
+    admission normalization: the budget here is the already-folded
+    effective budget, so the round-trip is stable).  Defaulted
+    fields are omitted, keeping wire documents minimal and their
+    fingerprint-relevant content explicit.
+    """
+    document: Dict[str, Any] = {"op": request.op}
+    if request.op == "sweep":
+        document["points"] = [
+            point_to_dict(point) for point in request.points
+        ]
+    elif request.points:
+        document["point"] = point_to_dict(request.points[0])
+    if request.budget is not None:
+        document["budget"] = request.budget
+    if request.no_fallback:
+        document["no_fallback"] = True
+    if request.warm_start:
+        document["warm_start"] = True
+    if request.request_id is not None:
+        document["id"] = request.request_id
+    return document

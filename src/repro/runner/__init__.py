@@ -18,6 +18,10 @@ fast, incremental and crash-safe:
 * :mod:`repro.runner.journal` -- a sweep journal checkpointing every
   completed point's cache key, so ``run_grid(..., resume=True)`` /
   ``sweep --resume`` skips finished work after a crash.
+* :mod:`repro.runner.pool` -- persistent, crash-respawning worker
+  pools (:class:`WorkerPool` / :class:`InlineWorkerPool`) factored
+  out for request serving (:mod:`repro.serve`), reusing the sweep
+  engine's worker initializer and wedged-worker kill discipline.
 
 Warm-start hooks in :meth:`repro.tileseek.search.TileSeek.search` are
 fed by :func:`run_grid`'s per-chain threading of best assignments
@@ -53,6 +57,11 @@ from repro.runner.journal import (
     default_journal_path,
     point_fingerprint,
 )
+from repro.runner.pool import (
+    InlineWorkerPool,
+    WorkerPool,
+    make_pool,
+)
 from repro.runner.parallel import (
     DEFAULT_BATCH,
     STATUS_FAILED,
@@ -82,6 +91,7 @@ __all__ = [
     "FaultSpecError",
     "GridPoint",
     "InfeasiblePoint",
+    "InlineWorkerPool",
     "PlanCache",
     "PointFailure",
     "SweepConfigError",
@@ -89,6 +99,7 @@ __all__ = [
     "SweepJournal",
     "SweepResult",
     "WorkerCrash",
+    "WorkerPool",
     "active_plan",
     "backoff_seconds",
     "cache_enabled",
@@ -96,6 +107,7 @@ __all__ = [
     "compute_report",
     "default_cache",
     "default_journal_path",
+    "make_pool",
     "parse_faults",
     "point_fingerprint",
     "report_cache_payload",

@@ -1,0 +1,72 @@
+"""Client for a running planning server (``plan --remote``).
+
+A deliberately thin wrapper over :mod:`http.client`: POST one JSON
+request, return the status code and the canonical body exactly as
+the server sent it.  The CLI prints the body verbatim, so a remote
+plan is byte-identical to what the serving tests compare against --
+the client never reserializes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.runner.faults import SweepConfigError
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (IPv6 in brackets) into ``(host, port)``."""
+    text = endpoint.strip()
+    if text.startswith("["):
+        host, _, rest = text[1:].partition("]")
+        port_text = rest.lstrip(":")
+    else:
+        host, _, port_text = text.rpartition(":")
+    if not host or not port_text:
+        raise SweepConfigError(
+            f"remote endpoint must be host:port, got {endpoint!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SweepConfigError(
+            f"remote endpoint port must be an integer, got "
+            f"{port_text!r}"
+        ) from None
+    if not 0 < port < 65536:
+        raise SweepConfigError(
+            f"remote endpoint port out of range: {port}"
+        )
+    return host, port
+
+
+def remote_call(
+    host: str,
+    port: int,
+    document: Mapping[str, Any],
+    timeout: Optional[float] = 60.0,
+) -> Tuple[int, str]:
+    """POST one request document; returns ``(status, body)``.
+
+    The body comes back exactly as sent by the server (structured
+    errors arrive with a non-200 status and an ``ok: false`` body,
+    not an exception).
+
+    Raises:
+        OSError: When the server is unreachable.
+    """
+    connection = http.client.HTTPConnection(
+        host, port, timeout=timeout
+    )
+    try:
+        connection.request(
+            "POST", "/v1",
+            body=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()

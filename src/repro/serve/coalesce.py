@@ -1,0 +1,68 @@
+"""Request coalescing: in-flight identical requests share one search.
+
+When N clients concurrently ask the same question (same fingerprint:
+points, budget, flags -- the correlation id is excluded), exactly one
+of them -- the *leader* -- runs the search; the rest -- *followers*
+-- await the leader's future and receive the very same body string.
+Byte-identity across the N responses is therefore structural, not a
+property to re-verify: there is only one body object.
+
+The coalescer is event-loop-confined (plain dict, no locks): all
+access happens on the server's single asyncio loop, and the leader's
+execution awaits in a worker pool, never blocking the loop between
+``admit`` and ``resolve``.
+
+Error bodies also resolve the flight -- a follower behind a crashed
+search receives the leader's structured error response rather than
+hanging -- but the *app* never caches error bodies, so a retry after
+the flight clears runs a fresh search.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple
+
+
+class Coalescer:
+    """The in-flight table mapping fingerprints to shared futures."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future[str]"] = {}
+        self.coalesced = 0
+        self.flights = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def admit(
+        self, fingerprint: str
+    ) -> Tuple[bool, "asyncio.Future[str]"]:
+        """Join or open the flight for ``fingerprint``.
+
+        Returns ``(leader, future)``.  The leader must eventually
+        call :meth:`resolve` (the future is shared; leaving it
+        unresolved would hang every follower).
+        """
+        future = self._inflight.get(fingerprint)
+        if future is not None:
+            self.coalesced += 1
+            return False, future
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[fingerprint] = future
+        self.flights += 1
+        return True, future
+
+    def resolve(self, fingerprint: str, body: str) -> None:
+        """Close the flight, delivering ``body`` to every follower."""
+        future = self._inflight.pop(fingerprint, None)
+        if future is not None and not future.done():
+            future.set_result(body)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the server's ``stats`` op."""
+        return {
+            "flights": self.flights,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+        }

@@ -1,0 +1,72 @@
+"""Append-only JSONL journal of served requests.
+
+One line per response, recording *how* the answer was produced --
+``search`` / ``lru`` / ``coalesced`` / ``error`` -- plus the request
+fingerprint, provenance, status and pool generation.  The journal is
+operational telemetry (CI uploads it as an artifact after the serve
+battery), never an input: response bytes are fully determined by the
+request, so journal timestamps do not threaten determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.runner.cache import code_salt
+
+#: Journal line schema version.
+JOURNAL_VERSION = 1
+
+
+class ServeJournal:
+    """A line-buffered JSONL journal at ``path``.
+
+    Args:
+        path: Journal file; parent directories are created.  Lines
+            are appended, so one journal can span server restarts.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._lines = 0
+
+    def record(
+        self,
+        op: str,
+        source: str,
+        fingerprint: Optional[str] = None,
+        status: Optional[str] = None,
+        provenance: Optional[str] = None,
+        generation: Optional[int] = None,
+        shed: bool = False,
+    ) -> None:
+        """Append one response line (flushed immediately)."""
+        self._lines += 1
+        entry: Dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "seq": self._lines,
+            "ts": time.time(),
+            "salt": code_salt(),
+            "op": op,
+            "source": source,
+        }
+        if fingerprint is not None:
+            entry["fingerprint"] = fingerprint
+        if status is not None:
+            entry["status"] = status
+        if provenance is not None:
+            entry["provenance"] = provenance
+        if generation is not None:
+            entry["generation"] = generation
+        if shed:
+            entry["shed"] = True
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(entry, sort_keys=True) + "\n"
+            )

@@ -1,0 +1,211 @@
+"""Serving transports: stdlib-asyncio HTTP and NDJSON stdio.
+
+Two ways to reach one :class:`~repro.serve.app.ServeApp`:
+
+* **HTTP** (:func:`start_http_server` / :func:`serve_http`): a
+  minimal HTTP/1.1 endpoint on :func:`asyncio.start_server` -- no
+  third-party framework.  ``POST /v1`` takes a JSON request body and
+  returns the canonical response body (``200`` when ``ok``, ``400``
+  for structured errors); ``GET /stats`` returns the live-counter
+  document; ``GET /healthz`` answers liveness probes.  One request
+  per connection (``Connection: close``) keeps the parser trivial
+  and the tests honest.
+* **stdio** (:func:`serve_stdio`): newline-delimited JSON -- one
+  request per input line, one canonical body per output line, in
+  input order.  This is the deterministic harness mode: no sockets,
+  no ports, byte-exact transcripts.
+
+Both transports only ever emit bodies produced by the shared
+protocol builders; the transport layer never invents or rewrites
+response content.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import sys
+from typing import Any, Optional, TextIO, Tuple
+
+from repro.serve.app import ServeApp
+
+#: Largest accepted HTTP request body (1 MiB keeps sweeps of
+#: thousands of points while bounding a misbehaving client).
+MAX_BODY_BYTES = 1 << 20
+
+_HTTP_PATHS = ("/v1", "/")
+
+
+def _http_response(
+    status: int, reason: str, body: str
+) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, bytes]:
+    """Parse one request: ``(method, path, body)``."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        raise ConnectionError("empty request")
+    parts = request_line.decode("ascii", "replace").split()
+    if len(parts) < 2:
+        raise ValueError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode(
+            "ascii", "replace"
+        ).partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                raise ValueError("malformed Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise ValueError(
+            f"request body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+async def _handle_connection(
+    app: ServeApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, body = await _read_request(reader)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except ValueError as error:
+            writer.write(_http_response(
+                400, "Bad Request",
+                json.dumps({"ok": False, "error": str(error)}),
+            ))
+            return
+        if method == "GET" and path == "/healthz":
+            writer.write(_http_response(
+                200, "OK", json.dumps({"ok": True})
+            ))
+        elif method == "GET" and path == "/stats":
+            response = await app.handle({"op": "stats"})
+            writer.write(_http_response(200, "OK", response))
+        elif method == "POST" and path in _HTTP_PATHS:
+            response = await app.handle(
+                body.decode("utf-8", "replace")
+            )
+            ok = json.loads(response).get("ok", False)
+            if ok:
+                writer.write(_http_response(200, "OK", response))
+            else:
+                writer.write(_http_response(
+                    400, "Bad Request", response
+                ))
+        else:
+            writer.write(_http_response(
+                404, "Not Found",
+                json.dumps({
+                    "ok": False,
+                    "error": f"no route {method} {path}",
+                }),
+            ))
+    finally:
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+
+async def start_http_server(
+    app: ServeApp, host: str, port: int
+) -> "asyncio.base_events.Server":
+    """Bind the HTTP transport; returns the listening server.
+
+    Pass ``port=0`` to bind an ephemeral port (tests); read the
+    bound address off ``server.sockets[0].getsockname()``.
+    """
+    return await asyncio.start_server(
+        lambda reader, writer: _handle_connection(
+            app, reader, writer
+        ),
+        host, port,
+    )
+
+
+async def serve_http(
+    app: ServeApp,
+    host: str,
+    port: int,
+    ready: Optional[TextIO] = None,
+) -> None:
+    """Run the HTTP transport until cancelled.
+
+    When ``ready`` is given, one ``SERVING <host> <port>`` line is
+    written (and flushed) after the socket binds -- the CI job and
+    the test battery block on it instead of sleeping.
+    """
+    server = await start_http_server(app, host, port)
+    bound = server.sockets[0].getsockname()
+    if ready is not None:
+        ready.write(f"SERVING {bound[0]} {bound[1]}\n")
+        ready.flush()
+    async with server:
+        await server.serve_forever()
+
+
+async def serve_stdio(
+    app: ServeApp,
+    stdin: Optional[Any] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """Serve newline-delimited JSON until EOF; returns lines served.
+
+    Responses are written in input order.  Blank lines are skipped;
+    a malformed line still yields one structured error body, so the
+    transcript stays line-aligned with the input.
+    """
+    if stdout is None:
+        stdout = sys.stdout
+    if stdin is None:
+        stdin = sys.stdin
+    served = 0
+    for line in _lines(stdin):
+        if not line.strip():
+            continue
+        body = await app.handle(line)
+        stdout.write(body + "\n")
+        stdout.flush()
+        served += 1
+    return served
+
+
+def _lines(stdin: Any):
+    if isinstance(stdin, io.TextIOBase) or hasattr(
+        stdin, "readline"
+    ):
+        while True:
+            line = stdin.readline()
+            if not line:
+                return
+            if isinstance(line, bytes):
+                line = line.decode("utf-8", "replace")
+            yield line
+    else:
+        for line in stdin:
+            yield line

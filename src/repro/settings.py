@@ -33,6 +33,24 @@ variable               meaning
 ``REPRO_SCALAR_EVAL``  force TileSeek's scalar evaluation oracle
                        (the batched NumPy path is the default)
 =====================  ================================================
+
+Serving knobs (``repro serve``; resolved in :mod:`repro.serve.app`
+and :mod:`repro.cli`):
+
+==========================  ===========================================
+variable                    meaning
+==========================  ===========================================
+``REPRO_SERVE_LRU``         response-body LRU capacity in entries
+                            (int >= 0; 0 disables; default 256)
+``REPRO_SERVE_PRESSURE``    in-flight searches at which load shedding
+                            starts (int >= 0; 0 disables; default 8)
+``REPRO_SERVE_SHED_BUDGET`` degraded search-unit budget applied while
+                            shedding (int >= 1; default 4096)
+``REPRO_SERVE_TIMEOUT``     wall-clock bound per worker-pool request
+                            in seconds (float; unset/<= 0 off)
+``REPRO_SERVE_HOST``        default bind host (default 127.0.0.1)
+``REPRO_SERVE_PORT``        default bind port (default 8734)
+==========================  ===========================================
 """
 
 from __future__ import annotations
@@ -60,6 +78,20 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     "REPRO_SCALAR_EVAL": (
         "bool", "force the scalar TileSeek evaluation oracle"
     ),
+    "REPRO_SERVE_LRU": (
+        "int", "serving response-body LRU capacity (entries)"
+    ),
+    "REPRO_SERVE_PRESSURE": (
+        "int", "in-flight searches that trigger load shedding"
+    ),
+    "REPRO_SERVE_SHED_BUDGET": (
+        "int", "degraded unit budget applied while shedding"
+    ),
+    "REPRO_SERVE_TIMEOUT": (
+        "float", "wall-clock bound per served request in seconds"
+    ),
+    "REPRO_SERVE_HOST": ("str", "default serve bind host"),
+    "REPRO_SERVE_PORT": ("int", "default serve bind port"),
 }
 
 

@@ -1,0 +1,197 @@
+"""Coalescing determinism: N identical in-flight requests, 1 search.
+
+The contract under test is structural byte-identity: concurrent
+identical requests share one leader's search and receive the very
+same canonical body, while distinct requests interleaved into the
+storm keep their own per-point determinism.  The underlying search
+count is proven twice over -- by the app's ``searches`` counter and
+by a monkeypatched chain-execution hook counting real engine calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+import repro.serve.app as app_module
+from repro.serve.app import ServeApp
+from repro.serve.coalesce import Coalescer
+from repro.serve.lru import SaltedLRU
+from repro.serve.protocol import execute_chain
+from repro.runner.pool import InlineWorkerPool
+from tests.serve.conftest import plan_request, run
+
+
+@pytest.fixture
+def counted_chains(monkeypatch):
+    """Count real chain executions reaching the sweep engine."""
+    calls = []
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return execute_chain(*args, **kwargs)
+
+    monkeypatch.setattr(
+        app_module, "execute_chain", counting
+    )
+    return calls
+
+
+def fresh_app():
+    return ServeApp(InlineWorkerPool(), pressure=0)
+
+
+def storm(app, documents):
+    """Serve all documents concurrently; returns bodies in order."""
+
+    async def fan_out():
+        return await asyncio.gather(*[
+            app.handle(json.dumps(document))
+            for document in documents
+        ])
+
+    return run(fan_out())
+
+
+class TestIdenticalStorm:
+    @pytest.mark.parametrize("n", [2, 8, 17])
+    def test_n_identical_requests_one_search(
+        self, n, counted_chains
+    ):
+        app = fresh_app()
+        try:
+            bodies = storm(app, [plan_request()] * n)
+        finally:
+            app.close()
+        assert len(bodies) == n
+        assert len(set(bodies)) == 1
+        assert json.loads(bodies[0])["ok"] is True
+        assert app.searches == 1
+        assert len(counted_chains) == 1
+        assert app.coalescer.coalesced == n - 1
+        assert app.coalescer.flights == 1
+
+    def test_storm_body_matches_a_cold_serve(self):
+        app = fresh_app()
+        try:
+            bodies = storm(app, [plan_request()] * 5)
+        finally:
+            app.close()
+        cold = fresh_app()
+        try:
+            cold_bodies = storm(cold, [plan_request()])
+        finally:
+            cold.close()
+        assert bodies[0] == cold_bodies[0]
+
+    def test_correlation_ids_do_not_split_the_flight(self):
+        """Different ids coalesce; each body carries its own id."""
+        app = fresh_app()
+        try:
+            bodies = storm(app, [
+                plan_request(id=f"client-{index}")
+                for index in range(6)
+            ])
+        finally:
+            app.close()
+        assert app.searches == 1
+        documents = [json.loads(body) for body in bodies]
+        assert [d["id"] for d in documents] == [
+            f"client-{index}" for index in range(6)
+        ]
+        stripped = set()
+        for document in documents:
+            document.pop("id")
+            stripped.add(json.dumps(document, sort_keys=True))
+        assert len(stripped) == 1
+
+
+class TestMixedStorm:
+    def test_mixed_storm_preserves_per_point_determinism(
+        self, counted_chains
+    ):
+        distinct = [
+            plan_request(),
+            plan_request(budget=32),
+            {
+                "op": "plan",
+                "point": dict(
+                    plan_request()["point"], seq_len=1024
+                ),
+                "budget": 64,
+            },
+        ]
+        copies = 4
+        interleaved = [
+            document
+            for _ in range(copies)
+            for document in distinct
+        ]
+        app = fresh_app()
+        try:
+            bodies = storm(app, interleaved)
+        finally:
+            app.close()
+        # One search per distinct request, regardless of copies.
+        assert app.searches == len(distinct)
+        assert len(counted_chains) == len(distinct)
+        # Per-point determinism: all copies of one request agree,
+        # and each agrees with a cold solo serve.
+        for index, document in enumerate(distinct):
+            copies_bodies = {
+                bodies[position]
+                for position in range(len(interleaved))
+                if position % len(distinct) == index
+            }
+            assert len(copies_bodies) == 1
+            cold = fresh_app()
+            try:
+                solo = storm(cold, [document])[0]
+            finally:
+                cold.close()
+            assert copies_bodies == {solo}
+        # Distinct requests produced distinct answers (budget and
+        # seq-len are part of the identity).
+        assert len(set(bodies)) == len(distinct)
+
+
+class TestCoalescerUnit:
+    def test_leader_then_followers(self):
+        async def scenario():
+            coalescer = Coalescer()
+            leader, flight = coalescer.admit("fp")
+            assert leader and len(coalescer) == 1
+            follower, same = coalescer.admit("fp")
+            assert not follower and same is flight
+            coalescer.resolve("fp", "body")
+            assert await same == "body"
+            assert len(coalescer) == 0
+            assert coalescer.stats() == {
+                "flights": 1, "coalesced": 1, "inflight": 0,
+            }
+
+        run(scenario())
+
+    def test_resolve_after_flight_cleared_is_a_noop(self):
+        async def scenario():
+            coalescer = Coalescer()
+            coalescer.resolve("never-admitted", "body")
+            assert len(coalescer) == 0
+
+        run(scenario())
+
+    def test_lru_and_coalescer_compose(self):
+        """After the flight resolves, repeats hit the LRU instead."""
+        app = ServeApp(
+            InlineWorkerPool(), lru=SaltedLRU(8), pressure=0,
+        )
+        try:
+            first = storm(app, [plan_request()] * 3)
+            again = storm(app, [plan_request()] * 3)
+        finally:
+            app.close()
+        assert set(first) == set(again)
+        assert app.searches == 1
+        assert app.lru.hits == 3

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.model",
     "repro.reference",
     "repro.runner",
+    "repro.serve",
     "repro.sim",
     "repro.tileseek",
 ]
@@ -46,6 +47,14 @@ MODULES = [
     "repro.experiments.sensitivity",
     "repro.runner.cache",
     "repro.runner.parallel",
+    "repro.runner.pool",
+    "repro.serve.app",
+    "repro.serve.client",
+    "repro.serve.coalesce",
+    "repro.serve.journal",
+    "repro.serve.lru",
+    "repro.serve.protocol",
+    "repro.serve.transport",
     "repro.tileseek.baseline_search",
 ]
 
