@@ -24,9 +24,15 @@ Commands
     Audit one grid point (served from the plan cache when possible)
     with the schedule / tiling / conservation / oracle auditors and
     optionally write the structured audit report as JSON.
+``fleet``
+    Run K supervised ``serve`` replicas over one shared plan cache:
+    health probes, crash/wedge detection, seeded-backoff restarts on
+    sticky ports.
 ``plan``
-    Price one grid point through the serving protocol -- locally, or
-    against a running server with ``--remote host:port``.  With
+    Price one grid point through the serving protocol -- locally,
+    against a running server with ``--remote host:port``, or against
+    a replica fleet with ``--fleet host:port,...`` (consistent-hash
+    routing with typed failover retries).  With
     ``--json`` the canonical response body is printed verbatim, so
     local, remote and served answers are byte-comparable.
 ``serve``
@@ -41,6 +47,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.arch.pe import PEArrayKind
@@ -460,14 +467,48 @@ def cmd_plan(args: argparse.Namespace) -> int:
     )
 
     request = _plan_request(args)
+    if args.fleet:
+        from repro.serve.client import fleet_call
+        from repro.serve.router import parse_fleet
+
+        try:
+            _, body, _ = fleet_call(
+                parse_fleet(args.fleet),
+                serve_request_to_dict(request),
+            )
+            document = json.loads(body)
+        except SweepError as error:
+            document = error_response(
+                error, "plan", request.request_id
+            )
+            body = canonical_body(document)
+        if args.json:
+            print(body)
+        else:
+            _print_plan_summary(document)
+        return 0 if document.get("ok") else 1
     if args.remote:
+        from repro.runner.faults import ReplicaUnreachable
         from repro.serve.client import parse_endpoint, remote_call
 
         host, port = parse_endpoint(args.remote)
-        _, body = remote_call(
-            host, port, serve_request_to_dict(request)
-        )
-        document = json.loads(body)
+        try:
+            _, body = remote_call(
+                host, port, serve_request_to_dict(request)
+            )
+            document = json.loads(body)
+        except OSError as error:
+            # A dead or wedged server is a typed, printable error,
+            # never a traceback -- same envelope the server itself
+            # would send.
+            document = error_response(
+                ReplicaUnreachable(
+                    args.remote, 0,
+                    f"{type(error).__name__}: {error}",
+                ),
+                "plan", request.request_id,
+            )
+            body = canonical_body(document)
         if args.json:
             print(body)
         else:
@@ -509,9 +550,16 @@ def _print_plan_summary(document) -> None:
                 print(f"  {key}: {diagnosis[key]}")
     else:
         error = document.get("error", {})
+        # Typed failures carry their evidence field-by-field, not a
+        # "message"; render whichever shape arrived.
+        detail = error.get("message") or ", ".join(
+            f"{key}={error[key]}"
+            for key in sorted(error)
+            if key != "type"
+        )
         print(
-            f"plan error: {error.get('type', 'unknown')}: "
-            f"{error.get('message', '')}",
+            f"plan error: {error.get('type', 'unknown')}"
+            + (f": {detail}" if detail else ""),
             file=sys.stderr,
         )
 
@@ -553,6 +601,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port = env_int("REPRO_SERVE_PORT", "a TCP port", minimum=0)
     if port is None:
         port = 8734
+    # Deterministic replica-slow injection: delay *before* binding,
+    # so the supervisor's ready-line timeout sees a genuinely slow
+    # start (REPRO_FAULTS=replica-slow:...).
+    from repro.runner.faults import replica_slow_start_seconds
+
+    slow = replica_slow_start_seconds()
+    if slow > 0:
+        time.sleep(slow)
     try:
         if args.stdio:
             asyncio.run(serve_stdio(app))
@@ -565,6 +621,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         app.close()
     return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run K supervised serve replicas over one shared cache."""
+    from repro.runner.faults import SweepError
+    from repro.serve.fleet import FleetSupervisor
+
+    try:
+        supervisor = FleetSupervisor(
+            replicas=args.replicas,
+            host=args.host or "127.0.0.1",
+            cache_dir=args.cache_dir,
+            journal_dir=args.journal_dir,
+            jobs=args.jobs,
+            probe_interval=args.probe_interval,
+            probe_timeout=args.probe_timeout,
+            max_restarts=args.max_restarts,
+            backoff=args.backoff,
+        )
+        return supervisor.run(ready=sys.stderr)
+    except SweepError as error:
+        print(
+            f"fleet error: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 1
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -818,6 +900,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="send the request to a running `repro serve` instead",
     )
     plan.add_argument(
+        "--fleet", default="", metavar="HOST:PORT,HOST:PORT",
+        help=(
+            "send the request to a replica fleet with "
+            "consistent-hash failover (see `repro fleet`)"
+        ),
+    )
+    plan.add_argument(
         "--id", default="", metavar="ID",
         help="correlation id echoed in the response envelope",
     )
@@ -894,6 +983,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent plan cache in workers",
     )
     serve.set_defaults(fn=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "run K supervised serve replicas over one shared "
+            "cache with crash/wedge restarts"
+        ),
+    )
+    fleet.add_argument(
+        "--replicas", type=int, default=None, metavar="K",
+        help=(
+            "replica count "
+            "(default: REPRO_FLEET_REPLICAS, else 3)"
+        ),
+    )
+    fleet.add_argument(
+        "--host", default="",
+        help="bind host for every replica (default: 127.0.0.1)",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per replica (0 = in-process)",
+    )
+    fleet.add_argument(
+        "--cache-dir", default="", metavar="PATH",
+        help="shared persistent plan-cache root for all replicas",
+    )
+    fleet.add_argument(
+        "--journal-dir", default="", metavar="PATH",
+        help=(
+            "directory for the supervisor journal plus "
+            "per-replica serve journals and stderr logs"
+        ),
+    )
+    fleet.add_argument(
+        "--probe-interval", type=float, default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds between health probes "
+            "(default: REPRO_FLEET_PROBE_INTERVAL, else 1)"
+        ),
+    )
+    fleet.add_argument(
+        "--probe-timeout", type=float, default=None,
+        metavar="SECONDS",
+        help=(
+            "per-probe deadline; an unanswered probe counts "
+            "toward wedge detection "
+            "(default: REPRO_FLEET_PROBE_TIMEOUT, else 5)"
+        ),
+    )
+    fleet.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help=(
+            "restarts per replica before it is abandoned "
+            "(default: REPRO_FLEET_MAX_RESTARTS, else 5)"
+        ),
+    )
+    fleet.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help=(
+            "base for the seeded exponential restart backoff "
+            "(default: REPRO_FLEET_BACKOFF, else 0.05)"
+        ),
+    )
+    fleet.set_defaults(fn=cmd_fleet)
 
     figures = sub.add_parser(
         "figures", help="regenerate a paper figure's table"

@@ -194,6 +194,9 @@ _FAILURE_FIELDS = {
     "ChainTimeout": ("chain_index", "seconds", "attempt"),
     "WorkerCrash": ("chain_index", "attempt", "detail"),
     "CacheCorruption": ("path", "detail"),
+    "JournalTruncation": ("path", "detail"),
+    "ReplicaUnreachable": ("endpoint", "attempt", "detail"),
+    "FleetUnavailable": ("attempts",),
     "InfeasiblePoint": ("subject", "diagnosis", "point"),
 }
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
 import json
 import os
 import warnings
@@ -51,6 +52,12 @@ ENV_CACHE = "REPRO_CACHE"
 
 #: Subdirectory (under the cache root) holding quarantined entries.
 QUARANTINE_DIR = "quarantine"
+
+#: Monotonic per-process counter making quarantine filenames unique:
+#: two quarantines of the same entry name (same process or -- via the
+#: pid component -- concurrent replicas) never collide or clobber
+#: each other's evidence.
+_quarantine_counter = itertools.count()
 
 #: Bump to invalidate every cache entry across a format change.
 CACHE_SCHEMA = "1"
@@ -185,19 +192,37 @@ class PlanCache:
     def quarantine(self, path: Path, error: Exception) -> None:
         """Move a corrupted entry aside and surface a warning.
 
-        The bad file is preserved under ``<root>/quarantine/<name>``
-        for post-mortem inspection (falling back to deletion if the
-        move itself fails), and a
+        The bad file is preserved under ``<root>/quarantine/`` for
+        post-mortem inspection (falling back to deletion if the move
+        itself fails), and a
         :class:`~repro.runner.faults.CacheCorruption` warning names
         both the entry and the parse error -- silent data loss is
         how cost-model bugs hide.
+
+        Quarantine filenames are ``<entry>.<pid>.<n>`` -- unique per
+        (process, call) -- so two replicas racing on the same corrupt
+        entry, or the same entry corrupted and quarantined twice,
+        never clobber earlier evidence.  The loser of a race finds
+        the entry already gone (the winner moved it) and reports
+        that, rather than deleting or overwriting anything.
         """
         detail = f"{type(error).__name__}: {error}"
-        destination = self.root / QUARANTINE_DIR / path.name
+        destination = self.root / QUARANTINE_DIR / (
+            f"{path.stem}.{os.getpid()}."
+            f"{next(_quarantine_counter)}{path.suffix}"
+        )
         try:
             destination.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, destination)
             detail = f"{detail} (quarantined to {destination})"
+        except FileNotFoundError:
+            # A concurrent reader already quarantined (or a writer
+            # already replaced) this entry; its evidence is safe
+            # elsewhere and there is nothing left to move.
+            detail = (
+                f"{detail} (already quarantined by a concurrent "
+                f"process)"
+            )
         except OSError:
             try:
                 path.unlink()

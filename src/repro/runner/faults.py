@@ -32,7 +32,9 @@ module provides the two halves of that story:
       spec    := rule (";" rule)*
       rule    := kind [":" field "=" value ("," field "=" value)*]
       kind    := "crash" | "hang" | "exit"
-      field   := "chain" | "point" | "attempt" | "seconds"
+               | "replica-kill" | "replica-hang" | "replica-slow"
+      field   := "chain" | "point" | "attempt" | "request"
+               | "replica" | "seconds"
 
   ``chain`` matches the chain index (grouping order of
   :func:`repro.runner.parallel._chains`), ``point`` the global point
@@ -54,6 +56,25 @@ module provides the two halves of that story:
     ``BrokenProcessPool`` path; serially it raises
     :class:`InjectedWorkerExit`, which the engine maps to
     :class:`WorkerCrash` so serial and parallel recover identically.
+
+  **Replica-level kinds** (fleet serving, :mod:`repro.serve.fleet`)
+  fire at *server* sites, not point boundaries: ``request`` matches
+  the replica's 0-based served-request count and ``replica`` the
+  replica index the supervisor assigns via ``REPRO_FLEET_INDEX``
+  (a rule naming ``replica=`` never fires in a process without an
+  index).  The chain-runner sites never fire replica rules and the
+  server sites never fire chain rules -- the two vocabularies are
+  disjoint by construction (:meth:`FaultPlan.fire` vs
+  :meth:`FaultPlan.fire_replica`):
+
+  - ``replica-kill`` kills the whole replica process with
+    ``os._exit`` as the matching request arrives -- the mid-storm
+    crash the fleet battery recovers from.
+  - ``replica-hang`` wedges the replica: the event loop sleeps
+    ``seconds`` before answering, so health probes and client
+    deadlines trip while the process stays alive.
+  - ``replica-slow`` delays replica *startup* by ``seconds`` before
+    the socket binds (slow-start detection in the supervisor).
 
 Retry backoff is deterministic: ``backoff_seconds`` derives a jitter
 factor from a SHA-256 over (key, attempt), so reruns sleep the same
@@ -266,6 +287,88 @@ class CacheCorruption(SweepError, Warning):
         return (CacheCorruption, (self.path, self.detail))
 
 
+class JournalTruncation(SweepError, Warning):
+    """A JSONL journal ended in a torn (unparseable) trailing line.
+
+    A replica killed mid-append loses at most the line it was
+    writing; loaders skip the torn tail and surface this warning
+    instead of raising -- the journal before the tear is intact and
+    still trustworthy (every complete line was flushed and fsynced
+    at write time).
+    """
+
+    def __init__(self, path: Any, detail: str) -> None:
+        super().__init__(
+            f"journal {path} has a truncated trailing line "
+            f"(skipped): {detail}"
+        )
+        self.path = path
+        self.detail = detail
+
+    def __reduce__(self):
+        return (JournalTruncation, (self.path, self.detail))
+
+
+class ReplicaUnreachable(SweepError):
+    """One fleet replica did not produce a response.
+
+    Covers a refused connection (dead port), a per-attempt deadline
+    expiring against a wedged replica, and a connection dropped
+    mid-response (replica killed while writing) -- every network-ish
+    way a single attempt can fail without a structured body.
+
+    Args:
+        endpoint: The ``host:port`` that failed.
+        attempt: 0-based failover attempt index.
+        detail: The underlying ``OSError``-family message.
+    """
+
+    def __init__(
+        self, endpoint: str, attempt: int, detail: str
+    ) -> None:
+        super().__init__(
+            f"replica {endpoint} unreachable on attempt {attempt}: "
+            f"{detail}"
+        )
+        self.endpoint = endpoint
+        self.attempt = attempt
+        self.detail = detail
+
+    def __reduce__(self):
+        return (
+            ReplicaUnreachable,
+            (self.endpoint, self.attempt, self.detail),
+        )
+
+
+class FleetUnavailable(SweepError):
+    """Every failover attempt against a fleet failed.
+
+    Carries the per-attempt evidence so a client can report exactly
+    which replicas were tried and how each one failed.
+
+    Args:
+        attempts: ``(endpoint, detail)`` pairs in the order tried.
+    """
+
+    def __init__(self, attempts: Any) -> None:
+        attempts = tuple(
+            (str(endpoint), str(detail))
+            for endpoint, detail in attempts
+        )
+        described = "; ".join(
+            f"{endpoint}: {detail}" for endpoint, detail in attempts
+        )
+        super().__init__(
+            f"no fleet replica answered after {len(attempts)} "
+            f"attempt(s) ({described})"
+        )
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (FleetUnavailable, (self.attempts,))
+
+
 # ----------------------------------------------------------------------
 # Injected-fault exception types
 # ----------------------------------------------------------------------
@@ -288,8 +391,18 @@ class InjectedWorkerExit(InjectedFault):
 # ----------------------------------------------------------------------
 # Fault spec parsing
 # ----------------------------------------------------------------------
-_FAULT_KINDS = ("crash", "hang", "exit")
-_MATCH_FIELDS = ("chain", "point", "attempt")
+#: Chain-site kinds, consulted by the sweep engine's point
+#: boundaries via :meth:`FaultPlan.fire`.
+_CHAIN_KINDS = ("crash", "hang", "exit")
+
+#: Replica-site kinds, consulted by the serving layer via
+#: :meth:`FaultPlan.fire_replica` (and ``replica-slow`` at server
+#: startup).  Disjoint from the chain kinds so one spec can arm both
+#: vocabularies without either masking the other.
+_REPLICA_KINDS = ("replica-kill", "replica-hang", "replica-slow")
+
+_FAULT_KINDS = _CHAIN_KINDS + _REPLICA_KINDS
+_MATCH_FIELDS = ("chain", "point", "attempt", "request", "replica")
 
 
 @dataclass(frozen=True)
@@ -340,8 +453,23 @@ class FaultPlan:
                 return rule
         return None
 
+    def _matching_kind(
+        self, kinds: Tuple[str, ...], context: Mapping[str, int]
+    ) -> Optional[FaultRule]:
+        """The first rule of one kind family firing at ``context``.
+
+        Chain sites only consult chain kinds and replica sites only
+        replica kinds, so arming ``replica-kill`` in a spec never
+        shadows a later ``crash`` rule at a point boundary (and vice
+        versa).
+        """
+        for rule in self.rules:
+            if rule.kind in kinds and rule.matches(context):
+                return rule
+        return None
+
     def fire(self, serial: bool, **context: int) -> None:
-        """Raise (or exit) if any rule matches the current site.
+        """Raise (or exit) if any chain rule matches the current site.
 
         Args:
             serial: Whether we are in the parent process (serial
@@ -352,7 +480,7 @@ class FaultPlan:
                 path has no external timeout to trip).
             context: The site: ``chain``, ``point``, ``attempt``.
         """
-        rule = self.matching(**context)
+        rule = self._matching_kind(_CHAIN_KINDS, context)
         if rule is None:
             return
         site = ", ".join(
@@ -370,6 +498,28 @@ class FaultPlan:
                     f"injected worker exit at {site}"
                 )
             os._exit(13)
+
+    def fire_replica(self, **context: int) -> None:
+        """Apply any replica rule matching the current server site.
+
+        Consulted by :meth:`repro.serve.app.ServeApp.handle` with
+        ``request`` (0-based served-request count) and -- when the
+        supervisor exported ``REPRO_FLEET_INDEX`` -- ``replica``.
+
+        ``replica-kill`` exits the whole process (exit code 23, the
+        fleet battery's marker); ``replica-hang`` sleeps ``seconds``
+        on the event-loop thread, wedging every in-flight connection
+        so probes and client deadlines trip; ``replica-slow`` is a
+        startup fault and is ignored at request sites (see
+        :func:`replica_slow_start_seconds`).
+        """
+        rule = self._matching_kind(_REPLICA_KINDS, context)
+        if rule is None or rule.kind == "replica-slow":
+            return
+        if rule.kind == "replica-hang":
+            time.sleep(rule.seconds)
+            return
+        os._exit(23)
 
 
 def parse_faults(spec: str) -> FaultPlan:
@@ -438,6 +588,45 @@ def active_plan() -> FaultPlan:
     """
     spec = os.environ.get(ENV_FAULTS, "").strip()
     return parse_faults(spec) if spec else FaultPlan()
+
+
+# ----------------------------------------------------------------------
+# Replica-site helpers (fleet serving)
+# ----------------------------------------------------------------------
+ENV_FLEET_INDEX = "REPRO_FLEET_INDEX"
+
+
+def replica_context(request: int) -> Dict[str, int]:
+    """The replica-site matcher context for one served request.
+
+    ``replica`` is only present when the supervisor exported
+    ``REPRO_FLEET_INDEX``, so a rule pinned to a replica index can
+    never fire in a standalone (un-supervised) server.
+    """
+    from repro.settings import env_int
+
+    context = {"request": request}
+    index = env_int(ENV_FLEET_INDEX, "a replica index", minimum=0)
+    if index is not None:
+        context["replica"] = index
+    return context
+
+
+def replica_slow_start_seconds() -> float:
+    """How long an armed ``replica-slow`` rule delays server startup.
+
+    Consulted once by ``repro serve`` before binding the socket;
+    returns 0 when no ``replica-slow`` rule matches this process's
+    replica context (request count 0 -- startup happens before any
+    request is served).
+    """
+    plan = active_plan()
+    if not plan:
+        return 0.0
+    rule = plan._matching_kind(
+        ("replica-slow",), replica_context(0)
+    )
+    return rule.seconds if rule is not None else 0.0
 
 
 # ----------------------------------------------------------------------

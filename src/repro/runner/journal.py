@@ -29,9 +29,13 @@ not be enough -- old-salt cache entries are never evicted, so a
 stale journaled key would still *hit* the stale entry.  The salt
 check makes an edited source tree recompute instead.)
 
-Appends are line-buffered single ``write`` calls of complete lines,
-so a journal truncated by a crash loses at most its torn final line
-(which :meth:`SweepJournal.load` skips).
+Appends are single ``write`` calls of complete lines, flushed and
+``fsync``-ed before the file is closed, so a journal truncated by a
+crash (or a killed replica) loses at most its torn final line --
+which the loaders skip with a
+:class:`~repro.runner.faults.JournalTruncation` warning instead of
+raising (see :func:`append_line` / :func:`warn_truncation`, shared
+with the serve journal).
 """
 
 from __future__ import annotations
@@ -39,10 +43,76 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.runner.cache import PlanCache, code_salt, stable_hash
+from repro.runner.faults import JournalTruncation
+
+
+def append_line(path: Union[str, os.PathLike], line: str) -> None:
+    """Append one complete journal line durably.
+
+    One ``write`` of the full line, then ``flush`` + ``os.fsync``
+    before close: a process killed at any instant leaves either the
+    whole line on disk or (at worst) one torn tail the loaders skip
+    -- never a buffered line that silently evaporated with the
+    process.  Parent directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line if line.endswith("\n") else line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def warn_truncation(path: Any, detail: str) -> None:
+    """Surface a skipped torn trailing line as a warning.
+
+    Under error warning filters (``python -W error``, pytest
+    ``filterwarnings = error``) ``warn()`` raises the instance
+    itself; a torn tail must stay recoverable -- the journal before
+    it is intact -- so the escalation is swallowed, mirroring the
+    cache-quarantine discipline.
+    """
+    try:
+        warnings.warn(
+            JournalTruncation(path, detail), stacklevel=3
+        )
+    except JournalTruncation:
+        pass
+
+
+def tolerant_lines(path: Union[str, os.PathLike]):
+    """Parse a JSONL journal, skipping what a crash could tear.
+
+    Yields every well-formed JSON-object line.  A final line that
+    does not parse is a torn append from a killed writer: it is
+    skipped with a :class:`JournalTruncation` warning.  Malformed
+    lines elsewhere are skipped silently (the historical behavior --
+    they are schema noise, not crash evidence).  A missing file
+    yields nothing.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return
+    lines = text.splitlines()
+    for position, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as error:
+            if position == len(lines) - 1:
+                warn_truncation(path, str(error))
+            continue
+        if isinstance(entry, dict):
+            yield entry
 
 #: Journal schema version; bump on incompatible line-format changes.
 JOURNAL_VERSION = 1
@@ -89,9 +159,7 @@ class SweepJournal:
             "key": key,
             "point": dataclasses.asdict(point),
         }, sort_keys=True)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
+        append_line(self.path, line)
 
     def record_infeasible(
         self, point: Any, diagnosis: Dict[str, Any],
@@ -113,34 +181,21 @@ class SweepJournal:
             "infeasible": diagnosis,
             "point": dataclasses.asdict(point),
         }, sort_keys=True)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
+        append_line(self.path, line)
 
     def _entries(self) -> Sequence[Dict[str, Any]]:
-        """Well-formed current-version, current-salt journal lines."""
-        try:
-            text = self.path.read_text()
-        except (FileNotFoundError, OSError):
-            return []
+        """Well-formed current-version, current-salt journal lines.
+
+        A torn trailing line (a writer killed mid-append) is skipped
+        with a :class:`~repro.runner.faults.JournalTruncation`
+        warning; everything before it is intact and loads normally.
+        """
         salt = code_salt()
-        entries = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue
-            if not isinstance(entry, dict):
-                continue
-            if entry.get("v") != JOURNAL_VERSION:
-                continue
-            if entry.get("salt") != salt:
-                continue
-            entries.append(entry)
-        return entries
+        return [
+            entry for entry in tolerant_lines(self.path)
+            if entry.get("v") == JOURNAL_VERSION
+            and entry.get("salt") == salt
+        ]
 
     def load(self) -> Dict[str, str]:
         """``{fingerprint: cache key}`` for every journaled point.

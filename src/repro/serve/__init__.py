@@ -19,7 +19,22 @@ first:
   execution + rendering helpers *shared with the CLI*, which is what
   makes served plans byte-identical to cold CLI plans.
 * :mod:`repro.serve.journal` -- the append-only JSONL response
-  journal CI uploads as an artifact.
+  journal CI uploads as an artifact (fsynced per line, so a killed
+  replica's journal replays cleanly).
+
+Fleet mode stacks three more pieces on top (``repro fleet``,
+``plan --fleet``):
+
+* :mod:`repro.serve.fleet` -- :class:`FleetSupervisor`: K replica
+  subprocesses over one shared plan cache, health-probed, restarted
+  with seeded backoff on crash or wedge.
+* :mod:`repro.serve.router` -- rendezvous-hash routing of request
+  fingerprints to replicas, so PR 7 coalescing keeps concentrating
+  per-point across the whole fleet.
+* :func:`repro.serve.client.fleet_call` -- the failover client:
+  walks the fingerprint's deterministic preference order with
+  per-attempt deadlines; typed
+  :class:`~repro.runner.faults.FleetUnavailable` when all fail.
 
 Execution happens on the reusable pools of
 :mod:`repro.runner.pool`; everything a response contains --
@@ -28,7 +43,9 @@ reuses the PR 3-6 primitives unchanged.
 """
 
 from repro.serve.app import ServeApp
+from repro.serve.client import fleet_call, remote_call
 from repro.serve.coalesce import Coalescer
+from repro.serve.fleet import FleetSupervisor, ReplicaProcess
 from repro.serve.journal import ServeJournal
 from repro.serve.lru import SaltedLRU
 from repro.serve.protocol import (
@@ -43,6 +60,11 @@ from repro.serve.protocol import (
     parse_request,
     request_fingerprint,
 )
+from repro.serve.router import (
+    parse_fleet,
+    preference_order,
+    route,
+)
 from repro.serve.transport import (
     serve_http,
     serve_stdio,
@@ -52,6 +74,8 @@ from repro.serve.transport import (
 __all__ = [
     "PROTOCOL_VERSION",
     "Coalescer",
+    "FleetSupervisor",
+    "ReplicaProcess",
     "SaltedLRU",
     "ServeApp",
     "ServeJournal",
@@ -62,8 +86,13 @@ __all__ = [
     "effective_budget",
     "error_response",
     "execute_request",
+    "fleet_call",
+    "parse_fleet",
     "parse_request",
+    "preference_order",
+    "remote_call",
     "request_fingerprint",
+    "route",
     "serve_http",
     "serve_stdio",
     "start_http_server",

@@ -59,6 +59,8 @@ from repro.runner.faults import (
     PointFailure,
     SweepError,
     WorkerCrash,
+    active_plan,
+    replica_context,
 )
 from repro.serve.coalesce import Coalescer
 from repro.serve.journal import ServeJournal
@@ -195,7 +197,15 @@ class ServeApp:
         Every failure mode -- malformed JSON, schema violations,
         worker crashes, timeouts -- produces a structured error
         body; this coroutine never raises for request-shaped input.
+
+        Replica-level fault rules (``replica-kill`` /
+        ``replica-hang``) are consulted here, at the request
+        boundary, against the 0-based served-request count -- the
+        deterministic clock the fleet battery kills a replica on.
         """
+        plan = active_plan()
+        if plan:
+            plan.fire_replica(**replica_context(self.requests))
         self.requests += 1
         try:
             if isinstance(document, (str, bytes)):
@@ -462,6 +472,29 @@ class ServeApp:
         if request is not None and request.request_id is not None:
             document["id"] = request.request_id
         return document
+
+    def health_response(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` document -- the supervisor's probe
+        payload.
+
+        Liveness plus the vitals the fleet supervisor records with
+        every probe: pool generation (how many times workers were
+        respawned), in-flight search count, and the LRU's
+        hit/miss/eviction/invalidation counters.  Rendered through
+        :func:`canonical_body` like every other response, so the
+        payload is canonical-JSON stable: same state, same bytes.
+        """
+        from repro.serve.protocol import PROTOCOL_VERSION
+
+        return {
+            "v": PROTOCOL_VERSION,
+            "ok": True,
+            "salt": code_salt(),
+            "generation": self.pool.generation,
+            "inflight": self._inflight_searches,
+            "requests": self.requests,
+            "lru": self.lru.stats(),
+        }
 
     def close(self) -> None:
         """Shut the worker pool down."""

@@ -1,19 +1,48 @@
-"""Client for a running planning server (``plan --remote``).
+"""Clients for running planning servers (``plan --remote/--fleet``).
 
-A deliberately thin wrapper over :mod:`http.client`: POST one JSON
-request, return the status code and the canonical body exactly as
-the server sent it.  The CLI prints the body verbatim, so a remote
-plan is byte-identical to what the serving tests compare against --
-the client never reserializes.
+Two layers, both deliberately thin wrappers over :mod:`http.client`:
+
+* :func:`remote_call` -- POST one JSON request to one endpoint,
+  return the status code and the canonical body exactly as the
+  server sent it.  The CLI prints the body verbatim, so a remote
+  plan is byte-identical to what the serving tests compare against
+  -- the client never reserializes.
+* :func:`fleet_call` -- the failover-aware client: consistent-hash
+  the request's fingerprint to a deterministic replica preference
+  order (:mod:`repro.serve.router`) and walk it with a per-attempt
+  deadline.  A dead port, a wedged replica (attempt deadline
+  expires) or a connection dropped mid-response moves on to the next
+  survivor; when every replica fails, a typed
+  :class:`~repro.runner.faults.FleetUnavailable` carries the
+  per-attempt evidence.
+
+Failover retries are byte-safe by construction: the request
+*document* is never rewritten between attempts -- in particular a
+``deadline_s`` maps to its deterministic search-unit budget
+server-side (PR 7), so a retried request's tightened budget produces
+the same degraded bytes on whichever replica finally answers.  The
+per-attempt deadline is a *network* bound on the client socket, not
+part of the request identity.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Mapping, Optional, Tuple
+import socket
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
-from repro.runner.faults import SweepConfigError
+from repro.runner.faults import (
+    FleetUnavailable,
+    ReplicaUnreachable,
+    SweepConfigError,
+)
+from repro.settings import env_float
+
+ENV_FLEET_ATTEMPT_TIMEOUT = "REPRO_FLEET_ATTEMPT_TIMEOUT"
+
+#: Default per-attempt client deadline (seconds) for failover calls.
+DEFAULT_ATTEMPT_TIMEOUT = 30.0
 
 
 def parse_endpoint(endpoint: str) -> Tuple[str, int]:
@@ -55,7 +84,11 @@ def remote_call(
     not an exception).
 
     Raises:
-        OSError: When the server is unreachable.
+        OSError: When the server is unreachable, the connection is
+            dropped mid-response, or ``timeout`` expires (all the
+            :mod:`http.client` failure modes are ``OSError``
+            subclasses -- refused connections, ``RemoteDisconnected``,
+            ``socket.timeout``).
     """
     connection = http.client.HTTPConnection(
         host, port, timeout=timeout
@@ -68,5 +101,123 @@ def remote_call(
         )
         response = connection.getresponse()
         return response.status, response.read().decode("utf-8")
+    except http.client.HTTPException as error:
+        # http.client raises a few non-OSError shapes for torn
+        # responses (e.g. BadStatusLine on a mid-write kill); fold
+        # them into the one failure family fleet_call retries on.
+        raise ConnectionError(
+            f"{type(error).__name__}: {error}"
+        ) from error
     finally:
         connection.close()
+
+
+def resolve_attempt_timeout(
+    timeout: Optional[float] = None,
+) -> float:
+    """Per-attempt deadline: argument, else
+    ``REPRO_FLEET_ATTEMPT_TIMEOUT``, else 30 seconds."""
+    if timeout is None:
+        timeout = env_float(
+            ENV_FLEET_ATTEMPT_TIMEOUT, "a number of seconds"
+        )
+    if timeout is None:
+        return DEFAULT_ATTEMPT_TIMEOUT
+    if timeout <= 0:
+        raise SweepConfigError(
+            f"fleet attempt timeout must be > 0 seconds, got "
+            f"{timeout}"
+        )
+    return timeout
+
+
+def fleet_fingerprint(document: Mapping[str, Any]) -> str:
+    """The routing fingerprint of one request document.
+
+    The *server's* coalescing/LRU identity (id-less, effective
+    budget folded in), computed client-side through the same
+    protocol helpers -- so the client's routing choice lands each
+    fingerprint on the replica that is already coalescing it.
+
+    A document the protocol rejects still routes (by a stable hash
+    of its raw content): the structured 400 must come from a
+    replica, not from a client-side crash, and it must come from
+    the *same* replica every time the same bad document is sent.
+    """
+    from repro.runner.cache import stable_hash
+    from repro.serve.protocol import (
+        ServeProtocolError,
+        parse_request,
+        request_fingerprint,
+    )
+
+    try:
+        request = parse_request(dict(document, id=None))
+    except (ServeProtocolError, TypeError, ValueError):
+        return stable_hash({"malformed": repr(document)})
+    return request_fingerprint(request)
+
+
+def fleet_call(
+    endpoints: Sequence[str],
+    document: Mapping[str, Any],
+    attempt_timeout: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+) -> Tuple[int, str, str]:
+    """POST one request to a fleet with consistent-hash failover.
+
+    The request's fingerprint picks a deterministic replica
+    preference order; each attempt gets its own wall-clock deadline
+    (``attempt_timeout``), and the identical document is re-sent to
+    the next replica on any network-level failure.  Responses --
+    including structured ``ok: false`` error bodies -- are returned
+    from whichever replica first produces one.
+
+    Args:
+        endpoints: ``host:port`` strings (see
+            :func:`repro.serve.router.parse_fleet`).
+        document: The JSON request object, sent verbatim on every
+            attempt.
+        attempt_timeout: Per-attempt deadline in seconds (default:
+            ``REPRO_FLEET_ATTEMPT_TIMEOUT``, else 30).
+        max_attempts: Cap on attempts (default: one per replica).
+
+    Returns:
+        ``(status, body, endpoint)`` -- the HTTP status, the body
+        exactly as the answering replica sent it, and which replica
+        answered.
+
+    Raises:
+        FleetUnavailable: When every attempt failed at the network
+            level; carries ``(endpoint, detail)`` per attempt.
+        SweepConfigError: On an empty endpoint list or malformed
+            endpoints/timeouts.
+    """
+    from repro.serve.router import preference_order
+
+    if not endpoints:
+        raise SweepConfigError(
+            "fleet_call needs at least one endpoint"
+        )
+    timeout = resolve_attempt_timeout(attempt_timeout)
+    order = preference_order(
+        fleet_fingerprint(document), endpoints
+    )
+    if max_attempts is not None:
+        order = order[:max_attempts]
+    failures: List[Tuple[str, str]] = []
+    for attempt, endpoint in enumerate(order):
+        host, port = parse_endpoint(endpoint)
+        try:
+            status, body = remote_call(
+                host, port, document, timeout=timeout
+            )
+        except (OSError, socket.timeout) as error:
+            unreachable = ReplicaUnreachable(
+                endpoint, attempt,
+                f"{type(error).__name__}: {error}",
+            )
+            failures.append((endpoint, unreachable.detail))
+            continue
+        return status, body, endpoint
+    raise FleetUnavailable(failures)

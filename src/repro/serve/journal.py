@@ -6,6 +6,15 @@ fingerprint, provenance, status and pool generation.  The journal is
 operational telemetry (CI uploads it as an artifact after the serve
 battery), never an input: response bytes are fully determined by the
 request, so journal timestamps do not threaten determinism.
+
+Crash safety (the fleet contract): every line is flushed and
+``fsync``-ed at write time through the sweep journal's
+:func:`~repro.runner.journal.append_line`, so a replica killed
+mid-storm loses at most the single line it was appending -- and
+:meth:`ServeJournal.load` skips that torn tail with a
+:class:`~repro.runner.faults.JournalTruncation` warning instead of
+raising, which is what lets the fleet battery audit a dead replica's
+journal.
 """
 
 from __future__ import annotations
@@ -13,16 +22,17 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.runner.cache import code_salt
+from repro.runner.journal import append_line, tolerant_lines
 
 #: Journal line schema version.
 JOURNAL_VERSION = 1
 
 
 class ServeJournal:
-    """A line-buffered JSONL journal at ``path``.
+    """A durably-appended JSONL journal at ``path``.
 
     Args:
         path: Journal file; parent directories are created.  Lines
@@ -46,7 +56,7 @@ class ServeJournal:
         generation: Optional[int] = None,
         shed: bool = False,
     ) -> None:
-        """Append one response line (flushed immediately)."""
+        """Append one response line (flushed and fsynced)."""
         self._lines += 1
         entry: Dict[str, Any] = {
             "v": JOURNAL_VERSION,
@@ -66,7 +76,20 @@ class ServeJournal:
             entry["generation"] = generation
         if shed:
             entry["shed"] = True
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(
-                json.dumps(entry, sort_keys=True) + "\n"
-            )
+        append_line(
+            self.path, json.dumps(entry, sort_keys=True)
+        )
+
+    def load(self) -> List[Dict[str, Any]]:
+        """Every well-formed line, in append order.
+
+        A missing file loads as empty.  A torn trailing line -- the
+        one a killed replica was mid-append on -- is skipped with a
+        :class:`~repro.runner.faults.JournalTruncation` warning, so
+        post-mortem auditors (the fleet battery, the CI chaos job)
+        can always read everything the replica durably served.
+        """
+        return [
+            entry for entry in tolerant_lines(self.path)
+            if entry.get("v") == JOURNAL_VERSION
+        ]

@@ -7,9 +7,11 @@ Two ways to reach one :class:`~repro.serve.app.ServeApp`:
   third-party framework.  ``POST /v1`` takes a JSON request body and
   returns the canonical response body (``200`` when ``ok``, ``400``
   for structured errors); ``GET /stats`` returns the live-counter
-  document; ``GET /healthz`` answers liveness probes.  One request
-  per connection (``Connection: close``) keeps the parser trivial
-  and the tests honest.
+  document; ``GET /healthz`` answers liveness probes with the fleet
+  supervisor's probe payload (pool generation, in-flight count, LRU
+  counters -- see :meth:`~repro.serve.app.ServeApp.health_response`).
+  One request per connection (``Connection: close``) keeps the
+  parser trivial and the tests honest.
 * **stdio** (:func:`serve_stdio`): newline-delimited JSON -- one
   request per input line, one canonical body per output line, in
   input order.  This is the deterministic harness mode: no sockets,
@@ -99,8 +101,10 @@ async def _handle_connection(
             ))
             return
         if method == "GET" and path == "/healthz":
+            from repro.serve.protocol import canonical_body
+
             writer.write(_http_response(
-                200, "OK", json.dumps({"ok": True})
+                200, "OK", canonical_body(app.health_response())
             ))
         elif method == "GET" and path == "/stats":
             response = await app.handle({"op": "stats"})

@@ -51,6 +51,31 @@ variable                    meaning
 ``REPRO_SERVE_HOST``        default bind host (default 127.0.0.1)
 ``REPRO_SERVE_PORT``        default bind port (default 8734)
 ==========================  ===========================================
+
+Fleet knobs (``repro fleet`` and the failover client; resolved in
+:mod:`repro.serve.fleet` and :mod:`repro.serve.client`):
+
+=============================  ========================================
+variable                       meaning
+=============================  ========================================
+``REPRO_FLEET_REPLICAS``       replica servers the supervisor runs
+                               (int >= 1; default 3)
+``REPRO_FLEET_PROBE_INTERVAL`` seconds between health probes
+                               (float > 0; default 1.0)
+``REPRO_FLEET_PROBE_TIMEOUT``  seconds before an unanswered probe
+                               marks a replica wedged (float > 0;
+                               default 5.0)
+``REPRO_FLEET_MAX_RESTARTS``   restarts per replica before it is
+                               abandoned (int >= 0; default 5)
+``REPRO_FLEET_BACKOFF``        base seconds of the seeded bounded
+                               restart backoff (float; default 0.1)
+``REPRO_FLEET_ATTEMPT_TIMEOUT`` per-attempt client deadline in
+                               seconds for failover calls (float > 0;
+                               default 30)
+``REPRO_FLEET_INDEX``          replica index, exported by the
+                               supervisor into each replica (int >=
+                               0; arms ``replica=`` fault matchers)
+=============================  ========================================
 """
 
 from __future__ import annotations
@@ -92,6 +117,27 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     ),
     "REPRO_SERVE_HOST": ("str", "default serve bind host"),
     "REPRO_SERVE_PORT": ("int", "default serve bind port"),
+    "REPRO_FLEET_REPLICAS": (
+        "int", "replica servers the fleet supervisor runs"
+    ),
+    "REPRO_FLEET_PROBE_INTERVAL": (
+        "float", "seconds between supervisor health probes"
+    ),
+    "REPRO_FLEET_PROBE_TIMEOUT": (
+        "float", "seconds before an unanswered probe means wedged"
+    ),
+    "REPRO_FLEET_MAX_RESTARTS": (
+        "int", "restarts per replica before it is abandoned"
+    ),
+    "REPRO_FLEET_BACKOFF": (
+        "float", "base seconds of the seeded restart backoff"
+    ),
+    "REPRO_FLEET_ATTEMPT_TIMEOUT": (
+        "float", "per-attempt client deadline for failover calls"
+    ),
+    "REPRO_FLEET_INDEX": (
+        "int", "replica index exported by the fleet supervisor"
+    ),
 }
 
 

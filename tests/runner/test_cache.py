@@ -1,6 +1,7 @@
 """Tests for the persistent content-addressed plan cache."""
 
 import json
+import os
 
 import pytest
 
@@ -26,6 +27,22 @@ from repro.runner.parallel import (
 @pytest.fixture
 def cache(tmp_path):
     return PlanCache(tmp_path / "cache")
+
+
+def _race_quarantine(root, key, barrier, results):
+    """Child-process body for the quarantine race test: rendezvous
+    at the barrier, then race ``get`` on one corrupt entry."""
+    import warnings
+
+    try:
+        racing = PlanCache(root)
+        barrier.wait()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            value = racing.get("report", key)
+        results.put(("miss" if value is None else "hit", None))
+    except Exception as error:   # pragma: no cover - failure path
+        results.put(("error", f"{type(error).__name__}: {error}"))
 
 
 @pytest.fixture
@@ -101,8 +118,12 @@ class TestPlanCache:
         path.write_text("{ not json !!!")
         with pytest.warns(CacheCorruption) as caught:
             cache.get("report", key)
-        quarantined = cache.root / "quarantine" / path.name
-        assert quarantined.exists()
+        # Quarantine names are <entry>.<pid>.<n>.json -- unique per
+        # (process, call) so racing replicas never clobber evidence.
+        [quarantined] = list(
+            (cache.root / "quarantine").glob(f"{path.stem}.*.json")
+        )
+        assert quarantined.name.split(".")[1] == str(os.getpid())
         assert quarantined.read_text() == "{ not json !!!"
         message = str(caught[0].message)
         assert path.name in message
@@ -122,7 +143,9 @@ class TestPlanCache:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert cache.get("report", key) is None
-        assert (cache.root / "quarantine" / path.name).exists()
+        assert list(
+            (cache.root / "quarantine").glob(f"{path.stem}.*.json")
+        )
         # Recovery proceeds exactly as in the warning path.
         cache.put("report", key, {"ok": True})
         assert cache.get("report", key) == {"ok": True}
@@ -138,6 +161,47 @@ class TestPlanCache:
         # clear() leaves the quarantined file for post-mortems.
         assert cache.clear() == 0
         assert (cache.root / "quarantine").exists()
+
+    def test_concurrent_quarantine_race_preserves_evidence(
+        self, cache
+    ):
+        """Two processes discovering the same corrupt entry at once:
+        exactly one wins the ``os.replace``, the loser's
+        ``FileNotFoundError`` is absorbed, both treat it as a miss,
+        and the evidence lands in quarantine exactly once -- never
+        clobbered, never doubled."""
+        import multiprocessing
+
+        key = stable_hash({"k": "raced"})
+        cache.put("report", key, {"ok": True})
+        path = cache.path_for("report", key)
+        path.write_text("{ racing corruption !!!")
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2, timeout=30)
+        results = context.Queue()
+        workers = [
+            context.Process(
+                target=_race_quarantine,
+                args=(str(cache.root), key, barrier, results),
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes = [results.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        # Both processes saw a clean miss, no exception escaped.
+        assert outcomes == [("miss", None), ("miss", None)]
+        assert not path.exists()
+        quarantined = list(
+            (cache.root / "quarantine").glob(f"{path.stem}.*.json")
+        )
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text() == (
+            "{ racing corruption !!!"
+        )
 
     def test_entries_are_inspectable_json(self, cache, point):
         payload = report_cache_payload(point)

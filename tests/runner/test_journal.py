@@ -63,6 +63,51 @@ class TestJournalFile:
             point_fingerprint(point, False): "abc123",
         }
 
+    def test_torn_final_line_warns_with_evidence(
+        self, tmp_path, point
+    ):
+        """The skip is surfaced: a JournalTruncation warning naming
+        the file, not a silent shrug."""
+        from repro.runner.faults import JournalTruncation
+
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(point, "abc123", warm_start=False)
+        with journal.path.open("a") as handle:
+            handle.write('{"v": 1, "fingerprint": "tr')
+        with pytest.warns(JournalTruncation) as caught:
+            journal.load()
+        assert "j.jsonl" in str(caught[0].message)
+
+    def test_torn_final_line_recovers_under_error_filters(
+        self, tmp_path, point
+    ):
+        """CI runs ``python -W error``: a torn tail must stay a
+        recoverable skip, not a hard load failure."""
+        import warnings
+
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(point, "abc123", warm_start=False)
+        with journal.path.open("a") as handle:
+            handle.write('{"v": 1, "fing')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert journal.load() == {
+                point_fingerprint(point, False): "abc123",
+            }
+
+    def test_appended_lines_are_complete_and_durable(
+        self, tmp_path, point
+    ):
+        """Every record is one complete line on disk the moment
+        ``record`` returns -- no buffered tail owned by the dying
+        process."""
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record(point, "abc123", warm_start=False)
+        raw = journal.path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        json.loads(raw.decode("utf-8"))
+
     def test_other_schema_versions_skipped(self, tmp_path):
         journal = SweepJournal(tmp_path / "j.jsonl")
         journal.path.write_text(

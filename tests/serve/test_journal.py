@@ -81,6 +81,55 @@ def app_handle_raw(app, raw):
     return run(app.handle(raw))
 
 
+def test_load_round_trips_recorded_lines(tmp_path):
+    journal = ServeJournal(tmp_path / "journal.jsonl")
+    journal.record("plan", "search", fingerprint="fp", status="ok")
+    journal.record("plan", "lru", fingerprint="fp", status="ok")
+    entries = journal.load()
+    assert [entry["source"] for entry in entries] == [
+        "search", "lru",
+    ]
+    assert all(
+        entry["v"] == JOURNAL_VERSION for entry in entries
+    )
+
+
+def test_load_skips_torn_trailing_line(tmp_path):
+    """A replica killed mid-append leaves a torn tail; loading the
+    journal recovers every durably written line with a warning, not
+    an exception -- hand-truncated regression for the fleet
+    post-mortem path."""
+    import pytest
+
+    from repro.runner.faults import JournalTruncation
+
+    journal = ServeJournal(tmp_path / "journal.jsonl")
+    journal.record("plan", "search", fingerprint="fp", status="ok")
+    journal.record("plan", "error", fingerprint="fp")
+    with open(journal.path, encoding="utf-8") as handle:
+        full = handle.read()
+    torn = full[:-25]   # cut mid-way through the final line
+    with open(journal.path, "w", encoding="utf-8") as handle:
+        handle.write(torn)
+    with pytest.warns(JournalTruncation, match="truncated"):
+        entries = journal.load()
+    assert [entry["source"] for entry in entries] == ["search"]
+
+
+def test_load_survives_error_warning_filters(tmp_path):
+    """CI runs ``python -W error``: the truncation warning must not
+    escalate into a load failure."""
+    import warnings
+
+    journal = ServeJournal(tmp_path / "journal.jsonl")
+    journal.record("plan", "search", fingerprint="fp", status="ok")
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "seq": 2, "op": "pl')
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert len(journal.load()) == 1
+
+
 def test_journal_spans_restarts(tmp_path):
     path = tmp_path / "journal.jsonl"
     for _ in range(2):

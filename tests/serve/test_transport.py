@@ -112,7 +112,13 @@ class TestHttp:
             ("POST", "/v1", plan_request()),
             ("GET", "/stats", None),
         ])
-        assert results[0] == (200, '{"ok": true}')
+        status, health_body = results[0]
+        assert status == 200
+        health = json.loads(health_body)
+        assert health["ok"] is True
+        assert health["generation"] == 0
+        assert health["inflight"] == 0
+        assert health["lru"]["hits"] == 0
         status, stats_body = results[2]
         assert status == 200
         stats = json.loads(stats_body)
