@@ -40,6 +40,11 @@ Commands
     ``GET /stats``) or newline-delimited-JSON stdio (``--stdio``),
     multiplexing requests onto a persistent worker pool behind a
     coalescing code-salt-keyed LRU.
+``learn``
+    Fit (``learn fit``) or evaluate (``learn eval``) the learned
+    warm-start predictor: mine the plan cache and sweep journals into
+    a deterministic corpus, persist the kNN model into the plan
+    cache, and measure search units saved on a held-out grid.
 """
 
 from __future__ import annotations
@@ -314,8 +319,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             no_fallback=args.no_fallback,
             warm_start=args.warm_start,
         )
+        extra_env = {"REPRO_LEARN": "1"} if args.learn else None
         try:
-            document = execute_request(request)
+            document = execute_request(request, extra_env=extra_env)
         except (SweepError, RuntimeError) as error:
             document = error_response(error, "sweep")
         print(canonical_body(document))
@@ -345,6 +351,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         budget=args.budget,
         no_fallback=args.no_fallback,
+        learn=True if args.learn else None,
     )
     rows = []
     for point, report in reports.items():
@@ -397,6 +404,105 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if journal is not None:
         print(f"journal: {journal}")
     return 0 if reports.ok else 1
+
+
+def cmd_learn_fit(args: argparse.Namespace) -> int:
+    """Mine the corpus and persist the kNN warm-start model."""
+    from repro.learn.corpus import corpus_hash, extract_corpus
+    from repro.learn.predictor import KNNPredictor, save_model
+    from repro.runner.cache import default_cache
+
+    cache = default_cache()
+    corpus = extract_corpus(cache=cache, journals=args.journal)
+    if args.corpus:
+        with open(args.corpus, "w", encoding="utf-8") as handle:
+            handle.write(corpus.to_json())
+            handle.write("\n")
+    skipped = sum(corpus.skipped.values())
+    if not corpus.records:
+        print(
+            f"learn fit: empty corpus ({skipped} entries skipped); "
+            "run a sweep first so the plan cache holds tilings",
+            file=sys.stderr,
+        )
+        return 1
+    predictor = KNNPredictor.fit(corpus, k=args.k)
+    path = save_model(predictor, cache=cache)
+    if args.json:
+        print(json.dumps({
+            "corpus": corpus_hash(corpus),
+            "k": predictor.k,
+            "model": str(path),
+            "records": len(corpus.records),
+            "skipped": dict(corpus.skipped),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fitted k={predictor.k} kNN on {len(corpus.records)} "
+        f"records ({skipped} skipped)"
+    )
+    if args.corpus:
+        print(f"corpus: {args.corpus}")
+    print(f"model: {path}")
+    return 0
+
+
+def cmd_learn_eval(args: argparse.Namespace) -> int:
+    """Score the fitted model on a held-out grid; gate the ratio."""
+    from repro.learn.evaluate import evaluate_points
+    from repro.learn.predictor import load_model
+    from repro.model.workload import Workload
+
+    predictor = load_model()
+    if predictor is None:
+        print(
+            "learn eval: no fitted model for this code version; "
+            "run `repro learn fit` first",
+            file=sys.stderr,
+        )
+        return 1
+    pairs = [
+        (
+            Workload(
+                named_model(model), seq_len=seq, batch=args.batch,
+                causal=args.causal,
+            ),
+            named_architecture(arch),
+        )
+        for model in args.models
+        for arch in args.archs
+        for seq in args.seqs
+    ]
+    report = evaluate_points(
+        predictor, pairs,
+        iterations=args.iterations, seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                row["workload"], row["arch"],
+                row["baseline_units"], row["learned_units"],
+            ]
+            for row in report["points"]
+        ]
+        print(format_table(
+            ["workload", "arch", "baseline units", "learned units"],
+            rows,
+            title=(
+                f"learned warm-start eval "
+                f"(ratio {report['ratio']:.3f})"
+            ),
+        ))
+    if args.gate is not None and report["ratio"] > args.gate:
+        print(
+            f"learn eval: ratio {report['ratio']:.3f} exceeds gate "
+            f"{args.gate:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -781,6 +887,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--learn", action="store_true",
+        help=(
+            "consult the learned warm-start predictor (the persisted "
+            "`repro learn fit` model) on cold searches; equivalent "
+            "to REPRO_LEARN=1 for this sweep"
+        ),
+    )
+    sweep.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help=(
             "per-chain timeout in seconds (default: REPRO_TIMEOUT, "
@@ -1049,6 +1163,84 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fleet.set_defaults(fn=cmd_fleet)
+
+    learn = sub.add_parser(
+        "learn",
+        help=(
+            "fit or evaluate the learned warm-start predictor "
+            "mined from the sweep corpus"
+        ),
+    )
+    learn_sub = learn.add_subparsers(
+        dest="learn_command", required=True
+    )
+    fit = learn_sub.add_parser(
+        "fit",
+        help=(
+            "mine the plan cache (and optional sweep journals) "
+            "into a corpus and persist the kNN model"
+        ),
+    )
+    fit.add_argument(
+        "--journal", nargs="*", default=[], metavar="PATH",
+        help="sweep journals to mine alongside the plan cache",
+    )
+    fit.add_argument(
+        "--corpus", default="", metavar="PATH",
+        help="also write the canonical corpus JSON to this path",
+    )
+    fit.add_argument(
+        "--k", type=_positive_int, default=None, metavar="N",
+        help="neighbors per prediction (default 3)",
+    )
+    fit.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable fit summary",
+    )
+    fit.set_defaults(fn=cmd_learn_fit)
+    ev = learn_sub.add_parser(
+        "eval",
+        help=(
+            "measure search units to near-optimum on a held-out "
+            "grid, with vs. without the fitted model"
+        ),
+    )
+    ev.add_argument(
+        "--models", nargs="+", default=["t5"],
+        choices=sorted(MODEL_ZOO), help="model shape presets",
+    )
+    ev.add_argument(
+        "--archs", nargs="+", default=["cloud"],
+        choices=("cloud", "edge", "edge32", "edge64"),
+        help="architecture presets (Table 3)",
+    )
+    ev.add_argument(
+        "--seqs", type=int, nargs="+", default=[256, 1024],
+        help="held-out sequence lengths P",
+    )
+    ev.add_argument("--batch", type=int, default=4,
+                    help="batch size B")
+    ev.add_argument("--causal", action="store_true",
+                    help="causally masked self-attention")
+    ev.add_argument(
+        "--iterations", type=_positive_int, default=400,
+        help="full search size (optimum reference and probe cap)",
+    )
+    ev.add_argument(
+        "--seed", type=int, default=0, help="search seed",
+    )
+    ev.add_argument(
+        "--gate", type=float, default=None, metavar="RATIO",
+        help=(
+            "exit 1 unless learned/baseline unit ratio <= RATIO "
+            "(the CI perf gate uses 0.5)"
+        ),
+    )
+    ev.add_argument(
+        "--json", action="store_true",
+        help="print the full evaluation report as JSON",
+    )
+    ev.set_defaults(fn=cmd_learn_eval)
 
     figures = sub.add_parser(
         "figures", help="regenerate a paper figure's table"

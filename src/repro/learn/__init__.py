@@ -1,0 +1,96 @@
+"""Learned warm-starts mined from the sweep corpus.
+
+Cold-miss searches are the one cost the serving stack still pays in
+full.  This package turns the artifacts every sweep already persists
+-- ``tileseek`` plan-cache entries and sweep journals -- into a
+training corpus (:mod:`repro.learn.corpus`), fits a byte-reproducible
+k-nearest-neighbor predictor over normalized shape/arch features
+(:mod:`repro.learn.predictor`), and feeds its predictions into
+TileSeek's incumbent pool as ``learned`` candidates -- a new rung of
+the degradation ladder between ``warm_start`` and ``heuristic``
+(:mod:`repro.resilience.ladder`).
+
+Everything is opt-in behind ``REPRO_LEARN``: with the knob unset (or
+``0``/``off``/``false``/``no``) no prediction is made, no payload key
+changes, and every plan, sweep and served response stays byte-
+identical to a tree without this package.  ``REPRO_LEARN_K`` bounds
+the neighbor count per prediction.
+
+:func:`predictions_for` is the one call sites use: it resolves the
+knobs, loads the current code version's fitted model from the plan
+cache (kind ``learn-model``; stale-salt artifacts are never served)
+and returns validated assignments -- or ``()`` whenever any of that
+is unavailable, which downstream means "cold search, unchanged".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.settings import env_bool, env_int
+
+#: Master switch: consult the learned warm-start predictor.
+ENV_LEARN = "REPRO_LEARN"
+
+#: Neighbor count per prediction (>= 1; default 3).
+ENV_LEARN_K = "REPRO_LEARN_K"
+
+
+def learn_enabled() -> bool:
+    """Whether learned warm-starts are switched on (default off)."""
+    return env_bool(ENV_LEARN, default=False)
+
+
+def learn_k() -> int:
+    """Resolved neighbor count (``REPRO_LEARN_K``, else 3)."""
+    from repro.learn.predictor import DEFAULT_K
+
+    value = env_int(ENV_LEARN_K, "a neighbor count", minimum=1)
+    return DEFAULT_K if value is None else value
+
+
+def predictions_for(
+    workload, arch, cache=None
+) -> Tuple[Tuple[int, ...], ...]:
+    """Predicted assignments for one point, or ``()``.
+
+    Empty whenever learning is disabled, the plan cache is off, or no
+    current-salt model has been fitted -- all the cases where a cold
+    search should proceed exactly as before.  The model is re-read
+    from the cache per call (one small file): predictions must see a
+    just-fitted model without any process restart, and the off path
+    never pays the read at all.
+    """
+    if not learn_enabled():
+        return ()
+    from repro.learn.predictor import load_model
+
+    model = load_model(cache)
+    if model is None:
+        return ()
+    return model.predict_for(workload, arch, k=learn_k())
+
+
+def model_signature(cache=None) -> Optional[str]:
+    """Corpus hash of the active model, or ``None``.
+
+    Report cache payloads embed this when learning is enabled, so
+    reports produced under different fitted models (or none) never
+    collide on disk.
+    """
+    if not learn_enabled():
+        return None
+    from repro.learn.predictor import load_model
+
+    model = load_model(cache)
+    return None if model is None else model.corpus
+
+
+__all__ = [
+    "ENV_LEARN",
+    "ENV_LEARN_K",
+    "learn_enabled",
+    "learn_k",
+    "model_signature",
+    "predictions_for",
+]

@@ -1,0 +1,136 @@
+"""Measuring what the predictor buys: search units to near-optimum.
+
+The serving motivation is cold-miss latency, and the deterministic
+unit of search cost in this repo is the MCTS iteration
+(:mod:`repro.resilience.budget`).  So the predictor is scored the way
+PR 5 scored budgets: for each held-out point, find the smallest
+power-of-two unit budget at which a search reaches within
+``tolerance`` (default 1%) of the *unwarmed optimum's* reward -- once
+with the learned predictions in the incumbent pool, once without --
+and compare the unit totals.  Learned candidates are priced as
+incumbents (never budget-charged, like warm starts), so a good
+prediction hits the target at a one-unit budget and the ratio
+collapses; a useless prediction degenerates to the baseline exactly.
+
+Everything here is deterministic: the searches are seeded, the probe
+schedule is a fixed doubling ladder capped at the full iteration
+count (a budget >= iterations runs the search to completion, so the
+probe always terminates), and the report is plain sorted-key data.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.arch.spec import ArchitectureSpec
+from repro.learn.corpus import features_for
+from repro.model.workload import Workload
+from repro.tileseek.search import TileSeek
+
+#: Default relative reward tolerance ("within 1% of the optimum").
+DEFAULT_TOLERANCE = 0.01
+
+
+def units_to_target(
+    workload: Workload,
+    arch: ArchitectureSpec,
+    target_reward: float,
+    learned: Sequence[Sequence[int]] = (),
+    iterations: int = 400,
+    seed: int = 0,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """Smallest probed unit budget reaching the target reward.
+
+    Probes budgets 1, 2, 4, ... capped at ``iterations`` (at which
+    point the search is complete and its reward *is* the optimum, so
+    the probe is guaranteed to terminate at a finite answer).
+    """
+    searcher = TileSeek(iterations=iterations, seed=seed)
+    floor = (1.0 - tolerance) * target_reward
+    budget = 1
+    while True:
+        result = searcher.search(
+            workload, arch, budget=budget, allow_fallback=True,
+            learned=learned,
+        )
+        if result.stats.best_reward >= floor:
+            return budget
+        if budget >= iterations:
+            return budget
+        budget = min(iterations, budget * 2)
+
+
+def evaluate_points(
+    predictor: Optional[Any],
+    pairs: Sequence[Tuple[Workload, ArchitectureSpec]],
+    iterations: int = 400,
+    seed: int = 0,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, Any]:
+    """Units-to-near-optimum with vs. without the predictor.
+
+    Args:
+        predictor: A fitted :class:`~repro.learn.predictor.Predictor`
+            (``None`` scores an empty prediction set -- the report
+            then shows a ratio of exactly 1.0).
+        pairs: The held-out (workload, arch) grid.
+        iterations: Full search size (the unwarmed optimum and the
+            probe cap).
+        seed: Search seed.
+        tolerance: Relative reward slack defining "near-optimum".
+
+    Returns:
+        ``{"points": [...], "baseline_units", "learned_units",
+        "ratio", "tolerance"}``; per-point rows carry the optimum
+        reward, both unit counts and the predictions used.
+    """
+    rows: List[Dict[str, Any]] = []
+    baseline_total = 0
+    learned_total = 0
+    for workload, arch in pairs:
+        searcher = TileSeek(iterations=iterations, seed=seed)
+        optimum = searcher.search(
+            workload, arch, budget=iterations * 2,
+            allow_fallback=True,
+        ).stats.best_reward
+        learned: Tuple[Tuple[int, ...], ...] = ()
+        if predictor is not None:
+            learned = predictor.predict(
+                features_for(workload, arch)
+            )
+        baseline = units_to_target(
+            workload, arch, optimum,
+            iterations=iterations, seed=seed, tolerance=tolerance,
+        )
+        warmed = units_to_target(
+            workload, arch, optimum, learned=learned,
+            iterations=iterations, seed=seed, tolerance=tolerance,
+        )
+        baseline_total += baseline
+        learned_total += warmed
+        rows.append({
+            "workload": workload.describe(),
+            "arch": arch.name,
+            "optimum_reward": float(optimum),
+            "baseline_units": baseline,
+            "learned_units": warmed,
+            "predictions": [list(a) for a in learned],
+        })
+    ratio = (
+        learned_total / baseline_total if baseline_total else 1.0
+    )
+    return {
+        "points": rows,
+        "baseline_units": baseline_total,
+        "learned_units": learned_total,
+        "ratio": ratio,
+        "tolerance": tolerance,
+    }

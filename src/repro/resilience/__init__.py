@@ -11,8 +11,9 @@ instead of dying:
   result carries.
 * :mod:`repro.resilience.ladder` -- the graceful-degradation ladder a
   budget-exhausted or empty search descends (warm-start reuse ->
-  greedy Table-2-validated heuristic tiling -> minimal mapping), and
-  the rung classification recorded into plans and reports.
+  learned prediction -> greedy Table-2-validated heuristic tiling ->
+  minimal mapping), and the rung classification recorded into plans
+  and reports.
 * :mod:`repro.resilience.diagnostics` -- typed infeasibility: when no
   tiling fits the Table-2 buffer model, a :class:`BufferDiagnosis`
   names the overflowing module, the overflow in words and the
@@ -41,6 +42,7 @@ from repro.resilience.diagnostics import (
 from repro.resilience.ladder import (
     RUNG_FIRST_ORDER,
     RUNG_HEURISTIC,
+    RUNG_LEARNED,
     RUNG_MINIMAL,
     RUNG_WARM_START,
     classify_rung,
@@ -54,6 +56,7 @@ __all__ = [
     "PROVENANCE_COMPLETE",
     "RUNG_FIRST_ORDER",
     "RUNG_HEURISTIC",
+    "RUNG_LEARNED",
     "RUNG_MINIMAL",
     "RUNG_WARM_START",
     "UNITS_PER_SECOND",

@@ -316,6 +316,16 @@ def report_cache_payload(
         payload["budget"] = budget
     if not fallback_enabled():
         payload["no_fallback"] = True
+    # A learn-enabled report depends on which fitted model seeded its
+    # searches, so its identity embeds the model's corpus hash
+    # (``None`` when enabled with no model fitted yet -- still a
+    # distinct artifact from the learn-off one, which keeps its
+    # pre-existing hash).  Imported lazily: repro.learn imports the
+    # corpus extractor, which imports this module.
+    from repro.learn import learn_enabled, model_signature
+
+    if learn_enabled():
+        payload["learn"] = model_signature()
     return payload
 
 
@@ -850,6 +860,7 @@ def run_grid(
     resume: bool = False,
     budget: Optional[int] = None,
     no_fallback: bool = False,
+    learn: Optional[bool] = None,
 ) -> SweepResult:
     """Price a grid of points, optionally fanning out over processes.
 
@@ -894,6 +905,10 @@ def run_grid(
         no_fallback: Disable the graceful-degradation ladder
             (exported as ``REPRO_NO_FALLBACK``): a budget-exhausted
             search raises instead of returning a fallback plan.
+        learn: Consult the learned warm-start predictor
+            (:mod:`repro.learn`) on every cold tiling search
+            (exported as ``REPRO_LEARN``; ``None`` keeps any ambient
+            setting, ``False`` forces it off for this sweep).
 
     Returns:
         A :class:`SweepResult` -- a mapping ``{point: report}`` in
@@ -923,6 +938,10 @@ def run_grid(
         env[ENV_BUDGET] = str(budget)
     if no_fallback:
         env[ENV_NO_FALLBACK] = "1"
+    if learn is not None:
+        from repro.learn import ENV_LEARN
+
+        env[ENV_LEARN] = "1" if learn else "0"
     log: Optional[SweepJournal]
     if isinstance(journal, SweepJournal) or journal is None:
         log = journal

@@ -182,6 +182,9 @@ class ServeApp:
         self.searches = 0
         self.errors = 0
         self.shed = 0
+        self.learn_consulted = 0
+        self.learn_predicted = 0
+        self.learn_saved = 0
         self._attempts: Dict[str, int] = {}
         self._inflight_searches = 0
 
@@ -244,6 +247,24 @@ class ServeApp:
                 request.op, "lru", fingerprint=fingerprint,
             )
             return _stamp_id(cached, request_id)
+        # Genuine cold miss: consult the learned predictor.  A
+        # prediction lets the search spend fewer units for the same
+        # near-optimal plan, so the effective budget is tightened and
+        # -- like shedding -- becomes part of the response identity:
+        # the body is byte-identical to an explicit request at the
+        # tightened budget with REPRO_LEARN on.
+        budget, saved, learned = self._learn_budget(
+            anonymous, budget
+        )
+        if saved:
+            fingerprint = request_fingerprint(anonymous, budget)
+            cached = self.lru.get(fingerprint)
+            if cached is not None:
+                self._journal(
+                    request.op, "lru", fingerprint=fingerprint,
+                    learned=learned, saved=saved,
+                )
+                return _stamp_id(cached, request_id)
         leader, flight = self.coalescer.admit(fingerprint)
         if not leader:
             body = await flight
@@ -277,6 +298,8 @@ class ServeApp:
             status=status,
             provenance=json.loads(body).get("provenance"),
             shed=shed,
+            learned=learned,
+            saved=saved,
         )
         return _stamp_id(body, request_id)
 
@@ -303,6 +326,60 @@ class ServeApp:
             return budget, False
         self.shed += 1
         return self.shed_budget, True
+
+    def _learn_budget(
+        self, request: ServeRequest, budget: Optional[int]
+    ) -> Tuple[Optional[int], int, bool]:
+        """Tighten a cold miss's budget when a prediction exists.
+
+        Returns ``(effective budget, units saved, predicted)``.  Only
+        budgeted ``plan`` requests tighten (halved, floor 1): the
+        prediction sits in the search's incumbent pool uncharged, so
+        the tightened search still returns a plan at least as good as
+        the prediction.  Unbudgeted requests run complete searches --
+        the predictor can't save units there, so only the counters
+        move.  With ``REPRO_LEARN`` off this never consults anything
+        and the serve path is byte-identical to pre-learn behavior.
+        """
+        if request.op != "plan":
+            return budget, 0, False
+        from repro.learn import learn_enabled
+
+        if not learn_enabled():
+            return budget, 0, False
+        self.learn_consulted += 1
+        if not self._learn_predictions(request):
+            return budget, 0, False
+        self.learn_predicted += 1
+        if budget is None or budget <= 1:
+            return budget, 0, True
+        tightened = max(1, budget // 2)
+        saved = budget - tightened
+        self.learn_saved += saved
+        return tightened, saved, True
+
+    def _learn_predictions(
+        self, request: ServeRequest
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """The model's predictions for a plan request's point.
+
+        The workers re-derive the same predictions from the shared
+        cache when they execute the (tightened) request -- this
+        lookup only decides admission, it is never threaded into the
+        search by hand.
+        """
+        from repro.arch.spec import named_architecture
+        from repro.learn import predictions_for
+
+        point = request.points[0]
+        try:
+            return predictions_for(
+                point.workload(), named_architecture(point.arch)
+            )
+        except (KeyError, ValueError):
+            # Unknown model/arch names fail later with a typed error
+            # body; admission just declines to tighten.
+            return ()
 
     # ------------------------------------------------------------------
     # Execution on the worker pool
@@ -469,6 +546,16 @@ class ServeApp:
                 "generation": self.pool.generation,
             },
         }
+        # Conditional block: stats bodies keep their pre-learn bytes
+        # unless the predictor is actually switched on.
+        from repro.learn import learn_enabled
+
+        if learn_enabled():
+            document["learn"] = {
+                "consulted": self.learn_consulted,
+                "predicted": self.learn_predicted,
+                "saved": self.learn_saved,
+            }
         if request is not None and request.request_id is not None:
             document["id"] = request.request_id
         return document
@@ -508,6 +595,8 @@ class ServeApp:
         status: Optional[str] = None,
         provenance: Optional[str] = None,
         shed: bool = False,
+        learned: bool = False,
+        saved: int = 0,
     ) -> None:
         if self.journal is None:
             return
@@ -518,6 +607,8 @@ class ServeApp:
             provenance=provenance,
             generation=self.pool.generation,
             shed=shed,
+            learned=learned,
+            saved=saved,
         )
 
 

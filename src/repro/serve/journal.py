@@ -55,8 +55,16 @@ class ServeJournal:
         provenance: Optional[str] = None,
         generation: Optional[int] = None,
         shed: bool = False,
+        learned: bool = False,
+        saved: int = 0,
     ) -> None:
-        """Append one response line (flushed and fsynced)."""
+        """Append one response line (flushed and fsynced).
+
+        ``learned``/``saved`` record the learned-warm-start outcome
+        of a cold miss (prediction found / search units not spent);
+        like ``shed`` they are emitted only when set, so journals of
+        learn-off deployments keep their pre-learn line bytes.
+        """
         self._lines += 1
         entry: Dict[str, Any] = {
             "v": JOURNAL_VERSION,
@@ -76,6 +84,10 @@ class ServeJournal:
             entry["generation"] = generation
         if shed:
             entry["shed"] = True
+        if learned:
+            entry["learned"] = True
+        if saved:
+            entry["saved"] = saved
         append_line(
             self.path, json.dumps(entry, sort_keys=True)
         )

@@ -32,6 +32,11 @@ variable               meaning
 ``REPRO_BENCH_STRICT`` fail benchmarks outside their paper bands
 ``REPRO_SCALAR_EVAL``  force TileSeek's scalar evaluation oracle
                        (the batched NumPy path is the default)
+``REPRO_LEARN``        consult the learned warm-start predictor on
+                       cold searches (default off; off is
+                       byte-identical to a tree without it)
+``REPRO_LEARN_K``      neighbors per learned prediction (int >= 1;
+                       default 3)
 =====================  ================================================
 
 Serving knobs (``repro serve``; resolved in :mod:`repro.serve.app`
@@ -102,6 +107,12 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     "REPRO_BENCH_STRICT": ("bool", "fail benchmarks out of band"),
     "REPRO_SCALAR_EVAL": (
         "bool", "force the scalar TileSeek evaluation oracle"
+    ),
+    "REPRO_LEARN": (
+        "bool", "learned warm-start predictor on/off"
+    ),
+    "REPRO_LEARN_K": (
+        "int", "neighbors per learned prediction"
     ),
     "REPRO_SERVE_LRU": (
         "int", "serving response-body LRU capacity (entries)"

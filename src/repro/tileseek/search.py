@@ -213,6 +213,7 @@ class TileSeek:
         budget: Optional[int] = None,
         allow_fallback: Optional[bool] = None,
         scalar: Optional[bool] = None,
+        learned: Sequence[Sequence[int]] = (),
     ) -> TileSeekResult:
         """Find the best feasible outer tiling for one fused layer.
 
@@ -237,6 +238,14 @@ class TileSeek:
                 the batched path (``False``); ``None`` defers to
                 ``REPRO_SCALAR_EVAL`` (batched by default).  Both
                 return byte-identical results.
+            learned: Optional predicted assignments (in
+                :data:`FACTOR_ORDER`) from the fitted corpus model
+                (:mod:`repro.learn`).  Treated exactly like warm
+                starts -- extra incumbents, never budget-charged --
+                but classified on their own ``learned`` ladder rung
+                when one supplies a budget-exhausted result.  Empty
+                (the default) leaves every byte of the search output
+                unchanged.
 
         Raises:
             InfeasiblePoint: When even the minimal configuration in
@@ -252,10 +261,12 @@ class TileSeek:
             return self.search_scalar(
                 workload, arch, warm_start=warm_start,
                 budget=budget, allow_fallback=allow_fallback,
+                learned=learned,
             )
         return self._search_batched(
             workload, arch, warm_start=warm_start,
             budget=budget, allow_fallback=allow_fallback,
+            learned=learned,
         )
 
     def search_scalar(
@@ -265,6 +276,7 @@ class TileSeek:
         warm_start: Sequence[Sequence[int]] = (),
         budget: Optional[int] = None,
         allow_fallback: Optional[bool] = None,
+        learned: Sequence[Sequence[int]] = (),
     ) -> TileSeekResult:
         """The scalar evaluation path (the differential oracle).
 
@@ -276,7 +288,8 @@ class TileSeek:
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
         levels = [grid[name] for name in FACTOR_ORDER]
-        warm = self._validated_warm_starts(warm_start)
+        warm = self._validated_assignments(warm_start)
+        predicted = self._validated_assignments(learned)
         if allow_fallback is None:
             from repro.resilience.budget import fallback_enabled
 
@@ -378,10 +391,11 @@ class TileSeek:
         # Greedy incumbent: the anchor line (maximal feasible p with
         # minimal companions) is a strong known-good starting point;
         # never return anything worse than it.  Warm starts from
-        # adjacent searches join the same incumbent pool.  When a
-        # budget cut the MCTS short, these candidates double as the
-        # degradation ladder (anchor = ``heuristic`` rung, warm starts
-        # = ``warm_start`` rung); they are deterministic, never
+        # adjacent searches and learned predictions join the same
+        # incumbent pool.  When a budget cut the MCTS short, these
+        # candidates double as the degradation ladder (anchor =
+        # ``heuristic`` rung, warm starts = ``warm_start``,
+        # predictions = ``learned``); they are deterministic, never
         # budget-charged, and feasible by construction/validation.
         anchor_p = max(
             (p for p in grid["p"] if not prune(
@@ -395,7 +409,9 @@ class TileSeek:
         )
         winner_index = -1  # the MCTS incumbent
         fresh = 0  # incumbents priced by a real evaluator call
-        for index, candidate in enumerate((incumbent,) + warm):
+        for index, candidate in enumerate(
+            (incumbent,) + warm + predicted
+        ):
             if candidate not in cache:
                 fresh += 1
             candidate_reward = evaluate(candidate)
@@ -412,6 +428,7 @@ class TileSeek:
                 winner_index,
                 n_warm=len(warm),
                 anchor_is_minimal=anchor_p == min(grid["p"]),
+                n_learned=len(predicted),
             ))
             if not allow_fallback:
                 raise RuntimeError(
@@ -445,6 +462,7 @@ class TileSeek:
         warm_start: Sequence[Sequence[int]] = (),
         budget: Optional[int] = None,
         allow_fallback: Optional[bool] = None,
+        learned: Sequence[Sequence[int]] = (),
     ) -> TileSeekResult:
         """The batched evaluation path (the default).
 
@@ -459,7 +477,8 @@ class TileSeek:
         grid = self.candidate_grid(workload, arch)
         fixed = self.fixed_factors(arch)
         levels = [grid[name] for name in FACTOR_ORDER]
-        warm = self._validated_warm_starts(warm_start)
+        warm = self._validated_assignments(warm_start)
+        predicted = self._validated_assignments(learned)
         if allow_fallback is None:
             from repro.resilience.budget import fallback_enabled
 
@@ -593,7 +612,7 @@ class TileSeek:
         incumbent = (
             minimal[0], minimal[1], minimal[2], anchor_p, minimal[4],
         )
-        pool = (incumbent,) + warm
+        pool = (incumbent,) + warm + predicted
         fresh = 0  # incumbents priced by a real evaluator call
         seen = set()
         for candidate in pool:
@@ -617,6 +636,7 @@ class TileSeek:
                 winner_index,
                 n_warm=len(warm),
                 anchor_is_minimal=anchor_p == minimal[3],
+                n_learned=len(predicted),
             ))
             if not allow_fallback:
                 raise RuntimeError(
@@ -642,21 +662,22 @@ class TileSeek:
         )
 
     @staticmethod
-    def _validated_warm_starts(
-        warm_start: Sequence[Sequence[int]],
+    def _validated_assignments(
+        assignments: Sequence[Sequence[int]],
     ) -> Tuple[Tuple[int, ...], ...]:
-        """Normalize warm-start assignments, rejecting malformed ones."""
+        """Normalize warm-start/learned assignments, rejecting
+        malformed ones."""
         validated = []
-        for raw in warm_start:
+        for raw in assignments:
             assignment = tuple(int(v) for v in raw)
             if len(assignment) != len(FACTOR_ORDER):
                 raise ValueError(
-                    f"warm-start assignment {assignment} must have "
+                    f"candidate assignment {assignment} must have "
                     f"{len(FACTOR_ORDER)} factors ({FACTOR_ORDER})"
                 )
             if any(v <= 0 for v in assignment):
                 raise ValueError(
-                    f"warm-start factors must be positive: "
+                    f"candidate factors must be positive: "
                     f"{assignment}"
                 )
             validated.append(assignment)

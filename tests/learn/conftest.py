@@ -1,0 +1,84 @@
+"""Shared fixtures for the learned-warm-start battery.
+
+Corpus and predictor tests build *real* ``tileseek`` cache entries by
+running small seeded searches on a tiny (but structurally complete)
+model, then feed them to the extractor -- synthetic documents would
+drift from the executor's payload shape and test nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.spec import cloud_architecture
+from repro.core.serialize import tileseek_result_to_dict
+from repro.model.config import ModelConfig
+from repro.model.workload import Workload
+from repro.runner.cache import (
+    PlanCache,
+    arch_fingerprint,
+    code_salt,
+    stable_hash,
+    workload_fingerprint,
+)
+from repro.tileseek.search import TileSeek
+
+#: A small but structurally complete model: searches complete in
+#: milliseconds, so corpus fixtures stay cheap.
+TINY = ModelConfig(
+    name="tiny", d_model=64, heads=4, e_head=16,
+    ffn_hidden=128, layers=2, activation="gelu",
+)
+
+#: MCTS rounds for fixture searches (and the ``iterations`` stamped
+#: into their payloads).
+ITERATIONS = 32
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tiling_memo():
+    """Flipping ``REPRO_LEARN`` changes which search a point runs;
+    clear the in-process tiling memo around every test so none sees
+    another's entries."""
+    from repro.core.executor import _TILING_CACHE
+
+    _TILING_CACHE.clear()
+    yield
+    _TILING_CACHE.clear()
+
+
+def tiny_workload(seq_len, batch=4, causal=False):
+    return Workload(
+        TINY, seq_len=seq_len, batch=batch, causal=causal
+    )
+
+
+def search_entry(workload, arch=None, iterations=ITERATIONS,
+                 seed=0, warm=()):
+    """One real tileseek cache entry: ``(payload, value, result)``.
+
+    The payload mirrors ``TransFusionExecutor.tiling`` field for
+    field -- the extractor mines exactly what the executor persists.
+    """
+    arch = cloud_architecture() if arch is None else arch
+    result = TileSeek(iterations=iterations, seed=seed).search(
+        workload, arch, warm_start=warm
+    )
+    payload = {
+        "kind": "tileseek",
+        "salt": code_salt(),
+        "workload": workload_fingerprint(workload),
+        "arch": arch_fingerprint(arch),
+        "iterations": iterations,
+        "seed": seed,
+        "warm_start": [list(a) for a in warm],
+    }
+    return payload, tileseek_result_to_dict(result), result
+
+
+def put_entries(root, entries):
+    """Store ``(payload, value, _)`` triples into a cache at ``root``."""
+    cache = PlanCache(root)
+    for payload, value, _ in entries:
+        cache.put("tileseek", stable_hash(payload), value, payload)
+    return cache

@@ -1,0 +1,69 @@
+"""``repro learn fit`` / ``repro learn eval`` end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.learn.predictor import load_model
+from repro.runner.cache import PlanCache
+from tests.learn.conftest import put_entries, search_entry, tiny_workload
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    return root
+
+
+def test_fit_refuses_an_empty_corpus(cache_dir, capsys):
+    assert main(["learn", "fit"]) == 1
+    assert "empty corpus" in capsys.readouterr().err
+
+
+def test_fit_writes_model_and_corpus(cache_dir, capsys, tmp_path):
+    put_entries(cache_dir, [search_entry(tiny_workload(128))])
+    corpus_path = tmp_path / "corpus.json"
+    assert main([
+        "learn", "fit", "--corpus", str(corpus_path), "--json",
+    ]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["records"] == 1
+    assert summary["k"] == 3
+    document = json.loads(corpus_path.read_text(encoding="utf-8"))
+    assert summary["corpus"] and len(document["records"]) == 1
+    model = load_model(PlanCache(cache_dir))
+    assert model is not None
+    assert model.corpus == summary["corpus"]
+
+
+def test_eval_reports_and_gates(cache_dir, capsys):
+    put_entries(
+        cache_dir,
+        [search_entry(tiny_workload(seq)) for seq in (128, 512)],
+    )
+    assert main(["learn", "fit"]) == 0
+    capsys.readouterr()
+    argv = [
+        "learn", "eval", "--models", "t5", "--seqs", "256",
+        "--batch", "4", "--iterations", "32", "--json",
+    ]
+    assert main(argv) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["baseline_units"] >= 1
+    assert report["learned_units"] >= 1
+    assert len(report["points"]) == 1
+    # An impossible gate fails loudly: probing costs at least one
+    # unit, so the ratio can never reach 0.
+    assert main(argv[:-1] + ["--gate", "0.0"]) == 1
+    assert "exceeds gate" in capsys.readouterr().err
+
+
+def test_eval_requires_a_fitted_model(cache_dir, capsys):
+    assert main([
+        "learn", "eval", "--seqs", "256", "--iterations", "32",
+    ]) == 1
+    assert "no fitted model" in capsys.readouterr().err
