@@ -357,3 +357,59 @@ def test_sweep_cache_warm_speedup(benchmark, tmp_path):
     # The ratio assertion is unconditional: it is relative, so runner
     # noise cancels out.
     assert benchmark.stats["mean"] < cold_seconds / 10.0
+
+
+def test_capped_cache_warm_speedup(benchmark, perf_log, tmp_path,
+                                   monkeypatch):
+    """Byte-capped cache, same warm-vs-cold gate: the GC that runs
+    after every write (PR 10) must not evict the working set under a
+    reasonable budget, and its scan cost must not eat the cache win.
+
+    The cap is sized to the measured working set with modest
+    headroom -- tight enough that the GC actually runs on every
+    write, loose enough that the grid's own entries all survive --
+    and the warm rerun must still beat the cold run by >= 10x.
+    """
+    from repro.runner import GridPoint, run_grid
+    from repro.runner.cache import PlanCache
+
+    points = [
+        GridPoint(executor=name, model="t5", seq_len=seq,
+                  arch="cloud", batch=4)
+        for name in ("unfused", "transfusion")
+        for seq in (1024, 2048)
+    ]
+    # Size the budget from an uncapped cold run of the same grid.
+    sizing_dir = tmp_path / "sizing-cache"
+    run_grid(points, jobs=1, cache_dir=sizing_dir)
+    working_set = PlanCache(sizing_dir).stats()["bytes"]
+    budget = int(working_set * 1.25)
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(budget))
+
+    cache_dir = tmp_path / "capped-cache"
+    start = time.perf_counter()
+    cold = run_grid(points, jobs=1, cache_dir=cache_dir)
+    cold_seconds = time.perf_counter() - start
+    stats = PlanCache(cache_dir).stats()
+    assert stats["bytes"] <= budget
+    assert stats["entries"] > 0
+
+    warm = benchmark(run_grid, points, jobs=1, cache_dir=cache_dir)
+    arch = cloud_architecture()
+    assert [r.latency_seconds(arch) for r in warm.values()] == [
+        r.latency_seconds(arch) for r in cold.values()
+    ]
+    warm_seconds = benchmark.stats["mean"]
+    ratio = cold_seconds / warm_seconds
+    perf_log("capped_cache_warm_speedup", {
+        "points": len(points),
+        "working_set_bytes": working_set,
+        "budget_bytes": budget,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_ratio": ratio,
+        "workload": "t5/cloud sweep, 2 executors x 2 seqs",
+    })
+    assert ratio >= 10.0, (
+        f"capped warm rerun only {ratio:.2f}x faster than cold"
+    )

@@ -700,6 +700,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pressure=args.pressure,
         shed_budget=args.shed_budget,
         timeout=args.timeout,
+        queue=args.queue,
     )
     host = args.host or raw_value("REPRO_SERVE_HOST") or "127.0.0.1"
     port = args.port
@@ -753,6 +754,92 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+
+
+def _open_cache(args: argparse.Namespace):
+    """The cache the ``repro cache`` verbs operate on.
+
+    ``--cache-dir`` overrides the environment; otherwise the same
+    resolution the sweep runner uses (``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR``).  Returns ``None`` when the cache is
+    disabled, which the verbs report as an error.
+    """
+    from repro.runner.cache import PlanCache, default_cache
+
+    if args.cache_dir:
+        return PlanCache(args.cache_dir)
+    return default_cache()
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Report persistent-cache usage, budget and brownout state."""
+    cache = _open_cache(args)
+    if cache is None:
+        print("plan cache disabled (REPRO_CACHE=0)",
+              file=sys.stderr)
+        return 1
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+        return 0
+    cap = stats["max_bytes"]
+    print(f"root:        {stats['root']}")
+    print(f"entries:     {stats['entries']}")
+    print(f"bytes:       {stats['bytes']}")
+    print(f"max_bytes:   {cap if cap is not None else 'unbounded'}")
+    print(f"quarantined: {stats['quarantined']}")
+    print(f"brownout:    {'yes' if stats['brownout'] else 'no'}")
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    """Evict oldest entries until the cache fits its byte budget."""
+    from repro.runner.cache import resolve_cache_max_bytes
+
+    cache = _open_cache(args)
+    if cache is None:
+        print("plan cache disabled (REPRO_CACHE=0)",
+              file=sys.stderr)
+        return 1
+    max_bytes = (
+        args.max_bytes if args.max_bytes is not None
+        else resolve_cache_max_bytes()
+    )
+    if max_bytes is None:
+        print(
+            "no byte budget: pass --max-bytes or set "
+            "REPRO_CACHE_MAX_BYTES", file=sys.stderr,
+        )
+        return 1
+    report = cache.gc(max_bytes)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    print(
+        f"removed {report['removed']} entries "
+        f"({report['freed_bytes']} bytes); "
+        f"{report['bytes']} bytes remain under a "
+        f"{report['max_bytes']}-byte budget"
+    )
+    return 0
+
+
+def cmd_cache_scrub(args: argparse.Namespace) -> int:
+    """Read-validate every entry; quarantine the corrupt ones."""
+    cache = _open_cache(args)
+    if cache is None:
+        print("plan cache disabled (REPRO_CACHE=0)",
+              file=sys.stderr)
+        return 1
+    report = cache.scrub()
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    print(
+        f"checked {report['checked']} entries, "
+        f"quarantined {report['quarantined']}"
+    )
+    return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -1085,6 +1172,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--queue", type=int, default=None, metavar="N",
+        help=(
+            "in-flight searches at which new searches are rejected "
+            "with a typed ServerOverloaded body "
+            "(default: REPRO_SERVE_QUEUE, else unbounded; 0 "
+            "disables)"
+        ),
+    )
+    serve.add_argument(
         "--journal", default="", metavar="PATH",
         help="append one JSONL line per response to this file",
     )
@@ -1241,6 +1337,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full evaluation report as JSON",
     )
     ev.set_defaults(fn=cmd_learn_eval)
+
+    cache = sub.add_parser(
+        "cache",
+        help=(
+            "inspect and maintain the persistent plan cache "
+            "(stats, byte-budget gc, corruption scrub)"
+        ),
+    )
+    cache_sub = cache.add_subparsers(
+        dest="cache_command", required=True
+    )
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="report entry/byte usage, budget and brownout state",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help=(
+            "evict oldest-mtime entries until the cache fits its "
+            "byte budget"
+        ),
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=_positive_int, default=None,
+        metavar="N",
+        help=(
+            "byte budget to enforce "
+            "(default: REPRO_CACHE_MAX_BYTES)"
+        ),
+    )
+    cache_scrub = cache_sub.add_parser(
+        "scrub",
+        help=(
+            "read-validate every entry, quarantining corrupt ones"
+        ),
+    )
+    for verb, fn in (
+        (cache_stats, cmd_cache_stats),
+        (cache_gc, cmd_cache_gc),
+        (cache_scrub, cmd_cache_scrub),
+    ):
+        verb.add_argument(
+            "--cache-dir", default="", metavar="PATH",
+            help=(
+                "cache root to operate on "
+                "(default: REPRO_CACHE_DIR resolution)"
+            ),
+        )
+        verb.add_argument(
+            "--json", action="store_true",
+            help="print a machine-readable report",
+        )
+        verb.set_defaults(fn=fn)
 
     figures = sub.add_parser(
         "figures", help="regenerate a paper figure's table"

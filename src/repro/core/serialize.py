@@ -194,9 +194,12 @@ _FAILURE_FIELDS = {
     "ChainTimeout": ("chain_index", "seconds", "attempt"),
     "WorkerCrash": ("chain_index", "attempt", "detail"),
     "CacheCorruption": ("path", "detail"),
+    "CacheClearFailure": ("path", "detail"),
+    "CacheBrownout": ("path", "detail"),
     "JournalTruncation": ("path", "detail"),
     "ReplicaUnreachable": ("endpoint", "attempt", "detail"),
     "FleetUnavailable": ("attempts",),
+    "ServerOverloaded": ("inflight", "bound", "retry_after_ms"),
     "InfeasiblePoint": ("subject", "diagnosis", "point"),
 }
 

@@ -24,31 +24,63 @@ also persists its ``n_epochs``-free schedule kernels here (kind
 process skips the branch-and-bound searches for layers any earlier
 run has already planned.
 
+Resource-exhaustion resilience (disk tier):
+
+* **Byte budget.** ``REPRO_CACHE_MAX_BYTES`` caps the cache's
+  on-disk footprint; every successful write (and ``repro cache gc``)
+  runs a deterministic GC that evicts entries oldest-mtime-first
+  (lexical relative-path tie-break) until the cache fits.  Eviction
+  is concurrency-safe without locks: each victim is atomically
+  renamed aside first and restored if a racing writer refreshed the
+  entry in between, so two racing processes never double-count a
+  delete, never deadlock, and a ``put`` racing a ``gc`` on the same
+  key always leaves a valid entry behind.
+* **Brownout.** ``ENOSPC``/``EDQUOT`` on any write flips the cache
+  (per root, process-wide) into *brownout*: writes are skipped --
+  cold results recompute, reads still serve -- and every
+  ``BROWNOUT_PROBE_WRITES`` skipped writes one probe write re-tries
+  the disk, exiting brownout on success.  Both transitions are
+  appended (best-effort) to ``<root>/brownout.jsonl`` and surfaced
+  as :class:`~repro.runner.faults.CacheBrownout` warnings; writes
+  stay tmpfile + ``os.replace`` atomic throughout, so a full disk
+  can tear a temp file but never a live entry.
+
 Environment variables:
 
 * ``REPRO_CACHE_DIR`` -- cache root (default
   ``~/.cache/repro-transfusion``).
 * ``REPRO_CACHE`` -- set to ``0``/``off``/``false`` to disable the
   persistent layer entirely (in-process memoization still applies).
+* ``REPRO_CACHE_MAX_BYTES`` -- byte budget enforced by the GC
+  (unset means uncapped, the historical behavior).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import errno
 import hashlib
 import itertools
 import json
 import os
+import time
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
-from repro.runner.faults import CacheCorruption
-from repro.settings import env_bool
+from repro.runner.faults import (
+    CacheBrownout,
+    CacheClearFailure,
+    CacheCorruption,
+    active_plan,
+    io_context,
+)
+from repro.settings import env_bool, env_int
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 
 #: Subdirectory (under the cache root) holding quarantined entries.
 QUARANTINE_DIR = "quarantine"
@@ -58,6 +90,27 @@ QUARANTINE_DIR = "quarantine"
 #: pid component -- concurrent replicas) never collide or clobber
 #: each other's evidence.
 _quarantine_counter = itertools.count()
+
+#: Monotonic per-process counter making GC trash filenames unique
+#: (same contract as the quarantine counter: racing evictors never
+#: collide).
+_gc_counter = itertools.count()
+
+#: JSONL file (under the cache root) recording brownout transitions.
+BROWNOUT_JOURNAL = "brownout.jsonl"
+
+#: Skipped writes between brownout re-probes: after this many
+#: cache-off misses the next ``put`` attempts the disk again.
+BROWNOUT_PROBE_WRITES = 16
+
+#: The errno values that mean "out of space", not "broken cache".
+_BROWNOUT_ERRNOS = (errno.ENOSPC, getattr(errno, "EDQUOT", errno.ENOSPC))
+
+#: Brownout state per cache root, process-wide so every
+#: :class:`PlanCache` instance over the same directory (the default
+#: cache is re-resolved per call site) shares one disk verdict.
+#: Value: writes left to skip before the next probe.
+_brownouts: Dict[str, int] = {}
 
 #: Bump to invalidate every cache entry across a format change.
 CACHE_SCHEMA = "1"
@@ -102,6 +155,38 @@ def _jsonable(value: Any) -> Any:
     raise TypeError(
         f"cannot hash {type(value).__name__} into a cache key"
     )
+
+
+def resolve_cache_max_bytes(
+    max_bytes: Optional[int] = None,
+) -> Optional[int]:
+    """The cache byte budget: argument, else
+    ``REPRO_CACHE_MAX_BYTES``, else ``None`` (uncapped)."""
+    if max_bytes is not None:
+        return max_bytes
+    return env_int(
+        ENV_CACHE_MAX_BYTES, "a cache byte budget", minimum=1
+    )
+
+
+def brownout_active(root: Union[str, Path]) -> bool:
+    """Whether the cache at ``root`` is in write brownout."""
+    return str(root) in _brownouts
+
+
+def _warn(warning: Warning) -> None:
+    """Surface a cache warning, swallowing its own escalation.
+
+    Under error warning filters (pytest ``filterwarnings = error``,
+    ``python -W error``) ``warnings.warn`` raises the instance
+    itself; every cache condition warned about here is recoverable
+    (entries are recomputable), so the escalation is swallowed and
+    the warning text stays the durable trace.
+    """
+    try:
+        warnings.warn(warning, stacklevel=3)
+    except type(warning):
+        pass
 
 
 def stable_hash(payload: Mapping[str, Any]) -> str:
@@ -162,6 +247,8 @@ class PlanCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.writes = 0
+        self.brownout_skips = 0
 
     def path_for(self, kind: str, key: str) -> Path:
         """Entry path for one (kind, key) pair."""
@@ -223,24 +310,24 @@ class PlanCache:
                 f"{detail} (already quarantined by a concurrent "
                 f"process)"
             )
-        except OSError:
+        except OSError as move_error:
+            # The move can fail without the entry being gone (a
+            # read-only cache dir, a full quarantine volume).  Fall
+            # back to deletion, and -- crucially -- say which of the
+            # two outcomes happened: an undeletable corrupt entry
+            # stays on disk and will surface again on every read.
             try:
                 path.unlink()
-            except OSError:
-                pass
-            detail = f"{detail} (quarantine failed; entry deleted)"
-        try:
-            warnings.warn(
-                CacheCorruption(path, detail), stacklevel=3
-            )
-        except CacheCorruption:
-            # Under error warning filters (pytest filterwarnings =
-            # error, python -W error) warn() raises the warning
-            # instance itself.  A corrupted entry must stay a
-            # recoverable miss -- it is always recomputable -- so
-            # swallow the escalation; the quarantined file remains
-            # the durable trace.
-            pass
+                detail = (
+                    f"{detail} (quarantine failed: {move_error}; "
+                    f"entry deleted)"
+                )
+            except OSError as unlink_error:
+                detail = (
+                    f"{detail} (quarantine failed: {move_error}; "
+                    f"entry still present: {unlink_error})"
+                )
+        _warn(CacheCorruption(path, detail))
 
     def put(
         self,
@@ -258,17 +345,55 @@ class PlanCache:
             value: JSON-safe serialized result.
             payload: The key payload, archived alongside the value so
                 entries stay human-inspectable.
+
+        During brownout (a previous write hit ``ENOSPC``/``EDQUOT``)
+        the write is skipped -- a cache-off miss -- except for the
+        periodic probe that re-tries the disk; the returned path may
+        then not exist.  A write that hits the disk limit itself
+        enters brownout instead of raising: cached results are
+        always recomputable, so a full disk degrades, never crashes.
         """
         path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._admit_write():
+            return path
+        write_index = self.writes
+        self.writes += 1
         document = {"payload": dict(payload or {}), "value": value}
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        temp.write_text(
-            json.dumps(document, indent=2, sort_keys=True,
-                       default=_jsonable)
-            + "\n"
-        )
-        os.replace(temp, path)
+        rule = None
+        try:
+            plan = active_plan()
+            if plan:
+                rule = plan.fire_io(**io_context(write_index))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp.write_text(
+                json.dumps(document, indent=2, sort_keys=True,
+                           default=_jsonable)
+                + "\n"
+            )
+            os.replace(temp, path)
+        except OSError as error:
+            if error.errno not in _BROWNOUT_ERRNOS:
+                raise
+            # Out of space: drop the (possibly torn) temp file --
+            # the live entry was never touched -- and brown out.
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+            self._enter_brownout(path, error)
+            return path
+        self._exit_brownout(path)
+        if rule is not None and rule.kind == "cache-evict":
+            # Injected eviction: the entry vanishes right after the
+            # write, as if a concurrent GC chose it as a victim.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        max_bytes = resolve_cache_max_bytes()
+        if max_bytes is not None:
+            self.gc(max_bytes)
         return path
 
     def _entries(self):
@@ -286,15 +411,270 @@ class PlanCache:
         return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Entries that cannot be deleted (permissions, a racing
+        process holding the directory) are *reported*: one
+        :class:`~repro.runner.faults.CacheClearFailure` warning
+        names the survivors, instead of a silent "clean sweep" that
+        left stale entries to serve later reads.
+        """
         removed = 0
+        survivors = []
         for entry in self._entries():
             try:
                 entry.unlink()
                 removed += 1
+            except FileNotFoundError:
+                # A racing clear/GC already removed it: not a
+                # survivor, just not ours to count.
+                continue
+            except OSError:
+                survivors.append(entry)
+        if survivors:
+            shown = ", ".join(str(path) for path in survivors[:3])
+            if len(survivors) > 3:
+                shown = f"{shown}, ... {len(survivors) - 3} more"
+            _warn(CacheClearFailure(
+                self.root,
+                f"{len(survivors)} of "
+                f"{removed + len(survivors)} entries survived "
+                f"deletion ({shown})",
+            ))
+        return removed
+
+    # ------------------------------------------------------------------
+    # Disk pressure: byte budget, GC, brownout, scrub
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Disk usage and pressure state, JSON-safe.
+
+        The payload behind ``repro cache stats`` and the serve
+        layer's ``/healthz`` enrichment: entry/byte totals, the
+        configured budget, the quarantine population and whether the
+        root is in write brownout.
+        """
+        entries = 0
+        total = 0
+        for _, _, _, size in self._scan():
+            entries += 1
+            total += size
+        quarantined = 0
+        quarantine_root = self.root / QUARANTINE_DIR
+        if quarantine_root.exists():
+            quarantined = sum(
+                1 for item in quarantine_root.iterdir()
+                if item.is_file()
+            )
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total,
+            "max_bytes": resolve_cache_max_bytes(),
+            "quarantined": quarantined,
+            "brownout": brownout_active(self.root),
+        }
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, Any]:
+        """Evict oldest entries until the cache fits ``max_bytes``.
+
+        Deterministic: victims are chosen oldest-``st_mtime_ns``
+        first with the relative POSIX path as tie-break, quarantined
+        files are never candidates, and the same directory state
+        always evicts the same entries.  Concurrency-safe without
+        locks: see :meth:`_evict` -- racing GCs never double-count a
+        victim, and a racing ``put`` on a victim's key keeps its
+        fresh entry.
+
+        Args:
+            max_bytes: Budget override; defaults to
+                ``REPRO_CACHE_MAX_BYTES``.  ``None`` with the env
+                unset is a no-op scan.
+
+        Returns:
+            A JSON-safe summary: entries/bytes removed and the
+            bytes believed to remain.
+        """
+        cap = resolve_cache_max_bytes(max_bytes)
+        scanned = sorted(
+            self._scan(),
+            key=lambda item: (item[0], item[1]),
+        )
+        total = sum(size for _, _, _, size in scanned)
+        removed = 0
+        freed = 0
+        if cap is not None:
+            for _, _, entry, size in scanned:
+                if total - freed <= cap:
+                    break
+                evicted = self._evict(entry)
+                if evicted:
+                    removed += 1
+                    freed += evicted
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "bytes": total - freed,
+            "max_bytes": cap,
+        }
+
+    def scrub(self) -> Dict[str, int]:
+        """Read-validate every entry, quarantining corrupt ones.
+
+        The ``repro cache scrub`` verb and the overload-chaos CI
+        assertion that a storm plus a mid-storm disk-full left zero
+        torn entries: every surviving file must parse and carry a
+        value document.
+        """
+        checked = 0
+        quarantined = 0
+        for entry in list(self._entries()):
+            checked += 1
+            try:
+                json.loads(entry.read_text())["value"]
+            except FileNotFoundError:
+                # Raced away by GC/clear mid-scrub: nothing to
+                # validate, nothing corrupt.
+                checked -= 1
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                self.quarantine(entry, error)
+                quarantined += 1
+        return {"checked": checked, "quarantined": quarantined}
+
+    def _scan(self) -> Iterable[Tuple[int, str, Path, int]]:
+        """``(mtime_ns, relative posix path, path, size)`` per live
+        entry, tolerating files vanishing mid-scan."""
+        for entry in self._entries():
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            yield (
+                stat.st_mtime_ns,
+                entry.relative_to(self.root).as_posix(),
+                entry,
+                stat.st_size,
+            )
+
+    def _evict(self, entry: Path) -> int:
+        """Remove one GC victim; returns the bytes freed (0 if the
+        eviction was skipped or lost a race).
+
+        The victim is atomically renamed to a unique trash name
+        first.  Whatever inode sat at the entry path moves in one
+        step, so two racing GCs can never both count the same
+        victim (the loser's rename finds nothing), and if a racing
+        ``put`` replaced the entry *after* this GC scanned it, the
+        fresh entry is detected (its mtime postdates the scan) and
+        restored -- a ``put`` racing a ``gc`` on the same key always
+        leaves the old or the new valid entry, never neither.
+        """
+        try:
+            expected = entry.stat().st_mtime_ns
+        except OSError:
+            return 0
+        trash = entry.with_name(
+            f".{entry.name}.{os.getpid()}."
+            f"{next(_gc_counter)}.gc"
+        )
+        try:
+            os.rename(entry, trash)
+        except OSError:
+            # Already evicted (or quarantined) by a racing process.
+            return 0
+        try:
+            moved = trash.stat()
+        except OSError:
+            return 0
+        if moved.st_mtime_ns != expected:
+            # We grabbed a racing writer's *fresh* entry -- put it
+            # back (clobbering nothing newer than itself: replace
+            # is atomic, and any third writer's entry is identical
+            # content under the same key anyway).
+            try:
+                os.replace(trash, entry)
             except OSError:
                 pass
-        return removed
+            return 0
+        size = moved.st_size
+        try:
+            trash.unlink()
+        except OSError:
+            return 0
+        return size
+
+    # ------------------------------------------------------------------
+    # Brownout state machine
+    # ------------------------------------------------------------------
+    @property
+    def brownout(self) -> bool:
+        """Whether this cache's root is in write brownout."""
+        return brownout_active(self.root)
+
+    def _admit_write(self) -> bool:
+        """Whether a ``put`` may touch the disk right now.
+
+        Outside brownout: always.  Inside: skip (and count) writes
+        until the probe countdown reaches zero, then admit one probe
+        write -- its success exits brownout, its failure re-enters
+        with a fresh countdown.
+        """
+        key = str(self.root)
+        left = _brownouts.get(key)
+        if left is None:
+            return True
+        if left > 0:
+            _brownouts[key] = left - 1
+            self.brownout_skips += 1
+            return False
+        return True
+
+    def _enter_brownout(self, path: Path, error: OSError) -> None:
+        key = str(self.root)
+        probing = key in _brownouts
+        _brownouts[key] = BROWNOUT_PROBE_WRITES
+        detail = f"{type(error).__name__}: {error}"
+        if not probing:
+            self._journal_brownout("brownout", path, detail)
+            _warn(CacheBrownout(
+                path,
+                f"{detail}; cache writes suspended, probing every "
+                f"{BROWNOUT_PROBE_WRITES} writes",
+            ))
+
+    def _exit_brownout(self, path: Path) -> None:
+        key = str(self.root)
+        if _brownouts.pop(key, None) is not None:
+            self._journal_brownout(
+                "recovered", path, "probe write succeeded"
+            )
+
+    def _journal_brownout(
+        self, event: str, path: Path, detail: str
+    ) -> None:
+        """Best-effort append to ``<root>/brownout.jsonl``.
+
+        Under a genuinely full disk this append can itself fail --
+        that is fine, the warning and the ``stats()``/healthz state
+        still carry the signal; under *injected* disk-full faults
+        the disk is healthy and the line always lands.
+        """
+        from repro.runner.journal import append_line
+
+        entry = {
+            "v": 1,
+            "ts": time.time(),
+            "event": event,
+            "entry": str(path),
+            "detail": detail,
+        }
+        try:
+            append_line(
+                str(self.root / BROWNOUT_JOURNAL),
+                json.dumps(entry, sort_keys=True),
+            )
+        except OSError:
+            pass
 
 
 def cache_enabled() -> bool:

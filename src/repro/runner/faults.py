@@ -33,8 +33,9 @@ module provides the two halves of that story:
       rule    := kind [":" field "=" value ("," field "=" value)*]
       kind    := "crash" | "hang" | "exit"
                | "replica-kill" | "replica-hang" | "replica-slow"
+               | "disk-full" | "slow-io" | "cache-evict"
       field   := "chain" | "point" | "attempt" | "request"
-               | "replica" | "seconds"
+               | "replica" | "write" | "seconds"
 
   ``chain`` matches the chain index (grouping order of
   :func:`repro.runner.parallel._chains`), ``point`` the global point
@@ -75,6 +76,22 @@ module provides the two halves of that story:
     deadlines trip while the process stays alive.
   - ``replica-slow`` delays replica *startup* by ``seconds`` before
     the socket binds (slow-start detection in the supervisor).
+
+  **IO-level kinds** (persistent cache, :mod:`repro.runner.cache`)
+  fire at cache-*write* sites via :meth:`FaultPlan.fire_io`:
+  ``write`` matches a :class:`~repro.runner.cache.PlanCache`
+  instance's 0-based write count, and ``replica`` matches like the
+  replica kinds (so a fleet test can starve one replica's disk).
+  The third disjoint vocabulary -- chain sites never consult io
+  kinds and vice versa:
+
+  - ``disk-full`` raises ``OSError(ENOSPC)`` at the write site --
+    the real brownout entry path, without filling a disk.
+  - ``slow-io`` sleeps ``seconds`` before the write (a saturated
+    device).
+  - ``cache-evict`` deletes the entry immediately after it is
+    written -- a concurrent GC stealing the key between a ``put``
+    and the next ``get``.
 
 Retry backoff is deterministic: ``backoff_seconds`` derives a jitter
 factor from a SHA-256 over (key, attempt), so reruns sleep the same
@@ -287,6 +304,49 @@ class CacheCorruption(SweepError, Warning):
         return (CacheCorruption, (self.path, self.detail))
 
 
+class CacheClearFailure(SweepError, Warning):
+    """``PlanCache.clear`` could not delete every entry.
+
+    Doubles as a :class:`Warning`: a survivor (a permission error, a
+    file pinned by another process) must not abort the sweep that
+    asked for a fresh cache, but reporting a clean wipe that left
+    stale entries behind is how a "cleared" cache silently serves
+    old results.  ``detail`` names the survivors.
+    """
+
+    def __init__(self, path: Any, detail: str) -> None:
+        super().__init__(
+            f"cache clear under {path} incomplete: {detail}"
+        )
+        self.path = path
+        self.detail = detail
+
+    def __reduce__(self):
+        return (CacheClearFailure, (self.path, self.detail))
+
+
+class CacheBrownout(SweepError, Warning):
+    """The persistent cache stopped writing: the disk is full.
+
+    Doubles as a :class:`Warning`: ``ENOSPC``/``EDQUOT`` on a cache
+    write must degrade (results are always recomputable), never
+    crash a sweep or a replica.  Raised as a warning when the cache
+    enters brownout -- writes are skipped, reads still serve, and a
+    periodic probe re-tries the disk (see
+    :class:`repro.runner.cache.PlanCache`).
+    """
+
+    def __init__(self, path: Any, detail: str) -> None:
+        super().__init__(
+            f"cache brownout at {path}: {detail}"
+        )
+        self.path = path
+        self.detail = detail
+
+    def __reduce__(self):
+        return (CacheBrownout, (self.path, self.detail))
+
+
 class JournalTruncation(SweepError, Warning):
     """A JSONL journal ended in a torn (unparseable) trailing line.
 
@@ -338,6 +398,41 @@ class ReplicaUnreachable(SweepError):
         return (
             ReplicaUnreachable,
             (self.endpoint, self.attempt, self.detail),
+        )
+
+
+class ServerOverloaded(SweepError):
+    """The serve admission queue is full -- a typed, retryable no.
+
+    Distinct from the fault-path errors (crashes, timeouts): the
+    request was well-formed and the server is healthy, it simply has
+    more work in flight than ``REPRO_SERVE_QUEUE`` allows even at
+    the shed budget.  Carries a deterministic ``retry_after_ms``
+    hint derived from the overshoot, so a well-behaved client backs
+    off proportionally (and reruns produce identical hints).
+
+    Args:
+        inflight: Searches in flight when the request was rejected.
+        bound: The configured admission bound.
+        retry_after_ms: Deterministic client backoff hint.
+    """
+
+    def __init__(
+        self, inflight: int, bound: int, retry_after_ms: int
+    ) -> None:
+        super().__init__(
+            f"server overloaded: {inflight} searches in flight "
+            f"against an admission bound of {bound}; retry in "
+            f"{retry_after_ms} ms"
+        )
+        self.inflight = inflight
+        self.bound = bound
+        self.retry_after_ms = retry_after_ms
+
+    def __reduce__(self):
+        return (
+            ServerOverloaded,
+            (self.inflight, self.bound, self.retry_after_ms),
         )
 
 
@@ -401,8 +496,16 @@ _CHAIN_KINDS = ("crash", "hang", "exit")
 #: vocabularies without either masking the other.
 _REPLICA_KINDS = ("replica-kill", "replica-hang", "replica-slow")
 
-_FAULT_KINDS = _CHAIN_KINDS + _REPLICA_KINDS
-_MATCH_FIELDS = ("chain", "point", "attempt", "request", "replica")
+#: IO-site kinds, consulted by the persistent cache's write sites
+#: via :meth:`FaultPlan.fire_io`.  Disjoint from both families
+#: above, so one spec can starve the disk mid-storm without
+#: shadowing chain or replica rules.
+_IO_KINDS = ("disk-full", "slow-io", "cache-evict")
+
+_FAULT_KINDS = _CHAIN_KINDS + _REPLICA_KINDS + _IO_KINDS
+_MATCH_FIELDS = (
+    "chain", "point", "attempt", "request", "replica", "write",
+)
 
 
 @dataclass(frozen=True)
@@ -521,6 +624,38 @@ class FaultPlan:
             return
         os._exit(23)
 
+    def fire_io(self, **context: int) -> Optional[FaultRule]:
+        """Apply any io rule matching the current cache-write site.
+
+        Consulted by :meth:`repro.runner.cache.PlanCache.put` with
+        ``write`` (the cache instance's 0-based write count) and --
+        under a fleet supervisor -- ``replica``.
+
+        ``disk-full`` raises ``OSError(ENOSPC)`` so the *real*
+        brownout path runs; ``slow-io`` sleeps ``seconds`` here and
+        lets the write proceed.  ``cache-evict`` cannot fire inside
+        this method (only the caller knows which entry it wrote), so
+        the matched rule is returned and the cache deletes the entry
+        it just put -- the caller-visible effect of a concurrent GC
+        winning a race.
+        """
+        rule = self._matching_kind(_IO_KINDS, context)
+        if rule is None:
+            return None
+        site = ", ".join(
+            f"{key}={value}" for key, value in sorted(context.items())
+        )
+        if rule.kind == "disk-full":
+            import errno
+
+            raise OSError(
+                errno.ENOSPC,
+                f"injected disk-full at {site}",
+            )
+        if rule.kind == "slow-io":
+            time.sleep(rule.seconds)
+        return rule
+
 
 def parse_faults(spec: str) -> FaultPlan:
     """Parse a ``REPRO_FAULTS`` spec into a :class:`FaultPlan`.
@@ -606,6 +741,20 @@ def replica_context(request: int) -> Dict[str, int]:
     from repro.settings import env_int
 
     context = {"request": request}
+    index = env_int(ENV_FLEET_INDEX, "a replica index", minimum=0)
+    if index is not None:
+        context["replica"] = index
+    return context
+
+
+def io_context(write: int) -> Dict[str, int]:
+    """The io-site matcher context for one cache write.
+
+    Like :func:`replica_context`, ``replica`` is only present when
+    the fleet supervisor exported ``REPRO_FLEET_INDEX``, so a rule
+    pinned to one replica's disk never fires elsewhere.
+    """
+    context = {"write": write}
     index = env_int(ENV_FLEET_INDEX, "a replica index", minimum=0)
     if index is not None:
         context["replica"] = index

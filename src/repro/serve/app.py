@@ -22,7 +22,12 @@ Design points:
   deterministic search-unit budget before execution (PR 5
   ``UNITS_PER_SECOND``); under queue pressure (too many in-flight
   searches) the budget is tightened to the shed budget instead of
-  queueing unboundedly.  The *effective* budget is reported in the
+  queueing unboundedly.  Behind the shedding ladder sits *bounded
+  admission* (``REPRO_SERVE_QUEUE``): when even shed-budget
+  searches exceed the bound, new searches are rejected with a typed
+  :class:`~repro.runner.faults.ServerOverloaded` body carrying a
+  deterministic ``retry_after_ms`` hint -- counted separately from
+  fault-path errors, journaled as ``overloaded``, and never cached.  The *effective* budget is reported in the
   response's ``budget`` field and keys the LRU/coalescing
   fingerprint, so a shed answer is byte-identical to an explicit
   request at that budget and can never be served as a full-budget
@@ -57,6 +62,7 @@ from repro.runner.faults import (
     InjectedHang,
     InjectedWorkerExit,
     PointFailure,
+    ServerOverloaded,
     SweepError,
     WorkerCrash,
     active_plan,
@@ -86,6 +92,8 @@ ENV_SERVE_LRU = "REPRO_SERVE_LRU"
 ENV_SERVE_PRESSURE = "REPRO_SERVE_PRESSURE"
 ENV_SERVE_SHED_BUDGET = "REPRO_SERVE_SHED_BUDGET"
 ENV_SERVE_TIMEOUT = "REPRO_SERVE_TIMEOUT"
+ENV_SERVE_QUEUE = "REPRO_SERVE_QUEUE"
+ENV_SERVE_RETRY_MS = "REPRO_SERVE_RETRY_MS"
 
 #: Default LRU capacity (entries).
 DEFAULT_LRU_ENTRIES = 256
@@ -93,6 +101,11 @@ DEFAULT_LRU_ENTRIES = 256
 DEFAULT_PRESSURE = 8
 #: Default degraded search-unit budget applied while shedding.
 DEFAULT_SHED_BUDGET = 4096
+#: Default base of the deterministic ``retry_after_ms`` hint.
+DEFAULT_RETRY_MS = 100
+#: Overshoot factor cap in the ``retry_after_ms`` hint, so the
+#: hint stays bounded however deep the storm.
+MAX_RETRY_FACTOR = 64
 
 
 def resolve_lru_entries(capacity: Optional[int] = None) -> int:
@@ -123,6 +136,33 @@ def resolve_shed_budget(budget: Optional[int] = None) -> int:
         ENV_SERVE_SHED_BUDGET, "a search unit budget", minimum=1
     )
     return DEFAULT_SHED_BUDGET if value is None else value
+
+
+def resolve_queue_bound(
+    bound: Optional[int] = None,
+) -> Optional[int]:
+    """The bounded-admission limit: in-flight searches at which new
+    searches are rejected with a typed ``ServerOverloaded`` body
+    (``REPRO_SERVE_QUEUE``; unset or ``0`` means unbounded -- the
+    historical behavior, byte-identical to a tree without it)."""
+    if bound is None:
+        bound = env_int(
+            ENV_SERVE_QUEUE, "an in-flight search bound", minimum=0
+        )
+    if bound is None or bound < 1:
+        return None
+    return bound
+
+
+def resolve_retry_ms(base: Optional[int] = None) -> int:
+    """Base milliseconds of the deterministic ``retry_after_ms``
+    hint (``REPRO_SERVE_RETRY_MS``; default 100)."""
+    if base is not None:
+        return base
+    value = env_int(
+        ENV_SERVE_RETRY_MS, "a millisecond count", minimum=1
+    )
+    return DEFAULT_RETRY_MS if value is None else value
 
 
 def resolve_serve_timeout(
@@ -157,6 +197,10 @@ class ServeApp:
             :func:`resolve_shed_budget`).
         timeout: Wall-clock request bound override (worker pools
             only; see :func:`resolve_serve_timeout`).
+        queue: Bounded-admission override (see
+            :func:`resolve_queue_bound`; ``0`` disables).
+        retry_ms: Base of the ``retry_after_ms`` hint (see
+            :func:`resolve_retry_ms`).
     """
 
     def __init__(
@@ -167,6 +211,8 @@ class ServeApp:
         pressure: Optional[int] = None,
         shed_budget: Optional[int] = None,
         timeout: Optional[float] = None,
+        queue: Optional[int] = None,
+        retry_ms: Optional[int] = None,
     ) -> None:
         self.pool = pool
         self.lru = (
@@ -178,15 +224,19 @@ class ServeApp:
         self.pressure = resolve_pressure(pressure)
         self.shed_budget = resolve_shed_budget(shed_budget)
         self.timeout = resolve_serve_timeout(timeout)
+        self.queue = resolve_queue_bound(queue)
+        self.retry_ms = resolve_retry_ms(retry_ms)
         self.requests = 0
         self.searches = 0
         self.errors = 0
         self.shed = 0
+        self.overloaded = 0
         self.learn_consulted = 0
         self.learn_predicted = 0
         self.learn_saved = 0
         self._attempts: Dict[str, int] = {}
         self._inflight_searches = 0
+        self._inflight_high_water = 0
 
     # ------------------------------------------------------------------
     # Entry point
@@ -272,7 +322,35 @@ class ServeApp:
                 request.op, "coalesced", fingerprint=fingerprint,
             )
             return _stamp_id(body, request_id)
+        if (
+            self.queue is not None
+            and self._inflight_searches >= self.queue
+        ):
+            # Bounded admission: the shedding ladder above already
+            # tightened the budget, but even shed searches pile up
+            # under a storm -- beyond the bound, reject with a
+            # typed, never-cached overload body (resolving the
+            # flight so coalesced followers share the rejection
+            # rather than hanging).
+            self.overloaded += 1
+            body = canonical_body(error_response(
+                ServerOverloaded(
+                    self._inflight_searches, self.queue,
+                    self._retry_after_ms(),
+                ),
+                request.op,
+                status="overloaded",
+            ))
+            self.coalescer.resolve(fingerprint, body)
+            self._journal(
+                request.op, "overloaded",
+                fingerprint=fingerprint, status="overloaded",
+            )
+            return _stamp_id(body, request_id)
         self._inflight_searches += 1
+        self._inflight_high_water = max(
+            self._inflight_high_water, self._inflight_searches
+        )
         try:
             body, ok = await self._execute(
                 anonymous, budget, shed, fingerprint
@@ -326,6 +404,18 @@ class ServeApp:
             return budget, False
         self.shed += 1
         return self.shed_budget, True
+
+    def _retry_after_ms(self) -> int:
+        """The deterministic overload backoff hint.
+
+        Proportional to how far past the bound the server is --
+        ``base * (overshoot + 1)``, capped -- so identical server
+        states produce identical hints (reruns and differential
+        tests see the same bytes) and deeper storms push clients
+        further away.
+        """
+        overshoot = self._inflight_searches - (self.queue or 0)
+        return self.retry_ms * min(overshoot + 1, MAX_RETRY_FACTOR)
 
     def _learn_budget(
         self, request: ServeRequest, budget: Optional[int]
@@ -546,6 +636,14 @@ class ServeApp:
                 "generation": self.pool.generation,
             },
         }
+        # Conditional block: stats bodies keep their pre-queue bytes
+        # unless bounded admission is actually configured.
+        if self.queue is not None:
+            document["queue"] = {
+                "bound": self.queue,
+                "overloaded": self.overloaded,
+                "high_water": self._inflight_high_water,
+            }
         # Conditional block: stats bodies keep their pre-learn bytes
         # unless the predictor is actually switched on.
         from repro.learn import learn_enabled
@@ -566,10 +664,13 @@ class ServeApp:
 
         Liveness plus the vitals the fleet supervisor records with
         every probe: pool generation (how many times workers were
-        respawned), in-flight search count, and the LRU's
-        hit/miss/eviction/invalidation counters.  Rendered through
-        :func:`canonical_body` like every other response, so the
-        payload is canonical-JSON stable: same state, same bytes.
+        respawned), in-flight search count, the LRU's
+        hit/miss/eviction/invalidation counters, and the shared plan
+        cache's disk pressure (bytes on disk against the configured
+        budget, and whether writes are in brownout).  Rendered
+        through :func:`canonical_body` like every other response, so
+        the payload is canonical-JSON stable: same state, same
+        bytes.
         """
         from repro.serve.protocol import PROTOCOL_VERSION
 
@@ -581,6 +682,31 @@ class ServeApp:
             "inflight": self._inflight_searches,
             "requests": self.requests,
             "lru": self.lru.stats(),
+            "cache": self._cache_health(),
+        }
+
+    @staticmethod
+    def _cache_health() -> Dict[str, Any]:
+        """Disk usage + brownout state of the shared plan cache.
+
+        Resolved from the serving process's environment -- the same
+        view the worker processes inherit -- so the supervisor's
+        probes see the disk pressure its replicas are actually
+        writing under.
+        """
+        from repro.runner.cache import default_cache
+
+        cache = default_cache()
+        if cache is None:
+            return {"enabled": False}
+        stats = cache.stats()
+        return {
+            "enabled": True,
+            "bytes": stats["bytes"],
+            "entries": stats["entries"],
+            "max_bytes": stats["max_bytes"],
+            "quarantined": stats["quarantined"],
+            "brownout": stats["brownout"],
         }
 
     def close(self) -> None:

@@ -16,6 +16,20 @@ Two layers, both deliberately thin wrappers over :mod:`http.client`:
   :class:`~repro.runner.faults.FleetUnavailable` carries the
   per-attempt evidence.
 
+Two resilience layers ride on top of the walk (PR 10):
+
+* **Circuit breakers** (:mod:`repro.serve.breaker`): endpoints whose
+  circuit is open are demoted below every closed endpoint in the
+  preference order -- healthy replicas stop paying a dead replica's
+  connect timeout -- and re-probed on a seeded half-open schedule;
+  a successful probe (the supervisor restarted the replica)
+  re-closes the circuit.
+* **Overload retries**: a replica answering the typed
+  ``ServerOverloaded`` rejection (HTTP 503) is retried after its
+  deterministic ``retry_after_ms`` hint, at most
+  ``REPRO_FLEET_RETRY_BUDGET`` times per call; an exhausted budget
+  returns the overload body itself (a typed answer, not a failure).
+
 Failover retries are byte-safe by construction: the request
 *document* is never rewritten between attempts -- in particular a
 ``deadline_s`` maps to its deterministic search-unit budget
@@ -30,6 +44,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runner.faults import (
@@ -37,12 +52,19 @@ from repro.runner.faults import (
     ReplicaUnreachable,
     SweepConfigError,
 )
-from repro.settings import env_float
+from repro.serve.breaker import BreakerRegistry, fleet_breaker
+from repro.settings import env_float, env_int
 
 ENV_FLEET_ATTEMPT_TIMEOUT = "REPRO_FLEET_ATTEMPT_TIMEOUT"
+ENV_FLEET_RETRY_BUDGET = "REPRO_FLEET_RETRY_BUDGET"
 
 #: Default per-attempt client deadline (seconds) for failover calls.
 DEFAULT_ATTEMPT_TIMEOUT = 30.0
+#: Default overload retries per fleet call.
+DEFAULT_RETRY_BUDGET = 2
+#: Hard ceiling on one honored ``retry_after_ms`` sleep: the hint
+#: is advisory, the client's patience is bounded.
+MAX_RETRY_AFTER_MS = 2000
 
 
 def parse_endpoint(endpoint: str) -> Tuple[str, int]:
@@ -131,6 +153,42 @@ def resolve_attempt_timeout(
     return timeout
 
 
+def resolve_retry_budget(budget: Optional[int] = None) -> int:
+    """Overload retries per call: argument, else
+    ``REPRO_FLEET_RETRY_BUDGET``, else 2."""
+    if budget is None:
+        budget = env_int(
+            ENV_FLEET_RETRY_BUDGET, "a retry count", minimum=0
+        )
+    if budget is None:
+        return DEFAULT_RETRY_BUDGET
+    if budget < 0:
+        raise SweepConfigError(
+            f"fleet retry budget must be >= 0, got {budget}"
+        )
+    return budget
+
+
+def _overload_hint_ms(body: str) -> Optional[int]:
+    """The ``retry_after_ms`` of a ``ServerOverloaded`` body, or
+    ``None`` for any other response."""
+    try:
+        document = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(document, dict):
+        return None
+    error = document.get("error")
+    if (
+        document.get("status") == "overloaded"
+        and isinstance(error, dict)
+        and error.get("type") == "ServerOverloaded"
+        and isinstance(error.get("retry_after_ms"), int)
+    ):
+        return error["retry_after_ms"]
+    return None
+
+
 def fleet_fingerprint(document: Mapping[str, Any]) -> str:
     """The routing fingerprint of one request document.
 
@@ -163,6 +221,8 @@ def fleet_call(
     document: Mapping[str, Any],
     attempt_timeout: Optional[float] = None,
     max_attempts: Optional[int] = None,
+    breaker: Optional[BreakerRegistry] = None,
+    retry_budget: Optional[int] = None,
 ) -> Tuple[int, str, str]:
     """POST one request to a fleet with consistent-hash failover.
 
@@ -173,6 +233,16 @@ def fleet_call(
     including structured ``ok: false`` error bodies -- are returned
     from whichever replica first produces one.
 
+    Endpoints whose circuit breaker is open are demoted below every
+    available endpoint (still last-resort candidates: if *every*
+    circuit is open the call probes them rather than failing with
+    zero attempts).  Every outcome feeds the breaker: unreachable
+    attempts count toward opening, any response closes.  A
+    ``ServerOverloaded`` rejection is retried after its
+    ``retry_after_ms`` hint (capped at ``MAX_RETRY_AFTER_MS``) up
+    to ``retry_budget`` times; when the budget runs out the typed
+    overload body is returned as the answer.
+
     Args:
         endpoints: ``host:port`` strings (see
             :func:`repro.serve.router.parse_fleet`).
@@ -180,7 +250,12 @@ def fleet_call(
             attempt.
         attempt_timeout: Per-attempt deadline in seconds (default:
             ``REPRO_FLEET_ATTEMPT_TIMEOUT``, else 30).
-        max_attempts: Cap on attempts (default: one per replica).
+        max_attempts: Cap on attempts per pass (default: one per
+            replica).
+        breaker: Breaker registry override (default: the
+            process-wide :func:`~repro.serve.breaker.fleet_breaker`).
+        retry_budget: Overload retries (default:
+            ``REPRO_FLEET_RETRY_BUDGET``, else 2).
 
     Returns:
         ``(status, body, endpoint)`` -- the HTTP status, the body
@@ -200,24 +275,48 @@ def fleet_call(
             "fleet_call needs at least one endpoint"
         )
     timeout = resolve_attempt_timeout(attempt_timeout)
+    budget = resolve_retry_budget(retry_budget)
+    if breaker is None:
+        breaker = fleet_breaker()
     order = preference_order(
         fleet_fingerprint(document), endpoints
     )
-    if max_attempts is not None:
-        order = order[:max_attempts]
-    failures: List[Tuple[str, str]] = []
-    for attempt, endpoint in enumerate(order):
-        host, port = parse_endpoint(endpoint)
-        try:
-            status, body = remote_call(
-                host, port, document, timeout=timeout
-            )
-        except (OSError, socket.timeout) as error:
-            unreachable = ReplicaUnreachable(
-                endpoint, attempt,
-                f"{type(error).__name__}: {error}",
-            )
-            failures.append((endpoint, unreachable.detail))
-            continue
-        return status, body, endpoint
-    raise FleetUnavailable(failures)
+    retries = 0
+    while True:
+        available = [
+            endpoint for endpoint in order
+            if breaker.available(endpoint)
+        ]
+        ranked = available + [
+            endpoint for endpoint in order
+            if endpoint not in available
+        ]
+        if max_attempts is not None:
+            ranked = ranked[:max_attempts]
+        failures: List[Tuple[str, str]] = []
+        answered: Optional[Tuple[int, str, str]] = None
+        for attempt, endpoint in enumerate(ranked):
+            host, port = parse_endpoint(endpoint)
+            try:
+                status, body = remote_call(
+                    host, port, document, timeout=timeout
+                )
+            except (OSError, socket.timeout) as error:
+                unreachable = ReplicaUnreachable(
+                    endpoint, attempt,
+                    f"{type(error).__name__}: {error}",
+                )
+                breaker.record_failure(endpoint)
+                failures.append((endpoint, unreachable.detail))
+                continue
+            breaker.record_success(endpoint)
+            answered = (status, body, endpoint)
+            break
+        if answered is None:
+            raise FleetUnavailable(failures)
+        status, body, endpoint = answered
+        hint_ms = _overload_hint_ms(body)
+        if hint_ms is None or retries >= budget:
+            return answered
+        retries += 1
+        time.sleep(min(hint_ms, MAX_RETRY_AFTER_MS) / 1000.0)

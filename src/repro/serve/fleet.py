@@ -459,11 +459,26 @@ class FleetSupervisor:
                 continue
             replica.failed_probes = 0
             self._check_salt(replica, health)
+            vitals = {
+                "generation": health.get("generation"),
+                "inflight": health.get("inflight"),
+                "requests": health.get("requests"),
+            }
+            # Disk-pressure passthrough: only journaled while a
+            # replica actually reports cache brownout, so healthy
+            # fleets keep their historical line bytes.
+            cache_health = health.get("cache")
+            if (
+                isinstance(cache_health, dict)
+                and cache_health.get("brownout")
+            ):
+                vitals["cache_brownout"] = True
+                events.append({
+                    "event": "cache-brownout",
+                    "replica": replica.index,
+                })
             self.record(
-                "healthy", replica=replica.index,
-                generation=health.get("generation"),
-                inflight=health.get("inflight"),
-                requests=health.get("requests"),
+                "healthy", replica=replica.index, **vitals
             )
         return events
 

@@ -1,8 +1,10 @@
 """Append-only JSONL journal of served requests.
 
 One line per response, recording *how* the answer was produced --
-``search`` / ``lru`` / ``coalesced`` / ``error`` -- plus the request
-fingerprint, provenance, status and pool generation.  The journal is
+``search`` / ``lru`` / ``coalesced`` / ``error`` / ``overloaded``
+(a bounded-admission rejection, status ``overloaded``, distinct
+from fault-path errors) -- plus the request fingerprint,
+provenance, status and pool generation.  The journal is
 operational telemetry (CI uploads it as an artifact after the serve
 battery), never an input: response bytes are fully determined by the
 request, so journal timestamps do not threaten determinism.

@@ -595,13 +595,16 @@ def error_response(
     error: Exception,
     op: Optional[str] = None,
     request_id: Optional[str] = None,
+    status: str = "error",
 ) -> Dict[str, Any]:
     """A structured error response for any typed failure.
 
     Non-:class:`SweepError` exceptions degrade to a generic
     ``SweepError`` entry via the PR 3 failure serialization -- a
     response is always produced; the server never hangs a client on
-    an exception.
+    an exception.  ``status`` lets non-fault rejections (bounded
+    admission's ``overloaded``) stay distinguishable from execution
+    errors without a second envelope shape.
     """
     if not isinstance(error, SweepError):
         error = SweepError(
@@ -610,7 +613,7 @@ def error_response(
     document: Dict[str, Any] = {
         "v": PROTOCOL_VERSION,
         "ok": False,
-        "status": "error",
+        "status": status,
         "error": failure_to_dict(error),
     }
     if op is not None:

@@ -6,7 +6,8 @@ Two ways to reach one :class:`~repro.serve.app.ServeApp`:
   minimal HTTP/1.1 endpoint on :func:`asyncio.start_server` -- no
   third-party framework.  ``POST /v1`` takes a JSON request body and
   returns the canonical response body (``200`` when ``ok``, ``400``
-  for structured errors); ``GET /stats`` returns the live-counter
+  for structured errors, ``503`` for bounded-admission overload
+  rejections); ``GET /stats`` returns the live-counter
   document; ``GET /healthz`` answers liveness probes with the fleet
   supervisor's probe payload (pool generation, in-flight count, LRU
   counters -- see :meth:`~repro.serve.app.ServeApp.health_response`).
@@ -113,9 +114,16 @@ async def _handle_connection(
             response = await app.handle(
                 body.decode("utf-8", "replace")
             )
-            ok = json.loads(response).get("ok", False)
-            if ok:
+            document = json.loads(response)
+            if document.get("ok", False):
                 writer.write(_http_response(200, "OK", response))
+            elif document.get("status") == "overloaded":
+                # Bounded-admission rejection: a retryable 503, not
+                # a client error -- the body carries the typed
+                # ServerOverloaded entry with its retry_after_ms.
+                writer.write(_http_response(
+                    503, "Service Unavailable", response
+                ))
             else:
                 writer.write(_http_response(
                     400, "Bad Request", response

@@ -24,6 +24,10 @@ variable               meaning
 ``REPRO_FAULTS``       deterministic fault-injection spec
 ``REPRO_CACHE``        persistent cache on/off (default on)
 ``REPRO_CACHE_DIR``    persistent cache root directory
+``REPRO_CACHE_MAX_BYTES`` persistent cache byte budget (int >= 1);
+                       unset means uncapped, the historical
+                       behavior.  Enforced by an oldest-first GC
+                       after every write and by ``repro cache gc``
 ``REPRO_VALIDATE``     invariant auditors on/off (default off)
 ``REPRO_BUDGET``       per-search deterministic unit budget (int >= 1)
 ``REPRO_DEADLINE``     advisory soft deadline seconds, mapped to a
@@ -53,6 +57,14 @@ variable                    meaning
                             shedding (int >= 1; default 4096)
 ``REPRO_SERVE_TIMEOUT``     wall-clock bound per worker-pool request
                             in seconds (float; unset/<= 0 off)
+``REPRO_SERVE_QUEUE``       bounded admission: in-flight searches at
+                            which new searches are rejected with a
+                            typed ``ServerOverloaded`` body (int;
+                            unset/0 means unbounded -- the
+                            historical behavior)
+``REPRO_SERVE_RETRY_MS``    base of the deterministic
+                            ``retry_after_ms`` hint in overload
+                            rejections (int >= 1; default 100)
 ``REPRO_SERVE_HOST``        default bind host (default 127.0.0.1)
 ``REPRO_SERVE_PORT``        default bind port (default 8734)
 ==========================  ===========================================
@@ -80,6 +92,16 @@ variable                       meaning
 ``REPRO_FLEET_INDEX``          replica index, exported by the
                                supervisor into each replica (int >=
                                0; arms ``replica=`` fault matchers)
+``REPRO_FLEET_BREAKER``        consecutive unreachable attempts that
+                               open a replica's circuit breaker
+                               (int; 0 disables; default 3)
+``REPRO_FLEET_BREAKER_COOLDOWN`` base seconds an open breaker waits
+                               before its seeded half-open probe
+                               (float > 0; default 1.0)
+``REPRO_FLEET_RETRY_BUDGET``   overload retries per fleet call when
+                               a replica answers ``ServerOverloaded``
+                               with a ``retry_after_ms`` hint
+                               (int >= 0; default 2)
 =============================  ========================================
 """
 
@@ -100,6 +122,9 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     "REPRO_FAULTS": ("spec", "deterministic fault-injection spec"),
     "REPRO_CACHE": ("bool", "persistent result cache on/off"),
     "REPRO_CACHE_DIR": ("path", "persistent cache root"),
+    "REPRO_CACHE_MAX_BYTES": (
+        "int", "persistent cache byte budget (GC-enforced)"
+    ),
     "REPRO_VALIDATE": ("bool", "invariant auditors on/off"),
     "REPRO_BUDGET": ("int", "per-search deterministic unit budget"),
     "REPRO_DEADLINE": ("float", "advisory soft deadline in seconds"),
@@ -126,6 +151,13 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     "REPRO_SERVE_TIMEOUT": (
         "float", "wall-clock bound per served request in seconds"
     ),
+    "REPRO_SERVE_QUEUE": (
+        "int", "bounded admission: in-flight searches before "
+               "typed overload rejection"
+    ),
+    "REPRO_SERVE_RETRY_MS": (
+        "int", "base milliseconds of the retry_after_ms hint"
+    ),
     "REPRO_SERVE_HOST": ("str", "default serve bind host"),
     "REPRO_SERVE_PORT": ("int", "default serve bind port"),
     "REPRO_FLEET_REPLICAS": (
@@ -148,6 +180,15 @@ KNOWN_SETTINGS: Dict[str, Tuple[str, str]] = {
     ),
     "REPRO_FLEET_INDEX": (
         "int", "replica index exported by the fleet supervisor"
+    ),
+    "REPRO_FLEET_BREAKER": (
+        "int", "consecutive failures that open a replica breaker"
+    ),
+    "REPRO_FLEET_BREAKER_COOLDOWN": (
+        "float", "base seconds before an open breaker half-opens"
+    ),
+    "REPRO_FLEET_RETRY_BUDGET": (
+        "int", "overload retries per fleet call"
     ),
 }
 

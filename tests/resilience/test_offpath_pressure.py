@@ -1,0 +1,117 @@
+"""With the resource-limit knobs unset, PR 10 is invisible.
+
+Differential battery in the PR 9 ``test_offpath`` idiom: with
+``REPRO_CACHE_MAX_BYTES`` unset (or set far above the working set)
+and ``REPRO_SERVE_QUEUE`` unset, every payload, cache hash, served
+body and CLI stdout byte matches a tree without the feature -- the
+disk-pressure and bounded-admission machinery is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.runner.cache import ENV_CACHE_MAX_BYTES, PlanCache
+from repro.serve.app import ENV_SERVE_QUEUE
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _plan_run(cache_dir, extra_env):
+    env = dict(os.environ)
+    for knob in (ENV_CACHE_MAX_BYTES, ENV_SERVE_QUEUE,
+                 "REPRO_FAULTS"):
+        env.pop(knob, None)
+    env.update(extra_env)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)]
+        + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "plan", "--json",
+         "--model", "t5", "--seq", "256", "--arch", "cloud",
+         "--batch", "4", "--budget", "64"],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def _cache_tree(root):
+    """(relative path, file bytes) for every cache entry."""
+    root = Path(root)
+    return sorted(
+        (path.relative_to(root).as_posix(), path.read_bytes())
+        for path in root.rglob("*.json")
+    )
+
+
+def test_plan_bytes_identical_with_budget_unset_vs_huge(tmp_path):
+    """An uncapped cache and a cache capped far above the working
+    set produce identical stdout and identical cache trees."""
+    unset = _plan_run(tmp_path / "unset", {})
+    capped = _plan_run(
+        tmp_path / "capped", {ENV_CACHE_MAX_BYTES: str(10 ** 9)}
+    )
+    assert unset == capped
+    assert [name for name, _ in _cache_tree(tmp_path / "unset")] \
+        == [name for name, _ in _cache_tree(tmp_path / "capped")]
+    assert _cache_tree(tmp_path / "unset") == _cache_tree(
+        tmp_path / "capped"
+    )
+
+
+def test_stats_body_has_no_queue_key_when_unbounded(monkeypatch):
+    """Unset REPRO_SERVE_QUEUE keeps the pre-queue stats bytes."""
+    from repro.runner.pool import InlineWorkerPool
+    from repro.serve.app import ServeApp
+
+    monkeypatch.delenv(ENV_SERVE_QUEUE, raising=False)
+    app = ServeApp(InlineWorkerPool(), pressure=0)
+    try:
+        stats = app.stats_response()
+    finally:
+        app.close()
+    assert "queue" not in stats
+    assert app.queue is None
+
+
+def test_put_with_budget_unset_never_scans(tmp_path, monkeypatch):
+    """The uncapped fast path: no GC scan runs on writes, so cache
+    writes cost exactly what they did before the byte budget
+    existed."""
+    monkeypatch.delenv(ENV_CACHE_MAX_BYTES, raising=False)
+    cache = PlanCache(tmp_path)
+    scans = []
+    real_gc = cache.gc
+    cache.gc = lambda *a, **k: scans.append(a) or real_gc(*a, **k)
+    from repro.runner.cache import stable_hash
+
+    cache.put("report", stable_hash({"k": 1}), {"ok": True})
+    assert scans == []
+
+
+def test_entry_bytes_unchanged_by_the_pressure_machinery(
+    tmp_path, monkeypatch
+):
+    """Entry serialization is untouched: the on-disk document for a
+    given (payload, value) pair is the same canonical JSON as
+    before PR 10."""
+    monkeypatch.delenv(ENV_CACHE_MAX_BYTES, raising=False)
+    from repro.runner.cache import stable_hash
+
+    cache = PlanCache(tmp_path)
+    key = stable_hash({"k": 1})
+    path = cache.put(
+        "report", key, {"v": 1}, payload={"k": 1}
+    )
+    expected = json.dumps(
+        {"payload": {"k": 1}, "value": {"v": 1}},
+        indent=2, sort_keys=True,
+    ) + "\n"
+    assert path.read_text() == expected

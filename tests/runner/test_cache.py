@@ -5,9 +5,12 @@ import os
 
 import pytest
 
+from pathlib import Path
+
 from repro.arch.spec import named_architecture
 from repro.model.workload import Workload
 from repro.runner.cache import (
+    CacheClearFailure,
     CacheCorruption,
     PlanCache,
     arch_fingerprint,
@@ -202,6 +205,122 @@ class TestPlanCache:
         assert quarantined[0].read_text() == (
             "{ racing corruption !!!"
         )
+
+    def test_clear_reports_survivors(self, cache, monkeypatch):
+        """A clear() that could not delete everything must say so:
+        one CacheClearFailure warning counting and naming the
+        survivors, never a silent 'clean sweep'."""
+        keys = [stable_hash({"i": i}) for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put("report", key, {"i": i})
+        blocked = {
+            cache.path_for("report", keys[1]),
+            cache.path_for("report", keys[2]),
+        }
+        real_unlink = Path.unlink
+
+        def guarded(self, *args, **kwargs):
+            if self in blocked:
+                raise PermissionError(13, "injected EACCES")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", guarded)
+        with pytest.warns(CacheClearFailure) as caught:
+            removed = cache.clear()
+        assert removed == 2
+        message = str(caught[0].message)
+        assert "2 of 4 entries survived" in message
+        for path in blocked:
+            assert path.exists()
+            assert str(path) in message
+
+    def test_clear_survivor_warning_shows_at_most_three(
+        self, cache, monkeypatch
+    ):
+        for i in range(5):
+            cache.put("report", stable_hash({"i": i}), {"i": i})
+
+        def denied(self, *args, **kwargs):
+            raise PermissionError(13, "injected EACCES")
+
+        monkeypatch.setattr(Path, "unlink", denied)
+        with pytest.warns(CacheClearFailure) as caught:
+            assert cache.clear() == 0
+        message = str(caught[0].message)
+        assert "5 of 5 entries survived" in message
+        assert "... 2 more" in message
+
+    def test_clear_racing_deletion_is_not_a_survivor(
+        self, cache, monkeypatch
+    ):
+        """An entry another process removed mid-clear vanished --
+        that is the goal state, not a failure to report."""
+        cache.put("report", stable_hash({"k": 1}), {"ok": True})
+        real_unlink = Path.unlink
+
+        def raced(self, *args, **kwargs):
+            real_unlink(self, *args, **kwargs)
+            raise FileNotFoundError(2, "raced away")
+
+        monkeypatch.setattr(Path, "unlink", raced)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.clear() == 0
+        assert cache.entry_count() == 0
+
+    def test_quarantine_fallback_deletes_and_says_so(
+        self, cache, monkeypatch
+    ):
+        """When the quarantine move fails but deletion succeeds, the
+        warning must say the evidence is gone."""
+        key = stable_hash({"k": "fallback-delete"})
+        cache.put("report", key, {"ok": True})
+        path = cache.path_for("report", key)
+        path.write_text("{ not json !!!")
+
+        def denied(source, destination):
+            raise PermissionError(13, "injected EACCES")
+
+        monkeypatch.setattr(os, "replace", denied)
+        with pytest.warns(CacheCorruption) as caught:
+            assert cache.get("report", key) is None
+        message = str(caught[0].message)
+        assert "quarantine failed" in message
+        assert "entry deleted" in message
+        assert not path.exists()
+
+    def test_quarantine_fallback_reports_undeletable_entry(
+        self, cache, monkeypatch
+    ):
+        """EACCES on both the move and the unlink: the entry is
+        still on disk and will resurface on every read -- the
+        warning must distinguish that from 'deleted'."""
+        key = stable_hash({"k": "undeletable"})
+        cache.put("report", key, {"ok": True})
+        path = cache.path_for("report", key)
+        path.write_text("{ not json !!!")
+
+        def denied(source, destination):
+            raise PermissionError(13, "injected EACCES")
+
+        real_unlink = Path.unlink
+
+        def no_unlink(self, *args, **kwargs):
+            if self == path:
+                raise PermissionError(13, "injected EACCES")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", denied)
+        monkeypatch.setattr(Path, "unlink", no_unlink)
+        with pytest.warns(CacheCorruption) as caught:
+            assert cache.get("report", key) is None
+        message = str(caught[0].message)
+        assert "quarantine failed" in message
+        assert "entry still present" in message
+        assert "entry deleted" not in message
+        assert path.exists()
 
     def test_entries_are_inspectable_json(self, cache, point):
         payload = report_cache_payload(point)

@@ -13,10 +13,13 @@ from repro.core.serialize import (
     sweep_result_to_dict,
 )
 from repro.runner.faults import (
+    CacheBrownout,
+    CacheClearFailure,
     CacheCorruption,
     ChainTimeout,
     FaultSpecError,
     PointFailure,
+    ServerOverloaded,
     SweepConfigError,
     SweepError,
     WorkerCrash,
@@ -105,6 +108,60 @@ class TestFaultSpec:
         assert parse_faults(plan.rules[0].describe()) == plan
 
 
+class TestIoFaults:
+    def test_io_kinds_parse(self):
+        plan = parse_faults(
+            "disk-full:write=3;slow-io:write=1,seconds=0.5;"
+            "cache-evict"
+        )
+        disk, slow, evict = plan.rules
+        assert disk.kind == "disk-full"
+        assert disk.where == {"write": 3}
+        assert slow.seconds == 0.5
+        assert evict.kind == "cache-evict"
+
+    def test_disk_full_raises_enospc(self):
+        import errno
+
+        plan = parse_faults("disk-full:write=2")
+        with pytest.raises(OSError) as caught:
+            plan.fire_io(write=2)
+        assert caught.value.errno == errno.ENOSPC
+        assert "write=2" in str(caught.value)
+
+    def test_io_rules_match_their_write_site_only(self):
+        plan = parse_faults("disk-full:write=2")
+        assert plan.fire_io(write=0) is None
+        assert plan.fire_io(write=1) is None
+
+    def test_cache_evict_returns_the_rule(self):
+        plan = parse_faults("cache-evict:write=5")
+        rule = plan.fire_io(write=5)
+        assert rule is not None and rule.kind == "cache-evict"
+
+    def test_slow_io_proceeds_after_the_delay(self):
+        plan = parse_faults("slow-io:write=0,seconds=0")
+        rule = plan.fire_io(write=0)
+        assert rule is not None and rule.kind == "slow-io"
+
+    def test_io_kinds_never_fire_in_the_chain_path(self):
+        plan = parse_faults("disk-full")
+        # A bare io rule must not crash sweep chains or replicas.
+        plan.fire(serial=True, chain=0, point=0, attempt=0)
+        plan.fire_replica(request=0)
+
+    def test_chain_kinds_never_fire_in_the_io_path(self):
+        assert parse_faults("crash").fire_io(write=0) is None
+
+    def test_io_context_carries_replica_index(self, monkeypatch):
+        from repro.runner.faults import io_context
+
+        monkeypatch.delenv("REPRO_FLEET_INDEX", raising=False)
+        assert io_context(4) == {"write": 4}
+        monkeypatch.setenv("REPRO_FLEET_INDEX", "2")
+        assert io_context(4) == {"write": 4, "replica": 2}
+
+
 class TestTaxonomy:
     def failures(self):
         point = GridPoint(executor="unfused", model="t5",
@@ -114,6 +171,9 @@ class TestTaxonomy:
             ChainTimeout(2, 1.5, 1),
             WorkerCrash(0, 2, "SIGKILL"),
             CacheCorruption("/tmp/x.json", "bad json"),
+            CacheClearFailure("/tmp/cache", "1 of 2 survived"),
+            CacheBrownout("/tmp/cache/x.json", "ENOSPC"),
+            ServerOverloaded(9, 8, 200),
         ]
 
     def test_all_are_sweep_errors(self):
@@ -137,6 +197,19 @@ class TestTaxonomy:
 
     def test_cache_corruption_is_a_warning(self):
         assert issubclass(CacheCorruption, Warning)
+
+    def test_recoverable_cache_conditions_are_warnings(self):
+        assert issubclass(CacheClearFailure, Warning)
+        assert issubclass(CacheBrownout, Warning)
+        # Overload is a rejection the client must handle, never a
+        # warning to be filtered away.
+        assert not issubclass(ServerOverloaded, Warning)
+
+    def test_overloaded_names_its_numbers(self):
+        error = ServerOverloaded(9, 8, 200)
+        assert "9" in str(error)
+        assert "8" in str(error)
+        assert "200" in str(error)
 
     def test_config_error_is_a_value_error(self):
         """Pre-taxonomy callers caught ValueError; keep them working."""
